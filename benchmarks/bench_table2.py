@@ -1,0 +1,44 @@
+"""Benchmark + regeneration of Table 2: 99% credible intervals (DT).
+
+The timed unit is the interval-estimation step itself (four mixture
+quantile inversions on the fitted VB2 posterior) — the operation whose
+MCMC cost the paper's Section 4.3 complains about.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.experiments import table23
+
+
+@pytest.fixture(scope="module")
+def table2_results(bench_scale):
+    return table23.run("DT", scale=bench_scale)
+
+
+def test_table2_regenerates_paper_shape(benchmark, table2_results, results_dir):
+    vb2 = table2_results["DT-Info"].posteriors["VB2"]
+
+    def intervals():
+        return (
+            vb2.credible_interval("omega", 0.99),
+            vb2.credible_interval("beta", 0.99),
+        )
+
+    benchmark(intervals)
+    write_result(
+        results_dir / "table2.txt", table23.render(table2_results, table_number=2)
+    )
+
+    summary = table23.interval_summary(table2_results["DT-Info"])
+    nint = summary["NINT"]
+    # VB2 endpoints within a few percent of NINT (paper: < ~5%).
+    for endpoint in table23.ENDPOINTS:
+        deviation = abs(summary["VB2"][endpoint] / nint[endpoint] - 1.0)
+        assert deviation < 0.06, (endpoint, deviation)
+    # VB1's beta interval is too narrow on both sides.
+    assert summary["VB1"]["beta_lower"] > nint["beta_lower"]
+    assert summary["VB1"]["beta_upper"] < nint["beta_upper"]
+    # LAPL is shifted left.
+    assert summary["LAPL"]["omega_lower"] < nint["omega_lower"]
+    assert summary["LAPL"]["omega_upper"] < nint["omega_upper"]

@@ -1,0 +1,44 @@
+"""Benchmark + regeneration of Table 4: software reliability (DT-Info).
+
+The timed unit is one full reliability interval estimate on the VB2
+posterior (paper Eq. 31/32: a 2-D functional of the posterior inverted
+by bisection).
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.core.reliability import estimate_reliability
+from repro.experiments import table45
+
+
+@pytest.fixture(scope="module")
+def table4_data(bench_scale):
+    return table45.run("DT", scale=bench_scale)
+
+
+def test_table4_regenerates_paper_shape(benchmark, table4_data, results_dir):
+    results, rows = table4_data
+    vb2 = results.posteriors["VB2"]
+    horizon = results.scenario.load_data().horizon
+    benchmark(lambda: estimate_reliability(vb2, horizon, 10_000.0, level=0.99))
+
+    write_result(
+        results_dir / "table4.txt", table45.render(rows, table_number=4, unit="s")
+    )
+
+    by_key = {(row.method, row.u): row for row in rows}
+    for u in (1000.0, 10_000.0):
+        nint = by_key[("NINT", u)]
+        vb2_row = by_key[("VB2", u)]
+        mcmc = by_key[("MCMC", u)]
+        vb1 = by_key[("VB1", u)]
+        # Point estimates of NINT / MCMC / VB2 agree to ~3 decimals.
+        assert abs(vb2_row.point - nint.point) < 0.005
+        assert abs(mcmc.point - nint.point) < 0.005
+        # Interval endpoints agree closely.
+        assert abs(vb2_row.lower - nint.lower) < 0.01
+        assert abs(vb2_row.upper - nint.upper) < 0.01
+        # VB1's reliability interval is too narrow (paper Section 6).
+        assert vb1.lower > nint.lower
+        assert vb1.upper < nint.upper

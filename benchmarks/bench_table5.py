@@ -1,0 +1,46 @@
+"""Benchmark + regeneration of Table 5: software reliability (DG-Info).
+
+The timed unit is the grouped-data reliability estimate on the VB2
+posterior for the longer window (u = 5 days), the hardest inversion in
+the table.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.core.reliability import estimate_reliability
+from repro.experiments import table45
+
+
+@pytest.fixture(scope="module")
+def table5_data(bench_scale):
+    return table45.run("DG", scale=bench_scale)
+
+
+def test_table5_regenerates_paper_shape(benchmark, table5_data, results_dir):
+    results, rows = table5_data
+    vb2 = results.posteriors["VB2"]
+    horizon = results.scenario.load_data().horizon
+    benchmark(lambda: estimate_reliability(vb2, horizon, 5.0, level=0.99))
+
+    write_result(
+        results_dir / "table5.txt", table45.render(rows, table_number=5, unit="d")
+    )
+
+    by_key = {(row.method, row.u): row for row in rows}
+    for u in (1.0, 5.0):
+        nint = by_key[("NINT", u)]
+        vb2_row = by_key[("VB2", u)]
+        mcmc = by_key[("MCMC", u)]
+        vb1 = by_key[("VB1", u)]
+        assert abs(vb2_row.point - nint.point) < 0.01
+        assert abs(mcmc.point - nint.point) < 0.01
+        assert abs(vb2_row.lower - nint.lower) < 0.015
+        assert abs(vb2_row.upper - nint.upper) < 0.015
+        # VB1 too narrow; most visible on the long window (paper Table 5:
+        # [0.208, 0.517] vs NINT's [0.135, 0.620]).
+        assert vb1.lower > nint.lower
+        assert vb1.upper < nint.upper
+    # Reliability decreases with the window length for every method.
+    for method in ("NINT", "LAPL", "MCMC", "VB1", "VB2"):
+        assert by_key[(method, 5.0)].point < by_key[(method, 1.0)].point

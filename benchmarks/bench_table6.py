@@ -1,0 +1,64 @@
+"""Benchmark + regeneration of Table 6: MCMC computation time.
+
+Runs the two Gibbs samplers at the paper's exact schedule (10000
+burn-in + 20000 kept with thinning 10) and records the elementary-
+variate counts the paper reports: 630000 for the failure-time sampler
+and 8.61M for the grouped data-augmentation sampler.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro.bayes.mcmc.chains import ChainSettings
+from repro.bayes.mcmc.gibbs_failure_time import gibbs_failure_time
+from repro.bayes.mcmc.gibbs_grouped import gibbs_grouped
+from repro.bayes.priors import ModelPrior
+from repro.data.datasets import system17_failure_times, system17_grouped
+from repro.experiments.table67 import Table6Row, render_table6
+
+PAPER_SETTINGS = ChainSettings(n_samples=20_000, burn_in=10_000, thin=10, seed=1)
+
+_rows: list[Table6Row] = []
+
+
+def test_table6_failure_time_paper_schedule(benchmark):
+    data = system17_failure_times()
+    prior = ModelPrior.informative(50.0, 15.8, 1.0e-5, 3.2e-6)
+
+    def run():
+        rng = np.random.default_rng(PAPER_SETTINGS.seed)
+        return gibbs_failure_time(data, prior, settings=PAPER_SETTINGS, rng=rng)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.variate_count == 630_000  # paper Table 6
+    _rows.append(
+        Table6Row(
+            scenario="DT-Info",
+            variate_count=result.variate_count,
+            seconds=benchmark.stats["mean"],
+        )
+    )
+
+
+def test_table6_grouped_paper_schedule(benchmark, results_dir):
+    data = system17_grouped()
+    prior = ModelPrior.informative(50.0, 15.8, 3.3e-2, 1.1e-2)
+
+    def run():
+        rng = np.random.default_rng(PAPER_SETTINGS.seed)
+        return gibbs_grouped(data, prior, settings=PAPER_SETTINGS, rng=rng)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.variate_count == 8_610_000  # paper Table 6: (3+38) x 210000
+    _rows.append(
+        Table6Row(
+            scenario="DG-Info",
+            variate_count=result.variate_count,
+            seconds=benchmark.stats["mean"],
+        )
+    )
+    write_result(results_dir / "table6.txt", render_table6(_rows))
+    # The grouped sampler is the more expensive one, as in the paper.
+    if len(_rows) == 2:
+        assert _rows[1].seconds > _rows[0].seconds

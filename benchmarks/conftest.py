@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark writes its paper-style table to ``benchmarks/results/``
+so the regenerated numbers survive the pytest capture; the pytest-
+benchmark machinery reports the wall-clock statistics.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(path: Path, text: str) -> None:
+    """Persist a rendered table and echo it (visible with pytest -s)."""
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """MCMC schedule for the accuracy benches: large enough for stable
+    moments, small enough to keep the suite under a few minutes."""
+    from repro.bayes.mcmc.chains import ChainSettings
+    from repro.experiments.config import ExperimentScale
+
+    return ExperimentScale(
+        mcmc=ChainSettings(n_samples=10_000, burn_in=4_000, thin=2, seed=20070628),
+        nint_resolution=241,
+        label="bench",
+    )

@@ -1,0 +1,65 @@
+"""Compare all five posterior-approximation methods on one dataset.
+
+Reproduces the structure of the paper's Section 6 in miniature: fits
+NINT, LAPL, MCMC, VB1 and VB2 to the grouped System 17 data with the
+informative prior and prints a moment table (with deviations from
+NINT), the 99% credible intervals, and each method's wall-clock cost.
+
+Run with:  python examples/method_comparison.py
+"""
+
+from repro.experiments.config import QUICK_SCALE, paper_scenarios
+from repro.experiments.runner import run_all_methods
+from repro.metrics.comparison import deviation_table
+from repro.metrics.tables import render_table
+
+
+def main() -> None:
+    scenario = paper_scenarios()["DG-Info"]
+    print(f"Scenario: {scenario.name} "
+          f"(grouped data, informative prior, Goel-Okumoto model)")
+    results = run_all_methods(scenario, scale=QUICK_SCALE)
+
+    moments = results.moments()
+    quantities = list(next(iter(moments.values())).keys())
+    deviations = deviation_table(moments, "NINT", quantities)
+
+    rows = []
+    for method, values in moments.items():
+        rows.append([method, *(values[q] for q in quantities)])
+        if method in deviations:
+            rows.append(
+                ["", *(f"{100 * deviations[method][q]:+.1f}%" for q in quantities)]
+            )
+    print()
+    print(render_table(["method", *quantities], rows, title="Posterior moments"))
+
+    print()
+    interval_rows = []
+    for method, posterior in results.posteriors.items():
+        omega_lo, omega_hi = posterior.credible_interval("omega", 0.99)
+        beta_lo, beta_hi = posterior.credible_interval("beta", 0.99)
+        interval_rows.append([method, omega_lo, omega_hi, beta_lo, beta_hi])
+    print(
+        render_table(
+            ["method", "omega lo", "omega hi", "beta lo", "beta hi"],
+            interval_rows,
+            title="Two-sided 99% credible intervals",
+        )
+    )
+
+    print()
+    timing_rows = [
+        [method, f"{seconds * 1000:.1f} ms"]
+        for method, seconds in results.seconds.items()
+    ]
+    print(render_table(["method", "fit time"], timing_rows, title="Cost"))
+    print(
+        "\nNote how VB1 reports Cov = 0 and visibly smaller variances, "
+        "how LAPL sits to the left of NINT, and how VB2 matches NINT and "
+        "MCMC at a fraction of MCMC's cost — the paper's Table 1 story."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Quickstart: Bayesian interval estimation for a software test campaign.
+
+Fits the VB2 posterior (the paper's method) to the bundled System 17
+failure-time data under the paper's informative prior, then prints
+parameter estimates, 99% credible intervals, and the software
+reliability forecast for the next 1000 and 10000 execution seconds.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    ModelPrior,
+    estimate_reliability,
+    fit_vb2,
+    system17_failure_times,
+)
+
+
+def main() -> None:
+    data = system17_failure_times()
+    print(f"Data: {data.count} failures over {data.horizon:g} {data.unit}")
+
+    # Prior knowledge: engineering judgement says roughly 50 +/- 16
+    # faults in the product and a detection rate near 1e-5 per second.
+    prior = ModelPrior.informative(
+        omega_mean=50.0, omega_std=15.8, beta_mean=1.0e-5, beta_std=3.2e-6
+    )
+
+    posterior = fit_vb2(data, prior, alpha0=1.0)  # Goel-Okumoto model
+    print(f"\nVB2 posterior (nmax = {posterior.diagnostics['nmax']}, "
+          f"tail mass = {posterior.tail_mass():.2e})")
+
+    for param, label in (("omega", "total faults  omega"),
+                         ("beta", "detection rate beta")):
+        mean = posterior.mean(param)
+        lo, hi = posterior.credible_interval(param, 0.99)
+        print(f"  {label}: {mean:.4g}   99% CI [{lo:.4g}, {hi:.4g}]")
+
+    residual = posterior.expected_total_faults() - data.count
+    print(f"  expected residual faults: {residual:.2f}")
+
+    print("\nSoftware reliability forecast R(te+u | te):")
+    for u in (1000.0, 10_000.0):
+        estimate = estimate_reliability(posterior, data.horizon, u, level=0.99)
+        print(f"  u = {u:>6g} s: {estimate.point:.4f}  "
+              f"99% CI [{estimate.lower:.4f}, {estimate.upper:.4f}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Coverage simulation study: are the 99% credible intervals honest?
+
+Uses :func:`repro.metrics.coverage.interval_coverage_study` to simulate
+many test campaigns from a known Goel-Okumoto model, fit the VB2 and
+VB1 posteriors to each, and measure how often the nominal intervals
+cover the true parameters. This quantifies the paper's central warning
+about VB1: its intervals are too narrow, so its actual coverage falls
+below the nominal level, while VB2's stays on target.
+
+Run with:  python examples/simulation_study.py  [--replications N]
+"""
+
+import argparse
+
+from repro import ModelPrior, fit_vb1, fit_vb2
+from repro.metrics.coverage import interval_coverage_study
+from repro.metrics.tables import render_table
+from repro.models.goel_okumoto import GoelOkumoto
+
+TRUE_OMEGA = 50.0
+TRUE_BETA = 0.1
+HORIZON = 25.0
+LEVEL = 0.99
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--replications", type=int, default=200)
+    args = parser.parse_args()
+
+    results = interval_coverage_study(
+        GoelOkumoto(omega=TRUE_OMEGA, beta=TRUE_BETA),
+        ModelPrior.informative(45.0, 20.0, 0.12, 0.06),
+        {"VB2": fit_vb2, "VB1": fit_vb1},
+        horizon=HORIZON,
+        level=LEVEL,
+        replications=args.replications,
+        seed=20070625,
+    )
+
+    rows = []
+    for label, record in results.items():
+        rows.append(
+            [
+                label,
+                f"{record.coverage('omega'):.1%} "
+                f"(±{record.coverage_standard_error('omega'):.1%})",
+                f"{record.coverage('beta'):.1%}",
+                f"{record.widths['omega']:.2f}",
+                "UNDER-COVERS" if record.undercovers("beta") else "ok",
+            ]
+        )
+    used = next(iter(results.values())).replications
+    print(f"{used} campaigns simulated from omega={TRUE_OMEGA}, "
+          f"beta={TRUE_BETA}, horizon={HORIZON}\n")
+    print(
+        render_table(
+            ["method", "omega coverage", "beta coverage",
+             "mean CI width (omega)", "verdict"],
+            rows,
+            title=f"Actual coverage of nominal {LEVEL:.0%} intervals",
+        )
+    )
+    print(
+        "\nVB1's fully factorised posterior understates uncertainty, so "
+        "its intervals are systematically narrower; VB2's structured "
+        "mixture keeps the nominal guarantee — the operational content "
+        "of the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

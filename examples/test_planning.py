@@ -1,0 +1,71 @@
+"""Test-effort planning with the posterior-predictive failure count.
+
+Given the posterior after the System 17 campaign, answer planning
+questions the reliability probability alone cannot:
+
+* How many failures should we budget triage capacity for in the next
+  N days of testing? (predictive quantiles)
+* How much longer must we test so that, with high credibility, at most
+  one failure occurs in the following acceptance window? (search over
+  additional test effort using posterior-predictive updating)
+
+Run with:  python examples/test_planning.py
+"""
+
+import numpy as np
+
+from repro import ModelPrior, fit_vb2, predict_failure_counts, system17_grouped
+from repro.metrics.tables import render_table
+
+
+def main() -> None:
+    data = system17_grouped()
+    prior = ModelPrior.informative(
+        omega_mean=50.0, omega_std=15.8, beta_mean=3.3e-2, beta_std=1.1e-2
+    )
+    posterior = fit_vb2(data, prior, alpha0=1.0)
+
+    print("Triage budget for the next testing periods "
+          "(posterior-predictive failure counts):\n")
+    rows = []
+    for window in (1.0, 5.0, 10.0, 20.0):
+        pred = predict_failure_counts(posterior, data.horizon, window)
+        rows.append(
+            [
+                f"{window:g} days",
+                f"{pred.mean():.2f}",
+                pred.quantile(0.5),
+                pred.quantile(0.9),
+                pred.quantile(0.99),
+                f"{pred.probability_of_no_failure():.3f}",
+            ]
+        )
+    print(
+        render_table(
+            ["window", "E[failures]", "median", "q90", "q99", "P(none)"],
+            rows,
+            title="Predictive failure counts after day 64",
+        )
+    )
+
+    # Acceptance criterion: at most one failure during a 5-day
+    # acceptance window, with 90% predictive credibility. How much more
+    # testing first? Extra testing removes faults, which we emulate by
+    # shifting the window start later (the NHPP keeps maturing).
+    target = 0.90
+    print("\nSearching the earliest start day for a 5-day acceptance "
+          f"window with P(K <= 1) >= {target:.0%}:")
+    for extra in np.arange(0.0, 120.0, 5.0):
+        start = data.horizon + extra
+        pred = predict_failure_counts(posterior, start, 5.0)
+        prob = pred.cdf(1)
+        marker = "  <-- acceptable" if prob >= target else ""
+        print(f"  start day {start:5.0f}: P(K<=1 in 5 days) = {prob:.3f}{marker}")
+        if prob >= target:
+            break
+    else:
+        print("  criterion not reachable within 120 extra days")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Weibull-type analysis: VB beyond the paper's gamma family.
+
+The paper derives VB2 for gamma-type lifetimes. This example uses the
+exact power-transform reduction implemented in
+``repro.core.weibull_vb`` to run the same structured VB on a
+Weibull-type (here Rayleigh, shape 2) test campaign:
+
+1. simulate a campaign whose detection hazard *increases* over time
+   (Rayleigh lifetimes) — typical when test intensity ramps up;
+2. fit both the (misspecified) Goel-Okumoto VB2 and the Weibull VB2;
+3. compare evidence bounds, residual-fault estimates and reliability
+   forecasts, showing why the lifetime family matters.
+
+Run with:  python examples/weibull_analysis.py
+"""
+
+import numpy as np
+
+from repro import GammaPrior, ModelPrior, fit_vb2, fit_vb2_weibull
+from repro.core.reliability import estimate_reliability
+from repro.data.simulation import simulate_failure_times
+from repro.metrics.tables import render_table
+from repro.models.weibull_srm import WeibullSRM
+
+TRUE_OMEGA = 80.0
+TRUE_BETA = 0.12
+SHAPE = 2.0
+HORIZON = 15.0
+
+
+def main() -> None:
+    true_model = WeibullSRM(omega=TRUE_OMEGA, beta=TRUE_BETA, shape=SHAPE)
+    rng = np.random.default_rng(2026)
+    data = simulate_failure_times(true_model, HORIZON, rng)
+    print(f"Simulated campaign: {data.count} failures over {HORIZON:g} time "
+          f"units from a Rayleigh-type process "
+          f"(omega={TRUE_OMEGA:g}, beta={TRUE_BETA:g}).\n")
+
+    omega_prior = GammaPrior.from_mean_std(75.0, 30.0)
+    # Goel-Okumoto prior on the exponential rate; Weibull prior on
+    # theta = beta^2 (the conjugate scale of the transformed clock).
+    go_prior = ModelPrior(
+        omega=omega_prior, beta=GammaPrior.from_mean_std(0.08, 0.06)
+    )
+    weibull_prior = ModelPrior(
+        omega=omega_prior,
+        beta=GammaPrior.from_mean_std(TRUE_BETA**SHAPE, 0.8 * TRUE_BETA**SHAPE),
+    )
+
+    go = fit_vb2(data, go_prior, alpha0=1.0)
+    weibull = fit_vb2_weibull(data, weibull_prior, shape=SHAPE)
+
+    rows = []
+    for name, posterior, elbo in (
+        ("Goel-Okumoto VB2", go, go.elbo),
+        ("Weibull VB2", weibull, weibull.elbo),
+    ):
+        omega_lo, omega_hi = posterior.credible_interval("omega", 0.99)
+        rel = estimate_reliability(posterior, HORIZON, 1.0, level=0.99)
+        rows.append(
+            [
+                name,
+                f"{posterior.mean('omega'):.1f}",
+                f"[{omega_lo:.1f}, {omega_hi:.1f}]",
+                f"{rel.point:.3f}",
+                f"{elbo:.2f}",
+            ]
+        )
+    print(
+        render_table(
+            ["model", "E[omega]", "99% CI", "R(next unit)", "ELBO"],
+            rows,
+            title="Family comparison on increasing-hazard data "
+                  f"(truth: omega = {TRUE_OMEGA:g})",
+        )
+    )
+    print(
+        "\nThe Weibull evidence bound dominates when the hazard really "
+        "increases, and its omega interval is centred on the truth — "
+        "fitting the wrong lifetime family biases the residual-fault "
+        "estimate even when both models match the observed counts."
+    )
+
+
+if __name__ == "__main__":
+    main()

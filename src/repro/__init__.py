@@ -1,0 +1,139 @@
+"""repro: Variational Bayesian interval estimation for NHPP-based
+software reliability models.
+
+A faithful, self-contained reproduction of Okamura, Grottke, Dohi &
+Trivedi, "Variational Bayesian Approach for Interval Estimation of
+NHPP-Based Software Reliability Models" (DSN 2007), including every
+baseline the paper compares against.
+
+Quick start
+-----------
+>>> from repro import fit_vb2, ModelPrior, system17_failure_times
+>>> data = system17_failure_times()
+>>> prior = ModelPrior.informative(50.0, 15.8, 1.0e-5, 3.2e-6)
+>>> posterior = fit_vb2(data, prior, alpha0=1.0)
+>>> posterior.mean("omega") > 0
+True
+"""
+
+from repro.core import (
+    VBConfig,
+    VBPosterior,
+    WeibullVBPosterior,
+    ReliabilityEstimate,
+    PredictiveCounts,
+    CornishFisherInterval,
+    CurveBand,
+    estimate_reliability,
+    expansion_interval,
+    predict_failure_counts,
+    mean_value_band,
+    residual_fault_band,
+    fit_vb1,
+    fit_vb2,
+    fit_vb2_weibull,
+)
+from repro.bayes import (
+    EmpiricalPosterior,
+    FlatPrior,
+    GammaPrior,
+    GridPosterior,
+    JointPosterior,
+    ModelPrior,
+    NormalPosterior,
+    find_map,
+    fit_laplace,
+    fit_nint,
+    importance_correct,
+    prior_sensitivity,
+)
+from repro.core.sequential import ReliabilityTracker
+from repro.bayes.mcmc import (
+    ChainSettings,
+    gibbs_failure_time,
+    gibbs_grouped,
+    random_walk_metropolis,
+)
+from repro.data import (
+    FailureTimeData,
+    GroupedData,
+    ntds_failure_times,
+    simulate_failure_times,
+    simulate_grouped,
+    system17_failure_times,
+    system17_grouped,
+)
+from repro.models import (
+    DelayedSShaped,
+    GammaSRM,
+    GoelOkumoto,
+    LogNormalSRM,
+    NHPPModel,
+    ParetoSRM,
+    RayleighSRM,
+    WeibullSRM,
+    make_model,
+)
+from repro.mle import fit_mle_em, fit_mle_generic, MLEResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core (the paper's contribution)
+    "VBConfig",
+    "VBPosterior",
+    "ReliabilityEstimate",
+    "PredictiveCounts",
+    "CornishFisherInterval",
+    "CurveBand",
+    "WeibullVBPosterior",
+    "estimate_reliability",
+    "expansion_interval",
+    "predict_failure_counts",
+    "mean_value_band",
+    "residual_fault_band",
+    "fit_vb1",
+    "fit_vb2",
+    "fit_vb2_weibull",
+    # bayesian baselines
+    "EmpiricalPosterior",
+    "FlatPrior",
+    "GammaPrior",
+    "GridPosterior",
+    "JointPosterior",
+    "ModelPrior",
+    "NormalPosterior",
+    "find_map",
+    "fit_laplace",
+    "fit_nint",
+    "importance_correct",
+    "prior_sensitivity",
+    "ReliabilityTracker",
+    "ChainSettings",
+    "gibbs_failure_time",
+    "gibbs_grouped",
+    "random_walk_metropolis",
+    # data
+    "FailureTimeData",
+    "GroupedData",
+    "ntds_failure_times",
+    "simulate_failure_times",
+    "simulate_grouped",
+    "system17_failure_times",
+    "system17_grouped",
+    # models
+    "DelayedSShaped",
+    "GammaSRM",
+    "GoelOkumoto",
+    "LogNormalSRM",
+    "NHPPModel",
+    "ParetoSRM",
+    "RayleighSRM",
+    "WeibullSRM",
+    "make_model",
+    # point estimation
+    "fit_mle_em",
+    "fit_mle_generic",
+    "MLEResult",
+]

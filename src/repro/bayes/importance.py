@@ -1,0 +1,168 @@
+"""Importance-sampling correction of the variational posterior.
+
+The VB2 posterior is an excellent approximation of the true posterior
+(paper Table 1) *and* is easy to sample and to evaluate — which makes
+it a near-ideal importance-sampling proposal. Self-normalised IS with
+VB2 as the proposal therefore turns the variational approximation into
+an asymptotically exact method at a cost far below MCMC:
+
+1. draw ``(ω, β)`` samples from the VB2 mixture;
+2. weight each by ``P(D | ω, β) P(ω, β) / Pv(ω, β)``;
+3. use the weighted sample for moments/quantiles, with the standard
+   effective-sample-size diagnostic ``ESS = (Σw)² / Σw²``.
+
+The log evidence estimate ``log mean(w)`` also upper-bounds the ELBO,
+which the test suite exploits as a three-way consistency check
+(ELBO ≤ IS evidence ≈ NINT evidence).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import special as sc
+
+from repro.bayes.laplace import log_posterior_fn
+from repro.bayes.priors import ModelPrior
+from repro.bayes.sample_posterior import EmpiricalPosterior
+from repro.data.failure_data import FailureTimeData, GroupedData
+
+# NOTE: repro.core.posterior is imported lazily to avoid a circular
+# import (repro.core modules import repro.bayes.priors, which
+# initialises this package). The type name in annotations below is the
+# string form for the same reason.
+
+__all__ = ["ImportanceResult", "importance_correct"]
+
+
+@dataclass
+class ImportanceResult:
+    """Weighted sample from the true posterior.
+
+    Attributes
+    ----------
+    samples:
+        Proposal draws, shape ``(n, 2)``.
+    log_weights:
+        Unnormalised log importance weights.
+    log_evidence:
+        Self-normalised estimate of ``log P(D)``.
+    effective_sample_size:
+        ``(Σw)² / Σw²`` — how many unweighted samples the weighted set
+        is worth.
+    """
+
+    samples: np.ndarray
+    log_weights: np.ndarray
+    log_evidence: float
+    effective_sample_size: float
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Normalised importance weights."""
+        shifted = self.log_weights - self.log_weights.max()
+        w = np.exp(shifted)
+        return w / w.sum()
+
+    def mean(self, param: str) -> float:
+        """Weighted posterior mean of "omega" or "beta"."""
+        column = 0 if param == "omega" else 1
+        return float(self.weights @ self.samples[:, column])
+
+    def variance(self, param: str) -> float:
+        """Weighted posterior variance."""
+        column = 0 if param == "omega" else 1
+        w = self.weights
+        mu = float(w @ self.samples[:, column])
+        return float(w @ (self.samples[:, column] - mu) ** 2)
+
+    def covariance(self) -> float:
+        """Weighted posterior covariance of ``(ω, β)``."""
+        w = self.weights
+        mu0 = float(w @ self.samples[:, 0])
+        mu1 = float(w @ self.samples[:, 1])
+        return float(w @ ((self.samples[:, 0] - mu0) * (self.samples[:, 1] - mu1)))
+
+    def resample(self, size: int, rng: np.random.Generator) -> EmpiricalPosterior:
+        """Sampling-importance-resampling: an unweighted posterior."""
+        idx = rng.choice(self.samples.shape[0], size=size, p=self.weights)
+        return EmpiricalPosterior(
+            self.samples[idx],
+            method_name="VB2+IS",
+            diagnostics={
+                "effective_sample_size": self.effective_sample_size,
+                "log_evidence": self.log_evidence,
+            },
+        )
+
+
+def importance_correct(
+    posterior: "VBPosterior",
+    data: FailureTimeData | GroupedData,
+    prior: ModelPrior,
+    *,
+    alpha0: float = 1.0,
+    n_samples: int = 10_000,
+    rng: np.random.Generator | None = None,
+) -> ImportanceResult:
+    """Self-normalised importance sampling with the VB posterior as
+    proposal.
+
+    Parameters
+    ----------
+    posterior:
+        A fitted :class:`VBPosterior` (VB2 recommended; VB1 works but
+        its too-narrow proposal costs effective sample size).
+    data, prior, alpha0:
+        The model specification the posterior was fitted to (the target
+        density is rebuilt from them).
+    n_samples:
+        Number of proposal draws.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    samples = posterior.sample(n_samples, rng)
+    log_target = log_posterior_fn(data, prior, alpha0)
+    log_weights = np.empty(n_samples)
+    # Proposal log density: mixture evaluated per point.
+    log_q = _mixture_log_pdf(posterior, samples)
+    for i in range(n_samples):
+        log_weights[i] = log_target(samples[i, 0], samples[i, 1])
+    log_weights -= log_q
+    finite = np.isfinite(log_weights)
+    if not np.all(finite):
+        # Proposal occasionally lands where the target is -inf (possible
+        # only through numerical underflow); drop those points.
+        samples = samples[finite]
+        log_weights = log_weights[finite]
+    shifted = log_weights - log_weights.max()
+    w = np.exp(shifted)
+    log_evidence = (
+        float(log_weights.max() + math.log(w.mean()))
+    )
+    ess = float(w.sum() ** 2 / np.square(w).sum())
+    return ImportanceResult(
+        samples=samples,
+        log_weights=log_weights,
+        log_evidence=log_evidence,
+        effective_sample_size=ess,
+    )
+
+
+def _mixture_log_pdf(posterior: "VBPosterior", points: np.ndarray) -> np.ndarray:
+    """``log Pv(ω, β)`` of the VB mixture at arbitrary points."""
+    n_points = points.shape[0]
+    parts = np.empty((posterior.n_components, n_points))
+    with np.errstate(divide="ignore"):
+        log_w = np.log(posterior.weights)
+    for idx in range(posterior.n_components):
+        log_po = np.asarray(
+            posterior._omega_components[idx].log_pdf(points[:, 0])
+        )
+        log_pb = np.asarray(
+            posterior._beta_components[idx].log_pdf(points[:, 1])
+        )
+        parts[idx] = log_w[idx] + log_po + log_pb
+    return np.asarray(sc.logsumexp(parts, axis=0))

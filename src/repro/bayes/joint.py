@@ -1,0 +1,161 @@
+"""Abstract interface for joint posteriors of ``(ω, β)``.
+
+Every approximation method in this package — NINT, Laplace, MCMC, VB1
+and VB2 — returns an object implementing this interface, so the
+experiment harness can compare them uniformly: moments (Table 1 of the
+paper), marginal credible intervals (Tables 2–3), density grids
+(Figure 1) and software-reliability functionals (Tables 4–5).
+
+Reliability support
+-------------------
+Software reliability for a gamma-type model is ``R = exp(-ω c(β))``
+where ``c(β) = G(te+u; β) - G(te; β)`` depends only on ``β`` (paper
+Eq. 3). Posteriors therefore expose reliability through the scalar
+function ``c``; :mod:`repro.core.reliability` builds ``c`` from the
+model family and packages results.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.stats.rootfind import bisect_increasing
+
+__all__ = ["JointPosterior", "PARAM_NAMES"]
+
+PARAM_NAMES = ("omega", "beta")
+
+
+class JointPosterior(abc.ABC):
+    """Joint posterior distribution of the pair ``(ω, β)``."""
+
+    #: Label used in comparison tables ("NINT", "LAPL", "MCMC", "VB1", "VB2").
+    method_name: str = "?"
+
+    # ------------------------------------------------------------------
+    # Moments
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def mean(self, param: str) -> float:
+        """Posterior mean of ``param`` ("omega" or "beta")."""
+
+    @abc.abstractmethod
+    def variance(self, param: str) -> float:
+        """Posterior variance of ``param``."""
+
+    @abc.abstractmethod
+    def cross_moment(self) -> float:
+        """``E[ω β]`` under the joint posterior."""
+
+    def covariance(self) -> float:
+        """``Cov(ω, β)``."""
+        return self.cross_moment() - self.mean("omega") * self.mean("beta")
+
+    def covariance_matrix(self) -> np.ndarray:
+        """2x2 matrix in the order (omega, beta)."""
+        cov = self.covariance()
+        return np.array(
+            [
+                [self.variance("omega"), cov],
+                [cov, self.variance("beta")],
+            ]
+        )
+
+    def std(self, param: str) -> float:
+        """Posterior standard deviation."""
+        return math.sqrt(max(self.variance(param), 0.0))
+
+    def central_moment(self, param: str, k: int) -> float:
+        """k-th central moment; subclasses with analytic structure
+        override. The default integrates via :meth:`quantile`-free means
+        and must be overridden where no generic path exists."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not provide central moments of order {k}"
+        )
+
+    def correlation(self) -> float:
+        """Posterior correlation of ``(ω, β)``."""
+        denom = self.std("omega") * self.std("beta")
+        if denom == 0.0:
+            return 0.0
+        return self.covariance() / denom
+
+    # ------------------------------------------------------------------
+    # Marginal quantiles and intervals
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def quantile(self, param: str, q: float) -> float:
+        """Marginal posterior quantile of ``param`` at level ``q``."""
+
+    def credible_interval(self, param: str, level: float) -> tuple[float, float]:
+        """Central two-sided credible interval (paper uses level 0.99)."""
+        if not 0.0 < level < 1.0:
+            raise ValueError("level must be in (0, 1)")
+        tail = 0.5 * (1.0 - level)
+        return self.quantile(param, tail), self.quantile(param, 1.0 - tail)
+
+    # ------------------------------------------------------------------
+    # Density (for Figure 1 style contour data); optional
+    # ------------------------------------------------------------------
+    def log_pdf_grid(self, omega: np.ndarray, beta: np.ndarray) -> np.ndarray:
+        """Joint log density evaluated on a tensor grid
+        (shape ``(len(omega), len(beta))``); optional capability."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not expose a joint density"
+        )
+
+    # ------------------------------------------------------------------
+    # Software reliability R = exp(-omega * c(beta))
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def reliability_point(self, c: Callable[[np.ndarray], np.ndarray]) -> float:
+        """Posterior mean of ``R = exp(-ω c(β))`` (paper Eq. 31)."""
+
+    @abc.abstractmethod
+    def reliability_cdf(self, r: float, c: Callable[[np.ndarray], np.ndarray]) -> float:
+        """``P(R <= r)`` under the posterior (the inversion target of
+        paper Eq. 32)."""
+
+    def reliability_quantile(
+        self, q: float, c: Callable[[np.ndarray], np.ndarray]
+    ) -> float:
+        """Quantile of the reliability posterior by bisection on
+        :meth:`reliability_cdf` over ``[0, 1]``."""
+        if not 0.0 < q < 1.0:
+            raise ValueError("quantile level must be in (0, 1)")
+        return bisect_increasing(
+            lambda r: self.reliability_cdf(r, c) - q, 0.0, 1.0, xtol=1e-10
+        )
+
+    def reliability_interval(
+        self, level: float, c: Callable[[np.ndarray], np.ndarray]
+    ) -> tuple[float, float]:
+        """Central two-sided credible interval for the reliability."""
+        if not 0.0 < level < 1.0:
+            raise ValueError("level must be in (0, 1)")
+        tail = 0.5 * (1.0 - level)
+        return (
+            self.reliability_quantile(tail, c),
+            self.reliability_quantile(1.0 - tail, c),
+        )
+
+    # ------------------------------------------------------------------
+    def moments_summary(self) -> dict[str, float]:
+        """The five quantities of the paper's Table 1."""
+        return {
+            "E[omega]": self.mean("omega"),
+            "E[beta]": self.mean("beta"),
+            "Var(omega)": self.variance("omega"),
+            "Var(beta)": self.variance("beta"),
+            "Cov(omega,beta)": self.covariance(),
+        }
+
+    @staticmethod
+    def _check_param(param: str) -> str:
+        if param not in PARAM_NAMES:
+            raise ValueError(f"param must be one of {PARAM_NAMES}, got {param!r}")
+        return param

@@ -1,0 +1,38 @@
+"""Markov chain Monte Carlo samplers for gamma-type NHPP SRMs.
+
+Implements the paper's MCMC baseline (Section 4.3): Kuo–Yang Gibbs
+sampling for failure-time data, a data-augmentation Gibbs sampler for
+grouped data (Tanner & Wong), plus a general random-walk Metropolis
+fallback and convergence diagnostics.
+"""
+
+from repro.bayes.mcmc.chains import ChainSettings, MCMCResult
+from repro.bayes.mcmc.gibbs_failure_time import gibbs_failure_time
+from repro.bayes.mcmc.gibbs_grouped import gibbs_grouped
+from repro.bayes.mcmc.metropolis import random_walk_metropolis
+from repro.bayes.mcmc.multichain import MultiChainResult, run_chains
+from repro.bayes.mcmc.slice_sampler import slice_sample
+from repro.bayes.mcmc.diagnostics import (
+    effective_sample_size,
+    geweke_z,
+    gelman_rubin,
+    autocorrelation,
+)
+from repro.bayes.mcmc.quantile_ci import quantile_coverage_interval, sample_size_for_quantile
+
+__all__ = [
+    "ChainSettings",
+    "MCMCResult",
+    "MultiChainResult",
+    "run_chains",
+    "slice_sample",
+    "gibbs_failure_time",
+    "gibbs_grouped",
+    "random_walk_metropolis",
+    "effective_sample_size",
+    "geweke_z",
+    "gelman_rubin",
+    "autocorrelation",
+    "quantile_coverage_interval",
+    "sample_size_for_quantile",
+]

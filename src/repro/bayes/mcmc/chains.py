@@ -1,0 +1,77 @@
+"""Chain bookkeeping shared by all MCMC samplers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bayes.sample_posterior import EmpiricalPosterior
+
+__all__ = ["ChainSettings", "MCMCResult"]
+
+
+@dataclass(frozen=True)
+class ChainSettings:
+    """Burn-in / thinning schedule.
+
+    The paper's defaults (Section 6): discard 10000 burn-in samples,
+    then keep every 10th draw until 20000 samples are collected — i.e.
+    210000 post-burn-in iterations.
+    """
+
+    n_samples: int = 20_000
+    burn_in: int = 10_000
+    thin: int = 10
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_samples < 1:
+            raise ValueError("n_samples must be positive")
+        if self.burn_in < 0:
+            raise ValueError("burn_in must be non-negative")
+        if self.thin < 1:
+            raise ValueError("thin must be at least 1")
+
+    @property
+    def total_iterations(self) -> int:
+        """Total Gibbs sweeps the schedule requires."""
+        return self.burn_in + self.thin * self.n_samples
+
+
+@dataclass
+class MCMCResult:
+    """Collected samples plus provenance metadata.
+
+    Attributes
+    ----------
+    samples:
+        Kept draws, shape ``(n_samples, 2)`` in the order (omega, beta).
+    settings:
+        The schedule that produced them.
+    variate_count:
+        Number of elementary random variates generated, the cost metric
+        of the paper's Table 6.
+    extra:
+        Sampler-specific metadata (latent-count traces, acceptance
+        rates, ...).
+    """
+
+    samples: np.ndarray
+    settings: ChainSettings
+    variate_count: int
+    extra: dict = field(default_factory=dict)
+
+    def posterior(self) -> EmpiricalPosterior:
+        """Wrap the samples as a joint posterior."""
+        return EmpiricalPosterior(
+            self.samples,
+            method_name=self.extra.get("method_name", "MCMC"),
+            diagnostics={
+                "variate_count": self.variate_count,
+                "n_samples": self.settings.n_samples,
+                "burn_in": self.settings.burn_in,
+                "thin": self.settings.thin,
+                **{k: v for k, v in self.extra.items() if k != "method_name"},
+            },
+        )

@@ -1,0 +1,105 @@
+"""Convergence diagnostics for MCMC chains.
+
+Standard tools: autocorrelation (FFT-based), effective sample size via
+Geyer's initial-positive-sequence truncation, the Geweke mean-
+comparison z-score, and the Gelman–Rubin potential scale reduction
+factor for multiple chains.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "autocorrelation",
+    "effective_sample_size",
+    "geweke_z",
+    "gelman_rubin",
+]
+
+
+def autocorrelation(chain: np.ndarray, max_lag: int | None = None) -> np.ndarray:
+    """Normalised autocorrelation function of a 1-D chain.
+
+    Computed with the FFT (O(n log n)); lag 0 is always 1.
+    """
+    chain = np.asarray(chain, dtype=float)
+    if chain.ndim != 1 or chain.size < 2:
+        raise ValueError("chain must be 1-D with at least two elements")
+    n = chain.size
+    if max_lag is None:
+        max_lag = min(n - 1, 1000)
+    centred = chain - chain.mean()
+    size = 1 << int(np.ceil(np.log2(2 * n)))
+    spectrum = np.fft.rfft(centred, size)
+    acov = np.fft.irfft(spectrum * np.conj(spectrum), size)[: max_lag + 1]
+    if acov[0] <= 0.0:
+        # Constant chain: autocorrelation undefined; conventionally 1 at
+        # lag 0 and 0 elsewhere.
+        out = np.zeros(max_lag + 1)
+        out[0] = 1.0
+        return out
+    return acov / acov[0]
+
+
+def effective_sample_size(chain: np.ndarray) -> float:
+    """ESS with Geyer's initial positive sequence estimator.
+
+    Sums adjacent autocorrelation pairs until a pair sum goes
+    non-positive, then truncates; robust to noisy ACF tails.
+    """
+    chain = np.asarray(chain, dtype=float)
+    n = chain.size
+    if n < 4:
+        return float(n)
+    rho = autocorrelation(chain, max_lag=n - 1)
+    pair_sums = []
+    lag = 1
+    while lag + 1 < rho.size:
+        pair = rho[lag] + rho[lag + 1]
+        if pair <= 0.0:
+            break
+        pair_sums.append(pair)
+        lag += 2
+    tau = 1.0 + 2.0 * float(np.sum(pair_sums))
+    return float(n / max(tau, 1.0))
+
+
+def geweke_z(
+    chain: np.ndarray, first: float = 0.1, last: float = 0.5
+) -> float:
+    """Geweke (1992) convergence z-score comparing the means of the
+    first ``first`` and last ``last`` fractions of the chain, with
+    variances scaled by each segment's ESS."""
+    chain = np.asarray(chain, dtype=float)
+    if not 0.0 < first < 1.0 or not 0.0 < last < 1.0 or first + last > 1.0:
+        raise ValueError("segment fractions must be in (0,1) and sum to <= 1")
+    n = chain.size
+    head = chain[: max(int(first * n), 2)]
+    tail = chain[-max(int(last * n), 2):]
+    var_head = head.var(ddof=1) / effective_sample_size(head)
+    var_tail = tail.var(ddof=1) / effective_sample_size(tail)
+    denom = math.sqrt(var_head + var_tail)
+    if denom == 0.0:
+        return 0.0
+    return float((head.mean() - tail.mean()) / denom)
+
+
+def gelman_rubin(chains: list[np.ndarray]) -> float:
+    """Potential scale reduction factor ``R̂`` for two or more chains of
+    equal length; values near 1 indicate convergence."""
+    if len(chains) < 2:
+        raise ValueError("Gelman-Rubin needs at least two chains")
+    arr = np.asarray([np.asarray(c, dtype=float) for c in chains])
+    m, n = arr.shape
+    if n < 2:
+        raise ValueError("chains must have at least two samples")
+    chain_means = arr.mean(axis=1)
+    within = arr.var(axis=1, ddof=1).mean()
+    between = n * chain_means.var(ddof=1)
+    if within == 0.0:
+        return 1.0
+    var_hat = (n - 1) / n * within + between / n
+    return float(math.sqrt(var_hat / within))

@@ -1,0 +1,106 @@
+"""Data-augmentation Gibbs sampler for grouped data.
+
+The paper (Section 6) handles grouped data by augmenting the latent
+failure times inside each counting interval at every sweep (Tanner &
+Wong 1987) — with ``m = Σ x_i`` observed failures and the three
+parameter/count draws this costs ``m + 3`` variates per sweep,
+matching Table 6's (3 + 38) x (10000 + 10 x 20000) = 8.61M variates.
+
+Sweep structure:
+
+1. latent times: for each interval ``(s_{i-1}, s_i]`` draw the ``x_i``
+   failure times from the gamma lifetime law truncated to the interval;
+2. residual count ``N̄ ~ Poisson(ω S̄(s_k; α0, β))``;
+3. ``ω | N̄ ~ Gamma(m_ω + m + N̄, φ_ω + 1)``;
+4. ``β`` from the conjugate gamma conditional, with the censored tail
+   collapsed analytically for ``α0 = 1`` and augmented otherwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import special as sc
+
+from repro.bayes.mcmc.chains import ChainSettings, MCMCResult
+from repro.bayes.priors import ModelPrior
+from repro.data.failure_data import GroupedData
+from repro.stats.truncated import sample_censored_gamma, sample_truncated_gamma
+
+__all__ = ["gibbs_grouped"]
+
+
+def gibbs_grouped(
+    data: GroupedData,
+    prior: ModelPrior,
+    alpha0: float = 1.0,
+    settings: ChainSettings | None = None,
+    rng: np.random.Generator | None = None,
+) -> MCMCResult:
+    """Run the data-augmentation Gibbs sampler on grouped data."""
+    settings = settings or ChainSettings()
+    if rng is None:
+        rng = np.random.default_rng(settings.seed)
+    intervals = [item for item in data.intervals() if item[2] > 0]
+    total = data.total_count
+    horizon = data.horizon
+    m_omega, phi_omega = prior.omega.shape, prior.omega.rate
+    m_beta, phi_beta = prior.beta.shape, prior.beta.rate
+    collapsed = alpha0 == 1.0
+
+    omega = float(max(total, 1) * 1.2 + 1.0)
+    beta = 2.0 * alpha0 / horizon
+
+    samples = np.empty((settings.n_samples, 2))
+    residual_trace = np.empty(settings.n_samples, dtype=np.int64)
+    variates = 0
+    kept = 0
+    for sweep in range(settings.total_iterations):
+        latent_sum = 0.0
+        for lo, hi, count in intervals:
+            draws = sample_truncated_gamma(lo, hi, alpha0, beta, count, rng)
+            latent_sum += float(draws.sum())
+            variates += count
+
+        tail_prob = float(sc.gammaincc(alpha0, beta * horizon))
+        residual = int(rng.poisson(omega * tail_prob))
+        variates += 1
+
+        omega = float(
+            rng.gamma(shape=m_omega + total + residual, scale=1.0 / (phi_omega + 1.0))
+        )
+        variates += 1
+
+        if collapsed:
+            rate = phi_beta + latent_sum + residual * horizon
+            beta = float(rng.gamma(shape=m_beta + total * alpha0, scale=1.0 / rate))
+            variates += 1
+        else:
+            tail_sum = 0.0
+            if residual > 0:
+                tail_times = sample_censored_gamma(
+                    horizon, alpha0, beta, residual, rng
+                )
+                tail_sum = float(tail_times.sum())
+                variates += residual
+            rate = phi_beta + latent_sum + tail_sum
+            shape = m_beta + (total + residual) * alpha0
+            beta = float(rng.gamma(shape=shape, scale=1.0 / rate))
+            variates += 1
+
+        index = sweep - settings.burn_in
+        if index >= 0 and (index + 1) % settings.thin == 0 and kept < settings.n_samples:
+            samples[kept, 0] = omega
+            samples[kept, 1] = beta
+            residual_trace[kept] = residual
+            kept += 1
+    return MCMCResult(
+        samples=samples[:kept],
+        settings=settings,
+        variate_count=variates,
+        extra={
+            "sampler": "gibbs-data-augmentation",
+            "alpha0": alpha0,
+            "collapsed_tail": collapsed,
+            "residual_trace": residual_trace[:kept],
+        },
+    )

@@ -1,0 +1,102 @@
+"""Random-walk Metropolis–Hastings fallback sampler.
+
+The paper notes (Section 4.3) that grouped data pushes MCMC towards
+general-purpose samplers such as Metropolis–Hastings. This
+implementation walks in ``(log ω, log β)`` (with the Jacobian
+correction), adapts its step size towards a target acceptance rate
+during burn-in, and works with any data type the model layer can score.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.bayes.laplace import log_posterior_fn
+from repro.bayes.mcmc.chains import ChainSettings, MCMCResult
+from repro.bayes.priors import ModelPrior
+from repro.data.failure_data import FailureTimeData, GroupedData
+
+__all__ = ["random_walk_metropolis"]
+
+
+def random_walk_metropolis(
+    data: FailureTimeData | GroupedData,
+    prior: ModelPrior,
+    alpha0: float = 1.0,
+    settings: ChainSettings | None = None,
+    rng: np.random.Generator | None = None,
+    *,
+    initial: tuple[float, float] | None = None,
+    step: float = 0.25,
+    target_acceptance: float = 0.3,
+) -> MCMCResult:
+    """Random-walk MH over ``(log ω, log β)``.
+
+    Parameters
+    ----------
+    step:
+        Initial proposal standard deviation in log space; adapted
+        during burn-in with a Robbins–Monro style rule.
+    target_acceptance:
+        Acceptance rate the adaptation aims for (0.3 is a good 2-D
+        default).
+    """
+    settings = settings or ChainSettings()
+    if rng is None:
+        rng = np.random.default_rng(settings.seed)
+    log_post = log_posterior_fn(data, prior, alpha0)
+
+    if initial is None:
+        if isinstance(data, FailureTimeData):
+            count, horizon = max(data.count, 1), data.horizon
+        else:
+            count, horizon = max(data.total_count, 1), data.horizon
+        initial = (1.2 * count, alpha0 / horizon)
+    state = np.log(np.asarray(initial, dtype=float))
+
+    def log_target(z: np.ndarray) -> float:
+        omega, beta = math.exp(z[0]), math.exp(z[1])
+        # Jacobian of the log transform: + log omega + log beta.
+        return log_post(omega, beta) + z[0] + z[1]
+
+    current = log_target(state)
+    samples = np.empty((settings.n_samples, 2))
+    accepted = 0
+    proposed = 0
+    kept = 0
+    scale = step
+    variates = 0
+    for sweep in range(settings.total_iterations):
+        proposal = state + scale * rng.standard_normal(2)
+        variates += 2
+        candidate = log_target(proposal)
+        proposed += 1
+        if math.log(rng.uniform()) < candidate - current:
+            state = proposal
+            current = candidate
+            accepted += 1
+        variates += 1
+        if sweep < settings.burn_in and (sweep + 1) % 100 == 0:
+            rate = accepted / proposed
+            scale *= math.exp(0.5 * (rate - target_acceptance))
+            accepted = 0
+            proposed = 0
+        index = sweep - settings.burn_in
+        if index >= 0 and (index + 1) % settings.thin == 0 and kept < settings.n_samples:
+            samples[kept] = np.exp(state)
+            kept += 1
+    acceptance = accepted / proposed if proposed else float("nan")
+    return MCMCResult(
+        samples=samples[:kept],
+        settings=settings,
+        variate_count=variates,
+        extra={
+            "sampler": "random-walk-metropolis",
+            "alpha0": alpha0,
+            "acceptance_rate": acceptance,
+            "final_scale": scale,
+            "method_name": "MH",
+        },
+    )

@@ -1,0 +1,244 @@
+"""Command-line interface.
+
+Two families of commands:
+
+* experiment regeneration — one sub-command per paper table/figure::
+
+      python -m repro table1 --scale quick
+      python -m repro figure1 --out figure1_csv/
+      python -m repro all --scale paper
+
+* library usage on your own data::
+
+      python -m repro fit --data failures.csv --kind times \
+          --omega-mean 50 --omega-std 16 --beta-mean 1e-5 --beta-std 3e-6
+      python -m repro simulate --model goel-okumoto --omega 40 \
+          --beta 1e-5 --horizon 250000 --out sim.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.experiments import PAPER_SCALE, QUICK_SCALE
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = (
+    "table1", "table2", "table3", "table4", "table5", "table6", "table7",
+    "figure1",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce the tables and figures of Okamura et al., "
+            "'Variational Bayesian Approach for Interval Estimation of "
+            "NHPP-Based Software Reliability Models' (DSN 2007), or run "
+            "the estimators on your own failure data."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    for name in (*_EXPERIMENTS, "all"):
+        sub = subparsers.add_parser(name, help=f"regenerate {name}")
+        sub.add_argument(
+            "--scale", choices=["quick", "paper"], default="quick",
+            help="computational scale: 'quick' (seconds) or 'paper' "
+            "(the paper's full MCMC schedule)",
+        )
+        sub.add_argument(
+            "--out", default=None,
+            help="directory for figure1 CSV export (figure1/all only)",
+        )
+
+    fit = subparsers.add_parser("fit", help="fit a posterior to a dataset")
+    fit.add_argument("--data", required=True, help="CSV file with the data")
+    fit.add_argument(
+        "--kind", choices=["times", "grouped"], default="times",
+        help="data structure of the CSV (one time per row, or "
+        "boundary,count rows)",
+    )
+    fit.add_argument(
+        "--horizon", type=float, default=None,
+        help="observation horizon for failure-time data "
+        "(defaults to the last failure)",
+    )
+    fit.add_argument(
+        "--method", choices=["vb2", "vb1", "laplace", "mcmc"], default="vb2",
+        help="posterior approximation to use",
+    )
+    fit.add_argument(
+        "--alpha0", type=float, default=1.0,
+        help="gamma-type lifetime shape (1 = Goel-Okumoto, 2 = delayed "
+        "S-shaped)",
+    )
+    fit.add_argument("--omega-mean", type=float, default=None,
+                     help="prior mean for omega (omit for a flat prior)")
+    fit.add_argument("--omega-std", type=float, default=None)
+    fit.add_argument("--beta-mean", type=float, default=None)
+    fit.add_argument("--beta-std", type=float, default=None)
+    fit.add_argument("--level", type=float, default=0.99,
+                     help="credible level for the reported intervals")
+    fit.add_argument("--predict", type=float, default=None, metavar="U",
+                     help="also report reliability and the predictive "
+                     "failure-count distribution for the window (te, te+U]")
+
+    simulate = subparsers.add_parser(
+        "simulate", help="simulate failure data from a model"
+    )
+    simulate.add_argument("--model", default="goel-okumoto",
+                          help="model family registry name")
+    simulate.add_argument("--omega", type=float, required=True)
+    simulate.add_argument("--beta", type=float, required=True)
+    simulate.add_argument("--horizon", type=float, required=True)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--out", default=None,
+                          help="write the failure times to this CSV")
+    return parser
+
+
+def _run_experiment(name: str, scale, out: str | None) -> str:
+    from repro.experiments import figure1, table1, table23, table45, table67
+
+    if name == "table1":
+        return table1.render(table1.run(scale=scale))
+    if name == "table2":
+        return table23.render(table23.run("DT", scale=scale), table_number=2)
+    if name == "table3":
+        return table23.render(table23.run("DG", scale=scale), table_number=3)
+    if name == "table4":
+        _, rows = table45.run("DT", scale=scale)
+        return table45.render(rows, table_number=4, unit="s")
+    if name == "table5":
+        _, rows = table45.run("DG", scale=scale)
+        return table45.render(rows, table_number=5, unit="d")
+    if name == "table6":
+        return table67.render_table6(table67.run_table6(scale=scale))
+    if name == "table7":
+        return table67.render_table7(table67.run_table7())
+    if name == "figure1":
+        figure = figure1.run(scale=scale)
+        text = figure1.render_ascii(figure)
+        if out:
+            paths = figure1.save_csv(figure, out)
+            text += "\n\nCSV written to:\n" + "\n".join(str(p) for p in paths)
+        return text
+    raise ValueError(f"unknown experiment {name!r}")
+
+
+def _build_prior(args) -> "ModelPrior":
+    from repro.bayes.priors import FlatPrior, GammaPrior, ModelPrior
+
+    informative = [args.omega_mean, args.omega_std, args.beta_mean, args.beta_std]
+    if all(value is None for value in informative):
+        return ModelPrior.noninformative()
+    if any(value is None for value in informative):
+        raise SystemExit(
+            "either give all four of --omega-mean/--omega-std/"
+            "--beta-mean/--beta-std or none (flat priors)"
+        )
+    return ModelPrior(
+        omega=GammaPrior.from_mean_std(args.omega_mean, args.omega_std),
+        beta=GammaPrior.from_mean_std(args.beta_mean, args.beta_std),
+    )
+
+
+def _run_fit(args) -> str:
+    from repro.bayes.laplace import fit_laplace
+    from repro.bayes.mcmc.gibbs_failure_time import gibbs_failure_time
+    from repro.bayes.mcmc.gibbs_grouped import gibbs_grouped
+    from repro.core.prediction import predict_failure_counts
+    from repro.core.reliability import estimate_reliability
+    from repro.core.vb1 import fit_vb1
+    from repro.core.vb2 import fit_vb2
+    from repro.data.failure_data import FailureTimeData
+    from repro.data.io import load_failure_times_csv, load_grouped_csv
+
+    if args.kind == "times":
+        data = load_failure_times_csv(args.data, horizon=args.horizon)
+    else:
+        data = load_grouped_csv(args.data)
+    prior = _build_prior(args)
+
+    if args.method == "vb2":
+        posterior = fit_vb2(data, prior, alpha0=args.alpha0)
+    elif args.method == "vb1":
+        posterior = fit_vb1(data, prior, alpha0=args.alpha0)
+    elif args.method == "laplace":
+        posterior = fit_laplace(data, prior, alpha0=args.alpha0)
+    else:
+        sampler = (
+            gibbs_failure_time if isinstance(data, FailureTimeData) else gibbs_grouped
+        )
+        posterior = sampler(data, prior, alpha0=args.alpha0).posterior()
+
+    lines = [f"method: {posterior.method_name}    data: {data!r}"]
+    for param in ("omega", "beta"):
+        lo, hi = posterior.credible_interval(param, args.level)
+        lines.append(
+            f"  {param}: mean {posterior.mean(param):.6g}   "
+            f"{args.level:.0%} CI [{lo:.6g}, {hi:.6g}]"
+        )
+    lines.append(f"  Cov(omega, beta): {posterior.covariance():.6g}")
+    if args.predict is not None:
+        estimate = estimate_reliability(
+            posterior, data.horizon, args.predict,
+            alpha0=args.alpha0, level=args.level,
+        )
+        lines.append(f"  {estimate}")
+        counts = predict_failure_counts(
+            posterior, data.horizon, args.predict, alpha0=args.alpha0
+        )
+        head = ", ".join(
+            f"P(K={k})={p:.4f}" for k, p in enumerate(counts.pmf[:5])
+        )
+        lines.append(
+            f"  predictive failures in window: mean {counts.mean():.3f}   {head}"
+        )
+    return "\n".join(lines)
+
+
+def _run_simulate(args) -> str:
+    from repro.data.io import save_failure_times_csv
+    from repro.data.simulation import simulate_failure_times
+    from repro.models.registry import make_model
+
+    model = make_model(args.model, omega=args.omega, beta=args.beta)
+    rng = np.random.default_rng(args.seed)
+    data = simulate_failure_times(model, args.horizon, rng)
+    lines = [f"simulated {data.count} failures from {model!r} "
+             f"over horizon {args.horizon:g}"]
+    if args.out:
+        save_failure_times_csv(data, args.out)
+        lines.append(f"written to {args.out}")
+    else:
+        lines.append("times: " + ", ".join(f"{t:.6g}" for t in data.times))
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "fit":
+        print(_run_fit(args))
+        return 0
+    if args.command == "simulate":
+        print(_run_simulate(args))
+        return 0
+    scale = PAPER_SCALE if args.scale == "paper" else QUICK_SCALE
+    names = list(_EXPERIMENTS) if args.command == "all" else [args.command]
+    for name in names:
+        print(_run_experiment(name, scale, args.out))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,228 @@
+"""The variational joint posterior: a mixture over the latent fault count.
+
+VB2's approximate posterior is ``Pv(ω, β) = Σ_N Pv(N) Pv(ω|N) Pv(β|N)``
+with gamma conditionals (paper Step 5). Although ``ω`` and ``β`` are
+conditionally independent given ``N``, mixing over ``N`` induces the
+negative correlation and right skew of the true posterior — the
+property VB1's fully factorised posterior cannot represent (paper
+Table 1 and Figure 1 discussion).
+
+The same class represents VB1's product-of-gammas posterior as the
+degenerate one-component case, so every downstream consumer (moments,
+quantiles, reliability, density grids) is shared.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+
+import numpy as np
+from scipy import special as sc
+
+from repro.bayes.joint import JointPosterior
+from repro.stats.gamma_dist import GammaDistribution
+from repro.stats.mixtures import MixtureDistribution
+
+__all__ = ["VBPosterior"]
+
+_RELIABILITY_NODES = 48
+_COMPONENT_WEIGHT_FLOOR = 1e-15
+
+
+class VBPosterior(JointPosterior):
+    """Mixture-of-gamma-products posterior over ``(ω, β)``.
+
+    Parameters
+    ----------
+    n_values:
+        Latent-count support (integers for VB2; VB1 passes the single
+        non-integer ``E[N]``).
+    weights:
+        Mixture weights ``Pv(N)``; normalised internally.
+    omega_components, beta_components:
+        Per-``N`` gamma conditionals.
+    method_name:
+        Table label, "VB2" or "VB1".
+    elbo:
+        Variational lower bound on the log evidence, when available.
+    diagnostics:
+        Free-form fitting metadata (iteration counts, nmax history...).
+    """
+
+    def __init__(
+        self,
+        n_values: Sequence[float],
+        weights: Sequence[float],
+        omega_components: Sequence[GammaDistribution],
+        beta_components: Sequence[GammaDistribution],
+        *,
+        method_name: str = "VB2",
+        elbo: float | None = None,
+        diagnostics: dict | None = None,
+    ) -> None:
+        n_arr = np.asarray(n_values, dtype=float)
+        w_arr = np.asarray(weights, dtype=float)
+        if not (
+            len(omega_components) == len(beta_components) == n_arr.size == w_arr.size
+        ):
+            raise ValueError("component arrays must have equal length")
+        if n_arr.size == 0:
+            raise ValueError("posterior needs at least one mixture component")
+        total = float(w_arr.sum())
+        if not (total > 0.0 and np.all(w_arr >= 0.0)):
+            raise ValueError("weights must be non-negative with positive sum")
+        self._n_values = n_arr
+        self._weights = w_arr / total
+        self._omega_components = list(omega_components)
+        self._beta_components = list(beta_components)
+        self.method_name = method_name
+        self.elbo = elbo
+        self.diagnostics = dict(diagnostics or {})
+        self._marginals = {
+            "omega": MixtureDistribution(self._omega_components, self._weights),
+            "beta": MixtureDistribution(self._beta_components, self._weights),
+        }
+        self._reliability_cache: dict[object, tuple] = {}
+
+    # ------------------------------------------------------------------
+    # Structure accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_values(self) -> np.ndarray:
+        """Latent-count support (copy)."""
+        return self._n_values.copy()
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Normalised mixture weights ``Pv(N)`` (copy)."""
+        return self._weights.copy()
+
+    @property
+    def n_components(self) -> int:
+        """Number of mixture components."""
+        return self._n_values.size
+
+    def marginal(self, param: str) -> MixtureDistribution:
+        """Marginal posterior of ``param`` as a gamma mixture."""
+        return self._marginals[self._check_param(param)]
+
+    def fault_count_pmf(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(support, Pv(N))`` of the latent total fault count."""
+        return self.n_values, self.weights
+
+    def expected_total_faults(self) -> float:
+        """``E[N]`` under the variational posterior."""
+        return float(np.dot(self._weights, self._n_values))
+
+    def tail_mass(self) -> float:
+        """``Pv(nmax)``: mass at the truncation point (paper Step 4)."""
+        return float(self._weights[-1])
+
+    # ------------------------------------------------------------------
+    # Moments
+    # ------------------------------------------------------------------
+    def mean(self, param: str) -> float:
+        return self.marginal(param).mean
+
+    def variance(self, param: str) -> float:
+        return self.marginal(param).variance
+
+    def central_moment(self, param: str, k: int) -> float:
+        return self.marginal(param).central_moment(k)
+
+    def cross_moment(self) -> float:
+        """``E[ωβ] = Σ_N Pv(N) E[ω|N] E[β|N]`` by conditional independence."""
+        means_omega = np.array([d.mean for d in self._omega_components])
+        means_beta = np.array([d.mean for d in self._beta_components])
+        return float(np.dot(self._weights, means_omega * means_beta))
+
+    # ------------------------------------------------------------------
+    # Quantiles, density, sampling
+    # ------------------------------------------------------------------
+    def quantile(self, param: str, q: float) -> float:
+        return self.marginal(param).ppf(q)
+
+    def log_pdf_grid(self, omega: np.ndarray, beta: np.ndarray) -> np.ndarray:
+        """``log Pv(ω, β)`` on a tensor grid via log-sum-exp over
+        components."""
+        omega = np.asarray(omega, dtype=float)
+        beta = np.asarray(beta, dtype=float)
+        parts = np.empty((self.n_components, omega.size, beta.size))
+        with np.errstate(divide="ignore"):
+            log_w = np.log(self._weights)
+        for idx in range(self.n_components):
+            log_po = np.asarray(self._omega_components[idx].log_pdf(omega))
+            log_pb = np.asarray(self._beta_components[idx].log_pdf(beta))
+            parts[idx] = log_w[idx] + log_po[:, None] + log_pb[None, :]
+        return sc.logsumexp(parts, axis=0)
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw joint samples ``(ω, β)``; shape ``(size, 2)``."""
+        component_ids = rng.choice(self.n_components, size=size, p=self._weights)
+        out = np.empty((size, 2))
+        for idx in np.unique(component_ids):
+            mask = component_ids == idx
+            count = int(mask.sum())
+            out[mask, 0] = self._omega_components[idx].sample(count, rng)
+            out[mask, 1] = self._beta_components[idx].sample(count, rng)
+        return out
+
+    # ------------------------------------------------------------------
+    # Software reliability R = exp(-omega * c(beta))
+    # ------------------------------------------------------------------
+    def _reliability_tables(self, c: Callable[[np.ndarray], np.ndarray]):
+        """Precompute per-component Gauss–Legendre tables for the β
+        integral; cached per hashable ``c``."""
+        key = c if getattr(c, "__hash__", None) else None
+        if key is not None and key in self._reliability_cache:
+            return self._reliability_cache[key]
+        nodes_x, nodes_w = np.polynomial.legendre.leggauss(_RELIABILITY_NODES)
+        keep = self._weights > _COMPONENT_WEIGHT_FLOOR * self._weights.max()
+        idxs = np.nonzero(keep)[0]
+        n_keep = idxs.size
+        beta_nodes = np.empty((n_keep, _RELIABILITY_NODES))
+        quad_w = np.empty((n_keep, _RELIABILITY_NODES))
+        a_omega = np.empty((n_keep, 1))
+        b_omega = np.empty((n_keep, 1))
+        for row, idx in enumerate(idxs):
+            dist = self._beta_components[idx]
+            lo = float(dist.ppf(1e-10))
+            hi = float(dist.ppf(1.0 - 1e-10))
+            mid, half = 0.5 * (lo + hi), 0.5 * (hi - lo)
+            beta_nodes[row] = mid + half * nodes_x
+            quad_w[row] = (
+                self._weights[idx] * half * nodes_w * dist.pdf(beta_nodes[row])
+            )
+            a_omega[row, 0] = self._omega_components[idx].shape
+            b_omega[row, 0] = self._omega_components[idx].rate
+        # Renormalise: the clipped quantile range and dropped components
+        # remove a ~1e-10 sliver of mass; keep the reliability CDF exact
+        # at r = 1.
+        quad_w /= quad_w.sum()
+        c_values = np.asarray(c(beta_nodes), dtype=float)
+        tables = (quad_w, c_values, a_omega, b_omega)
+        if key is not None:
+            self._reliability_cache[key] = tables
+        return tables
+
+    def reliability_point(self, c: Callable[[np.ndarray], np.ndarray]) -> float:
+        """``E[exp(-ω c(β))]``: gamma MGF in ``ω``, quadrature in ``β``."""
+        quad_w, c_values, a_omega, b_omega = self._reliability_tables(c)
+        factors = np.exp(a_omega * (np.log(b_omega) - np.log(b_omega + c_values)))
+        # The quadrature-weight renormalisation can overshoot 1 by a few
+        # ulps when c(beta) ~ 0 everywhere; clip to the valid range.
+        return float(min(max(np.sum(quad_w * factors), 0.0), 1.0))
+
+    def reliability_cdf(self, r: float, c: Callable[[np.ndarray], np.ndarray]) -> float:
+        """``P(exp(-ω c(β)) <= r) = E_β[ P(ω >= -log r / c(β)) ]``."""
+        if r <= 0.0:
+            return 0.0
+        if r >= 1.0:
+            return 1.0
+        quad_w, c_values, a_omega, b_omega = self._reliability_tables(c)
+        threshold = -math.log(r)
+        with np.errstate(divide="ignore"):
+            omega_cut = np.where(c_values > 0.0, threshold / c_values, np.inf)
+        tail = sc.gammaincc(a_omega, b_omega * omega_cut)
+        return float(np.sum(quad_w * tail))

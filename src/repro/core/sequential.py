@@ -1,0 +1,143 @@
+"""Sequential (online) reliability tracking.
+
+Formalises the workflow of ``examples/release_readiness.py``: refit the
+posterior as the test campaign progresses and emit one tracking record
+per observation period — expected residual faults, reliability bounds
+and a ship/keep-testing verdict against a target.
+
+VB2's speed (milliseconds per refit) is what makes per-period refitting
+practical; the same loop with paper-scale MCMC would take hours, which
+is exactly the operational argument of the paper's Tables 6–7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bayes.priors import ModelPrior
+from repro.core.config import VBConfig
+from repro.core.reliability import estimate_reliability
+from repro.core.vb2 import fit_vb2
+from repro.data.failure_data import FailureTimeData, GroupedData
+
+__all__ = ["TrackingRecord", "ReliabilityTracker"]
+
+
+@dataclass(frozen=True)
+class TrackingRecord:
+    """Posterior state after one observation period.
+
+    Attributes
+    ----------
+    horizon:
+        End of the observed period.
+    observed_failures:
+        Cumulative failures seen so far.
+    expected_residual:
+        ``E[N] - observed``: faults still expected in the product.
+    reliability_point, reliability_lower:
+        Point estimate and one-sided lower credible bound of the
+        reliability over the next prediction window.
+    meets_target:
+        Whether the lower bound reaches the tracker's target.
+    """
+
+    horizon: float
+    observed_failures: int
+    expected_residual: float
+    reliability_point: float
+    reliability_lower: float
+    meets_target: bool
+
+
+class ReliabilityTracker:
+    """Sequential reliability assessment over a growing dataset.
+
+    Parameters
+    ----------
+    prior:
+        Prior for every refit (sequential *refitting*, not prior
+        updating — the full posterior is recomputed from all data seen,
+        which is exact and cheap with VB2).
+    alpha0:
+        Gamma-type lifetime shape.
+    prediction_window:
+        Length ``u`` of the forward reliability window.
+    reliability_target:
+        Required lower credible bound for a "ship" verdict.
+    level:
+        Credible level of the lower bound (two-sided level; the lower
+        endpoint is used).
+    """
+
+    def __init__(
+        self,
+        prior: ModelPrior,
+        *,
+        alpha0: float = 1.0,
+        prediction_window: float = 1.0,
+        reliability_target: float = 0.9,
+        level: float = 0.99,
+        config: VBConfig | None = None,
+    ) -> None:
+        if not 0.0 < reliability_target < 1.0:
+            raise ValueError("reliability_target must be in (0, 1)")
+        self._prior = prior
+        self._alpha0 = alpha0
+        self._window = prediction_window
+        self._target = reliability_target
+        self._level = level
+        self._config = config or VBConfig()
+        self.history: list[TrackingRecord] = []
+
+    def observe(self, data: FailureTimeData | GroupedData) -> TrackingRecord:
+        """Refit on the data observed so far and append a record."""
+        posterior = fit_vb2(data, self._prior, self._alpha0, self._config)
+        if isinstance(data, FailureTimeData):
+            observed = data.count
+        else:
+            observed = data.total_count
+        estimate = estimate_reliability(
+            posterior,
+            data.horizon,
+            self._window,
+            alpha0=self._alpha0,
+            level=self._level,
+        )
+        record = TrackingRecord(
+            horizon=data.horizon,
+            observed_failures=observed,
+            expected_residual=posterior.expected_total_faults() - observed,
+            reliability_point=estimate.point,
+            reliability_lower=estimate.lower,
+            meets_target=estimate.lower >= self._target,
+        )
+        self.history.append(record)
+        return record
+
+    def replay_grouped(
+        self, data: GroupedData, period: int = 1
+    ) -> list[TrackingRecord]:
+        """Replay a grouped campaign ``period`` intervals at a time."""
+        if period < 1:
+            raise ValueError("period must be at least 1")
+        for end in range(period, data.n_intervals + 1, period):
+            self.observe(data.truncate(end))
+        return self.history
+
+    def replay_times(
+        self, data: FailureTimeData, checkpoints
+    ) -> list[TrackingRecord]:
+        """Replay failure-time data at the given horizon checkpoints."""
+        for horizon in np.asarray(checkpoints, dtype=float):
+            self.observe(data.truncate(float(horizon)))
+        return self.history
+
+    def first_ship_record(self) -> TrackingRecord | None:
+        """Earliest record meeting the target, if any."""
+        for record in self.history:
+            if record.meets_target:
+                return record
+        return None

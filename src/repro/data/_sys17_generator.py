@@ -1,0 +1,71 @@
+"""One-off generator for the synthetic System 17 analogue.
+
+The DACS/SLED System 17 dataset used in the paper is no longer
+distributed, so the repository ships a synthetic analogue produced by
+this script (see DESIGN.md, "Data substitution"). The script is kept in
+the package for provenance; the frozen arrays in
+:mod:`repro.data.datasets` were produced by running
+
+    python -m repro.data._sys17_generator
+
+Generation procedure
+--------------------
+1. Simulate a Goel–Okumoto process with ``omega = 45`` expected faults
+   and per-second detection rate ``beta = 1.15e-5`` over a test horizon
+   of ``te = 240000`` execution seconds, retrying seeds until exactly 38
+   failures land inside the horizon — matching the paper's sample size
+   and its reported posterior location (``omega`` ≈ 40–48,
+   ``beta`` ≈ 1.1e-5 per second).
+2. Split the 240000 execution seconds over 64 working days with
+   variable daily test effort (uniform 2000–6000 seconds, rescaled to
+   the horizon), mimicking a calendar in which the wall-clock scale and
+   the working-day scale are not proportional — the reason the paper
+   uses a different ``beta`` prior for grouped data.
+3. Bucket the failure times by working day to obtain the 64 daily
+   counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+OMEGA_TRUE = 45.0
+BETA_TRUE = 1.15e-5  # per execution second
+HORIZON_SECONDS = 240_000.0
+TARGET_FAILURES = 38
+N_DAYS = 64
+
+
+def generate(seed_start: int = 0) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return (failure_times_seconds, day_boundaries_seconds, daily_counts)."""
+    for seed in range(seed_start, seed_start + 10_000):
+        rng = np.random.default_rng(seed)
+        n_faults = rng.poisson(OMEGA_TRUE)
+        lifetimes = rng.exponential(scale=1.0 / BETA_TRUE, size=n_faults)
+        observed = np.sort(lifetimes[lifetimes <= HORIZON_SECONDS])
+        if observed.size == TARGET_FAILURES:
+            break
+    else:
+        raise RuntimeError("no seed produced the target failure count")
+    effort = rng.uniform(2000.0, 6000.0, size=N_DAYS)
+    effort *= HORIZON_SECONDS / effort.sum()
+    day_bounds = np.cumsum(effort)
+    day_bounds[-1] = HORIZON_SECONDS  # close the horizon exactly
+    idx = np.searchsorted(day_bounds, observed, side="left")
+    counts = np.bincount(idx, minlength=N_DAYS)[:N_DAYS]
+    return observed, day_bounds, counts
+
+
+def main() -> None:
+    times, bounds, counts = generate()
+    np.set_printoptions(precision=10, suppress=False)
+    print("# failure times (execution seconds), me =", times.size)
+    print(repr(np.round(times, 1).tolist()))
+    print("# day boundaries (execution seconds)")
+    print(repr(np.round(bounds, 1).tolist()))
+    print("# daily counts, total =", counts.sum())
+    print(repr(counts.tolist()))
+
+
+if __name__ == "__main__":
+    main()

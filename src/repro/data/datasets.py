@@ -1,0 +1,99 @@
+"""Bundled failure datasets.
+
+System 17 analogue
+------------------
+The paper's experiments use the *System 17* dataset from the DACS/SLED
+archive: 38 failure times (wall-clock seconds of system test) and the
+same failures grouped over 64 working days. That archive is offline, so
+this package ships a synthetic analogue with the same sample size,
+censoring fraction and parameter scale, generated once by
+:mod:`repro.data._sys17_generator` (fixed seed; procedure documented
+there and in DESIGN.md). The failure-time view is on the execution-
+second scale (``beta`` ≈ 1e-5 /s); the grouped view is on the working-
+day scale (``beta`` ≈ 3e-2 /day), matching the paper's use of different
+``beta`` priors for the two views.
+
+NTDS data
+---------
+The Naval Tactical Data System dataset (Jelinski & Moranda 1972; used
+by Goel & Okumoto 1979): cumulative times, in days, of the first 26
+software failures observed during the production phase. A genuinely
+public classic, bundled for examples and cross-checks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.data.failure_data import FailureTimeData, GroupedData
+
+__all__ = [
+    "system17_failure_times",
+    "system17_grouped",
+    "ntds_failure_times",
+    "dataset_registry",
+]
+
+# Frozen output of repro.data._sys17_generator (seed 0); see module
+# docstring for provenance. Execution seconds.
+_SYS17_TIMES_SECONDS = (
+    3848.6, 6261.9, 7297.3, 9466.8, 14413.4, 15562.7, 16189.7, 20143.1,
+    21024.1, 22750.0, 23211.7, 23817.9, 25010.2, 25429.6, 34865.3,
+    48182.6, 50291.2, 57030.9, 61693.1, 70342.5, 77013.5, 81890.9,
+    85102.9, 88368.7, 88438.6, 99210.1, 102095.3, 107991.9, 114593.1,
+    127286.5, 136841.7, 145518.5, 178395.2, 185018.8, 193227.2,
+    202953.7, 206683.4, 207850.9,
+)
+_SYS17_HORIZON_SECONDS = 240_000.0
+
+# Daily failure counts over 64 working days (same synthetic failures,
+# bucketed by a variable-effort working-day calendar; generator ibid.).
+_SYS17_DAILY_COUNTS = (
+    1, 2, 1, 3, 2, 5, 0, 1, 0, 0, 0, 1, 1, 1, 1, 0, 0, 1, 0, 1, 1, 1,
+    2, 0, 0, 2, 0, 1, 0, 1, 0, 0, 1, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 0,
+    0, 0, 0, 1, 0, 1, 0, 1, 0, 1, 2, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+)
+
+# NTDS production-phase failures: interfailure times in days
+# (Jelinski & Moranda 1972, Table 1; Goel & Okumoto 1979, Section IV).
+_NTDS_INTERFAILURE_DAYS = (
+    9, 12, 11, 4, 7, 2, 5, 8, 5, 7, 1, 6, 1, 9, 4, 1, 3, 3, 6, 1, 11,
+    33, 7, 91, 2, 1,
+)
+
+
+def system17_failure_times() -> FailureTimeData:
+    """Failure-time view of the System 17 analogue (38 failures,
+    execution seconds, horizon 240000 s)."""
+    return FailureTimeData(
+        np.asarray(_SYS17_TIMES_SECONDS),
+        horizon=_SYS17_HORIZON_SECONDS,
+        unit="seconds",
+    )
+
+
+def system17_grouped() -> GroupedData:
+    """Grouped view of the System 17 analogue: failures per working day
+    over 64 working days (day-index time scale, as in the paper)."""
+    return GroupedData.from_equal_intervals(
+        np.asarray(_SYS17_DAILY_COUNTS), interval_length=1.0, unit="days"
+    )
+
+
+def ntds_failure_times() -> FailureTimeData:
+    """NTDS production-phase data: 26 failure times in days (cumulative
+    sums of the classic interfailure times), horizon at the last
+    failure (250 days)."""
+    times = np.cumsum(np.asarray(_NTDS_INTERFAILURE_DAYS, dtype=float))
+    return FailureTimeData(times, horizon=float(times[-1]), unit="days")
+
+
+def dataset_registry() -> dict[str, Callable[[], FailureTimeData | GroupedData]]:
+    """Name → loader mapping for all bundled datasets."""
+    return {
+        "system17_times": system17_failure_times,
+        "system17_grouped": system17_grouped,
+        "ntds_times": ntds_failure_times,
+    }

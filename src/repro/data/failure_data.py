@@ -1,0 +1,296 @@
+"""Containers for the two failure-data structures the paper analyses.
+
+* :class:`FailureTimeData` — ordered failure times ``0 < t_1 < ... <=
+  t_me`` observed up to a horizon ``te`` (paper's ``D_T``).
+* :class:`GroupedData` — failure counts ``x_i`` per interval
+  ``(s_{i-1}, s_i]`` with ``s_0 = 0`` (paper's ``D_G``).
+
+Both validate on construction and support conversion (times → groups),
+summaries, and slicing to an earlier horizon, which the examples use
+for online reliability tracking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+
+__all__ = ["FailureTimeData", "GroupedData"]
+
+
+def _as_float_array(values, name: str) -> np.ndarray:
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise DataValidationError(f"{name} must be one-dimensional")
+    if arr.size and not np.all(np.isfinite(arr)):
+        raise DataValidationError(f"{name} contains non-finite values")
+    return arr
+
+
+@dataclass(frozen=True)
+class FailureTimeData:
+    """Ordered failure times with an observation horizon.
+
+    Parameters
+    ----------
+    times:
+        Strictly positive, non-decreasing failure times. Ties are
+        allowed (two failures logged at the same clock tick) because the
+        likelihood only involves sums and products over the times.
+    horizon:
+        End of the observation period ``te``; must be at least the last
+        failure time. Defaults to the last failure time.
+    unit:
+        Free-text time unit, carried through to reports.
+    """
+
+    times: np.ndarray
+    horizon: float
+    unit: str = "seconds"
+
+    def __init__(self, times, horizon: float | None = None, unit: str = "seconds"):
+        arr = _as_float_array(times, "times")
+        if arr.size and arr[0] <= 0.0:
+            raise DataValidationError("failure times must be strictly positive")
+        if np.any(np.diff(arr) < 0.0):
+            raise DataValidationError("failure times must be non-decreasing")
+        if horizon is None:
+            if arr.size == 0:
+                raise DataValidationError(
+                    "horizon is required when there are no failures"
+                )
+            horizon = float(arr[-1])
+        horizon = float(horizon)
+        if arr.size and horizon < arr[-1]:
+            raise DataValidationError(
+                f"horizon {horizon} is earlier than the last failure {arr[-1]}"
+            )
+        if horizon <= 0.0 or not np.isfinite(horizon):
+            raise DataValidationError(f"horizon must be positive and finite, got {horizon}")
+        arr.setflags(write=False)
+        object.__setattr__(self, "times", arr)
+        object.__setattr__(self, "horizon", horizon)
+        object.__setattr__(self, "unit", unit)
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of observed failures ``me``."""
+        return int(self.times.size)
+
+    @property
+    def total_time(self) -> float:
+        """Sum of the observed failure times (sufficient statistic for
+        the exponential/gamma likelihood)."""
+        return float(self.times.sum())
+
+    @property
+    def sum_log_times(self) -> float:
+        """Sum of log failure times (second sufficient statistic of the
+        gamma likelihood)."""
+        return float(np.log(self.times).sum()) if self.count else 0.0
+
+    def truncate(self, horizon: float) -> "FailureTimeData":
+        """Restrict the data to failures occurring at or before ``horizon``."""
+        if horizon <= 0:
+            raise DataValidationError("truncation horizon must be positive")
+        if horizon > self.horizon:
+            raise DataValidationError(
+                "cannot extend the horizon beyond the observed period"
+            )
+        kept = self.times[self.times <= horizon]
+        return FailureTimeData(kept, horizon=horizon, unit=self.unit)
+
+    def to_grouped(self, boundaries) -> "GroupedData":
+        """Bucket the failure times into intervals ``(s_{i-1}, s_i]``.
+
+        Parameters
+        ----------
+        boundaries:
+            Strictly increasing positive interval endpoints
+            ``s_1 < ... < s_k``; the final endpoint must be at least the
+            data horizon so that no failure escapes the buckets.
+        """
+        bounds = _as_float_array(boundaries, "boundaries")
+        if bounds.size == 0:
+            raise DataValidationError("at least one interval boundary is required")
+        if bounds[0] <= 0.0 or np.any(np.diff(bounds) <= 0.0):
+            raise DataValidationError("boundaries must be positive and strictly increasing")
+        if self.count and bounds[-1] < self.times[-1]:
+            raise DataValidationError(
+                "last boundary precedes the last observed failure"
+            )
+        # searchsorted with side='left' assigns a time equal to a boundary
+        # to the interval it closes, matching the (s_{i-1}, s_i] convention.
+        idx = np.searchsorted(bounds, self.times, side="left")
+        counts = np.bincount(idx, minlength=bounds.size)[: bounds.size]
+        return GroupedData(counts=counts, boundaries=bounds, unit=self.unit)
+
+    def interarrival_times(self) -> np.ndarray:
+        """Differences between successive failure times (first one from 0)."""
+        if self.count == 0:
+            return np.empty(0)
+        return np.diff(np.concatenate(([0.0], self.times)))
+
+    def summary(self) -> dict[str, float]:
+        """Human-oriented summary statistics."""
+        return {
+            "count": float(self.count),
+            "horizon": self.horizon,
+            "first_failure": float(self.times[0]) if self.count else float("nan"),
+            "last_failure": float(self.times[-1]) if self.count else float("nan"),
+            "mean_interarrival": (
+                float(self.horizon / self.count) if self.count else float("nan")
+            ),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FailureTimeData(count={self.count}, horizon={self.horizon:g} "
+            f"{self.unit})"
+        )
+
+
+@dataclass(frozen=True)
+class GroupedData:
+    """Per-interval failure counts (paper's grouped data ``D_G``).
+
+    Parameters
+    ----------
+    counts:
+        Non-negative integer failure counts ``x_1, ..., x_k``.
+    boundaries:
+        Strictly increasing interval endpoints ``s_1 < ... < s_k`` with
+        the implicit ``s_0 = 0``.
+    unit:
+        Free-text time unit.
+    """
+
+    counts: np.ndarray
+    boundaries: np.ndarray
+    unit: str = "days"
+    _cum: np.ndarray = field(repr=False, default=None)
+
+    def __init__(self, counts, boundaries, unit: str = "days"):
+        counts_arr = np.asarray(counts)
+        if counts_arr.ndim != 1:
+            raise DataValidationError("counts must be one-dimensional")
+        if counts_arr.size == 0:
+            raise DataValidationError("grouped data needs at least one interval")
+        if np.any(counts_arr < 0):
+            raise DataValidationError("counts must be non-negative")
+        if not np.all(counts_arr == np.floor(counts_arr)):
+            raise DataValidationError("counts must be integers")
+        counts_arr = counts_arr.astype(np.int64)
+        bounds = _as_float_array(boundaries, "boundaries")
+        if bounds.shape != counts_arr.shape:
+            raise DataValidationError(
+                f"counts ({counts_arr.size}) and boundaries ({bounds.size}) "
+                "must have equal length"
+            )
+        if bounds[0] <= 0.0 or np.any(np.diff(bounds) <= 0.0):
+            raise DataValidationError("boundaries must be positive and strictly increasing")
+        counts_arr.setflags(write=False)
+        bounds.setflags(write=False)
+        object.__setattr__(self, "counts", counts_arr)
+        object.__setattr__(self, "boundaries", bounds)
+        object.__setattr__(self, "unit", unit)
+        object.__setattr__(self, "_cum", np.cumsum(counts_arr))
+
+    # ------------------------------------------------------------------
+    @property
+    def n_intervals(self) -> int:
+        """Number of counting intervals ``k``."""
+        return int(self.counts.size)
+
+    @property
+    def total_count(self) -> int:
+        """Total number of observed failures ``Σ x_i``."""
+        return int(self.counts.sum())
+
+    @property
+    def horizon(self) -> float:
+        """End of the observation period ``s_k``."""
+        return float(self.boundaries[-1])
+
+    @property
+    def cumulative_counts(self) -> np.ndarray:
+        """Cumulative failure counts at each boundary (copy)."""
+        return self._cum.copy()
+
+    def interval_edges(self) -> np.ndarray:
+        """All ``k+1`` edges ``[0, s_1, ..., s_k]``."""
+        return np.concatenate(([0.0], self.boundaries))
+
+    def intervals(self) -> list[tuple[float, float, int]]:
+        """List of ``(lo, hi, count)`` triples."""
+        edges = self.interval_edges()
+        return [
+            (float(edges[i]), float(edges[i + 1]), int(self.counts[i]))
+            for i in range(self.n_intervals)
+        ]
+
+    @classmethod
+    def from_equal_intervals(
+        cls, counts, interval_length: float = 1.0, unit: str = "days"
+    ) -> "GroupedData":
+        """Build grouped data from counts over equally long intervals."""
+        counts_arr = np.asarray(counts)
+        if interval_length <= 0:
+            raise DataValidationError("interval_length must be positive")
+        bounds = interval_length * np.arange(1, counts_arr.size + 1, dtype=float)
+        return cls(counts=counts_arr, boundaries=bounds, unit=unit)
+
+    def truncate(self, n_intervals: int) -> "GroupedData":
+        """Keep the first ``n_intervals`` intervals."""
+        if not 1 <= n_intervals <= self.n_intervals:
+            raise DataValidationError(
+                f"n_intervals must be in [1, {self.n_intervals}], got {n_intervals}"
+            )
+        return GroupedData(
+            counts=self.counts[:n_intervals],
+            boundaries=self.boundaries[:n_intervals],
+            unit=self.unit,
+        )
+
+    def merge_intervals(self, factor: int) -> "GroupedData":
+        """Coarsen the data by summing each run of ``factor`` intervals.
+
+        A trailing partial run is kept as its own (shorter) interval.
+        """
+        if factor < 1:
+            raise DataValidationError("factor must be at least 1")
+        if factor == 1:
+            return self
+        new_counts = [
+            int(self.counts[i : i + factor].sum())
+            for i in range(0, self.n_intervals, factor)
+        ]
+        new_bounds = [
+            float(self.boundaries[min(i + factor, self.n_intervals) - 1])
+            for i in range(0, self.n_intervals, factor)
+        ]
+        return GroupedData(counts=new_counts, boundaries=new_bounds, unit=self.unit)
+
+    def with_unit(self, unit: str) -> "GroupedData":
+        """Copy of this data with a different time-unit label."""
+        return GroupedData(counts=self.counts, boundaries=self.boundaries, unit=unit)
+
+    def summary(self) -> dict[str, float]:
+        """Human-oriented summary statistics."""
+        return {
+            "n_intervals": float(self.n_intervals),
+            "total_count": float(self.total_count),
+            "horizon": self.horizon,
+            "max_count": float(self.counts.max()),
+            "empty_intervals": float(int((self.counts == 0).sum())),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GroupedData(k={self.n_intervals}, total={self.total_count}, "
+            f"horizon={self.horizon:g} {self.unit})"
+        )

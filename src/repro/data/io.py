@@ -1,0 +1,136 @@
+"""Loading and saving failure data as CSV or JSON.
+
+Formats
+-------
+Failure-time CSV: a single ``time`` column (one failure per row); the
+horizon travels in the JSON sidecar or is passed explicitly.
+
+Grouped CSV: ``boundary,count`` columns, one interval per row.
+
+JSON: a tagged document ``{"kind": "failure_times" | "grouped", ...}``
+that round-trips every field including the unit and horizon.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.failure_data import FailureTimeData, GroupedData
+from repro.exceptions import DataValidationError
+
+__all__ = [
+    "load_failure_times_csv",
+    "save_failure_times_csv",
+    "load_grouped_csv",
+    "save_grouped_csv",
+    "load_json",
+    "save_json",
+]
+
+
+def load_failure_times_csv(
+    path: str | Path,
+    *,
+    horizon: float | None = None,
+    unit: str = "seconds",
+) -> FailureTimeData:
+    """Read one failure time per row (header optional)."""
+    times: list[float] = []
+    with open(path, newline="") as fh:
+        for row in csv.reader(fh):
+            if not row or not row[0].strip():
+                continue
+            try:
+                times.append(float(row[0]))
+            except ValueError:
+                if times:
+                    raise DataValidationError(
+                        f"non-numeric value {row[0]!r} after data rows in {path}"
+                    )
+                continue  # header line
+    return FailureTimeData(np.asarray(times), horizon=horizon, unit=unit)
+
+
+def save_failure_times_csv(data: FailureTimeData, path: str | Path) -> None:
+    """Write one failure time per row with a ``time`` header."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["time"])
+        for t in data.times:
+            writer.writerow([repr(float(t))])
+
+
+def load_grouped_csv(path: str | Path, *, unit: str = "days") -> GroupedData:
+    """Read ``boundary,count`` rows (header optional)."""
+    boundaries: list[float] = []
+    counts: list[int] = []
+    with open(path, newline="") as fh:
+        for row in csv.reader(fh):
+            if not row or not row[0].strip():
+                continue
+            try:
+                boundary = float(row[0])
+            except ValueError:
+                if boundaries:
+                    raise DataValidationError(
+                        f"non-numeric value {row[0]!r} after data rows in {path}"
+                    )
+                continue  # header line
+            if len(row) < 2:
+                raise DataValidationError(f"grouped CSV row needs two columns: {row}")
+            boundaries.append(boundary)
+            counts.append(int(float(row[1])))
+    return GroupedData(counts=counts, boundaries=boundaries, unit=unit)
+
+
+def save_grouped_csv(data: GroupedData, path: str | Path) -> None:
+    """Write ``boundary,count`` rows with a header."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["boundary", "count"])
+        for boundary, count in zip(data.boundaries, data.counts):
+            writer.writerow([repr(float(boundary)), int(count)])
+
+
+def save_json(data: FailureTimeData | GroupedData, path: str | Path) -> None:
+    """Serialise either data kind to a tagged JSON document."""
+    if isinstance(data, FailureTimeData):
+        doc = {
+            "kind": "failure_times",
+            "times": [float(t) for t in data.times],
+            "horizon": data.horizon,
+            "unit": data.unit,
+        }
+    elif isinstance(data, GroupedData):
+        doc = {
+            "kind": "grouped",
+            "counts": [int(c) for c in data.counts],
+            "boundaries": [float(b) for b in data.boundaries],
+            "unit": data.unit,
+        }
+    else:
+        raise TypeError(f"unsupported data type: {type(data).__name__}")
+    Path(path).write_text(json.dumps(doc, indent=2))
+
+
+def load_json(path: str | Path) -> FailureTimeData | GroupedData:
+    """Load a tagged JSON document written by :func:`save_json`."""
+    doc = json.loads(Path(path).read_text())
+    kind = doc.get("kind")
+    if kind == "failure_times":
+        return FailureTimeData(
+            np.asarray(doc["times"], dtype=float),
+            horizon=doc.get("horizon"),
+            unit=doc.get("unit", "seconds"),
+        )
+    if kind == "grouped":
+        return GroupedData(
+            counts=doc["counts"],
+            boundaries=doc["boundaries"],
+            unit=doc.get("unit", "days"),
+        )
+    raise DataValidationError(f"unknown data kind {kind!r} in {path}")

@@ -1,0 +1,26 @@
+"""Experiment harness reproducing every table and figure of the paper.
+
+Each ``table*.py`` / ``figure1.py`` module exposes a ``run(...)``
+function returning structured results plus a ``render(...)`` helper
+that prints the paper-style table. The CLI (``python -m repro``) and
+the benchmark suite are thin wrappers over these.
+"""
+
+from repro.experiments.config import (
+    Scenario,
+    ExperimentScale,
+    paper_scenarios,
+    QUICK_SCALE,
+    PAPER_SCALE,
+)
+from repro.experiments.runner import MethodResults, run_all_methods
+
+__all__ = [
+    "Scenario",
+    "ExperimentScale",
+    "paper_scenarios",
+    "QUICK_SCALE",
+    "PAPER_SCALE",
+    "MethodResults",
+    "run_all_methods",
+]

@@ -1,0 +1,137 @@
+"""Fit every posterior-approximation method on one scenario.
+
+The fitting order matters: VB2 runs first because the paper derives the
+NINT integration rectangle from VB2 quantiles (Section 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bayes.joint import JointPosterior
+from repro.bayes.laplace import fit_laplace
+from repro.bayes.mcmc.gibbs_failure_time import gibbs_failure_time
+from repro.bayes.mcmc.gibbs_grouped import gibbs_grouped
+from repro.bayes.nint import fit_nint
+from repro.core.vb1 import fit_vb1
+from repro.core.vb2 import fit_vb2
+from repro.data.failure_data import FailureTimeData
+from repro.experiments.config import ExperimentScale, QUICK_SCALE, Scenario
+from repro.metrics.timing import time_callable
+
+__all__ = ["MethodResults", "run_all_methods", "METHOD_ORDER"]
+
+METHOD_ORDER = ("NINT", "LAPL", "MCMC", "VB1", "VB2")
+
+
+@dataclass
+class MethodResults:
+    """Posteriors and timings for one scenario.
+
+    Attributes
+    ----------
+    scenario:
+        The scenario that was run.
+    posteriors:
+        ``{method: posterior}`` in the paper's method order.
+    seconds:
+        Wall-clock fitting time per method.
+    extra:
+        Method-specific metadata (e.g. MCMC variate counts).
+    """
+
+    scenario: Scenario
+    posteriors: dict[str, JointPosterior]
+    seconds: dict[str, float]
+    extra: dict[str, dict] = field(default_factory=dict)
+
+    def moments(self) -> dict[str, dict[str, float]]:
+        """Table 1 quantities per method."""
+        return {
+            name: posterior.moments_summary()
+            for name, posterior in self.posteriors.items()
+        }
+
+
+def run_all_methods(
+    scenario: Scenario,
+    scale: ExperimentScale = QUICK_SCALE,
+    methods: tuple[str, ...] = METHOD_ORDER,
+) -> MethodResults:
+    """Fit the requested methods on a scenario.
+
+    Parameters
+    ----------
+    scenario:
+        One of :func:`repro.experiments.config.paper_scenarios`.
+    scale:
+        MCMC schedule and NINT resolution.
+    methods:
+        Subset of ``("NINT", "LAPL", "MCMC", "VB1", "VB2")``; VB2 is
+        always fitted (NINT needs it for its integration limits).
+    """
+    unknown = set(methods) - set(METHOD_ORDER)
+    if unknown:
+        raise ValueError(f"unknown methods: {sorted(unknown)}")
+    data = scenario.load_data()
+    prior = scenario.prior()
+    alpha0 = scenario.alpha0
+    posteriors: dict[str, JointPosterior] = {}
+    seconds: dict[str, float] = {}
+    extra: dict[str, dict] = {}
+
+    vb_config = scenario.vb_config
+    vb2_timing = time_callable(lambda: fit_vb2(data, prior, alpha0, vb_config))
+    vb2 = vb2_timing.result
+
+    if "NINT" in methods:
+        timing = time_callable(
+            lambda: fit_nint(
+                data,
+                prior,
+                alpha0,
+                reference_posterior=vb2,
+                n_omega=scale.nint_resolution,
+                n_beta=scale.nint_resolution,
+            )
+        )
+        posteriors["NINT"] = timing.result
+        seconds["NINT"] = timing.seconds
+    if "LAPL" in methods:
+        timing = time_callable(lambda: fit_laplace(data, prior, alpha0))
+        posteriors["LAPL"] = timing.result
+        seconds["LAPL"] = timing.seconds
+    if "MCMC" in methods:
+        if isinstance(data, FailureTimeData):
+            sampler = gibbs_failure_time
+        else:
+            sampler = gibbs_grouped
+        rng = np.random.default_rng(scale.mcmc.seed)
+        timing = time_callable(
+            lambda: sampler(data, prior, alpha0, settings=scale.mcmc, rng=rng)
+        )
+        result = timing.result
+        posteriors["MCMC"] = result.posterior()
+        seconds["MCMC"] = timing.seconds
+        extra["MCMC"] = {
+            "variate_count": result.variate_count,
+            "sampler": result.extra.get("sampler"),
+        }
+    if "VB1" in methods:
+        timing = time_callable(lambda: fit_vb1(data, prior, alpha0, vb_config))
+        posteriors["VB1"] = timing.result
+        seconds["VB1"] = timing.seconds
+    if "VB2" in methods:
+        posteriors["VB2"] = vb2
+        seconds["VB2"] = vb2_timing.seconds
+        extra["VB2"] = {
+            "nmax": vb2.diagnostics.get("nmax"),
+            "tail_mass": vb2.diagnostics.get("tail_mass"),
+        }
+
+    ordered = {name: posteriors[name] for name in METHOD_ORDER if name in posteriors}
+    return MethodResults(
+        scenario=scenario, posteriors=ordered, seconds=seconds, extra=extra
+    )

@@ -1,0 +1,65 @@
+"""Table 1: moments of the approximate posterior distributions.
+
+For each scenario (DT/DG x Info/NoInfo) and each method, the posterior
+means, variances and covariance of ``(ω, β)``, with relative deviations
+from NINT for the non-reference methods — exactly the layout of the
+paper's Table 1.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentScale, QUICK_SCALE, paper_scenarios
+from repro.experiments.runner import MethodResults, run_all_methods
+from repro.metrics.comparison import deviation_table
+from repro.metrics.tables import render_table
+
+__all__ = ["run", "render", "QUANTITIES"]
+
+QUANTITIES = ("E[omega]", "E[beta]", "Var(omega)", "Var(beta)", "Cov(omega,beta)")
+
+
+def run(
+    scenario_names: tuple[str, ...] | None = None,
+    scale: ExperimentScale = QUICK_SCALE,
+) -> dict[str, MethodResults]:
+    """Fit all methods on the requested scenarios (all four by default)."""
+    scenarios = paper_scenarios()
+    if scenario_names is None:
+        scenario_names = tuple(scenarios)
+    return {
+        name: run_all_methods(scenarios[name], scale=scale)
+        for name in scenario_names
+    }
+
+
+def render(results: dict[str, MethodResults]) -> str:
+    """Paper-style text rendering with NINT-relative deviations."""
+    blocks = []
+    for name, result in results.items():
+        moments = result.moments()
+        deviations = (
+            deviation_table(moments, "NINT", QUANTITIES)
+            if "NINT" in moments
+            else {}
+        )
+        rows = []
+        for method, values in moments.items():
+            rows.append([method, *(values[q] for q in QUANTITIES)])
+            if method in deviations:
+                rows.append(
+                    [
+                        "",
+                        *(
+                            f"{100.0 * deviations[method][q]:+.1f}%"
+                            for q in QUANTITIES
+                        ),
+                    ]
+                )
+        blocks.append(
+            render_table(
+                ["method", *QUANTITIES],
+                rows,
+                title=f"Table 1 — {name}",
+            )
+        )
+    return "\n\n".join(blocks)

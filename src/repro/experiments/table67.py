@@ -1,0 +1,118 @@
+"""Tables 6 and 7: computational cost of MCMC versus VB2.
+
+Table 6 times the paper-scale MCMC run (with its elementary-variate
+count: 630000 for DT, 8.61M for DG at the default schedule). Table 7
+times VB2 at fixed truncation points ``nmax ∈ {100, 200, 500, 1000}``
+and reports the variational tail mass ``Pv(nmax)`` at each — showing
+that small ``nmax`` already satisfies any reasonable tolerance and that
+VB2 is orders of magnitude cheaper than MCMC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bayes.mcmc.gibbs_failure_time import gibbs_failure_time
+from repro.bayes.mcmc.gibbs_grouped import gibbs_grouped
+from repro.core.vb2 import fit_vb2
+from repro.data.failure_data import FailureTimeData
+from repro.experiments.config import ExperimentScale, PAPER_SCALE, paper_scenarios
+from repro.metrics.tables import render_table
+from repro.metrics.timing import time_callable
+
+__all__ = ["run_table6", "run_table7", "render_table6", "render_table7",
+           "Table6Row", "Table7Row", "DEFAULT_NMAX_VALUES"]
+
+DEFAULT_NMAX_VALUES = (100, 200, 500, 1000)
+
+
+@dataclass(frozen=True)
+class Table6Row:
+    """MCMC cost for one scenario."""
+
+    scenario: str
+    variate_count: int
+    seconds: float
+
+
+@dataclass(frozen=True)
+class Table7Row:
+    """VB2 cost at one fixed truncation point."""
+
+    scenario: str
+    nmax: int
+    tail_mass: float
+    seconds: float
+
+
+def run_table6(scale: ExperimentScale = PAPER_SCALE) -> list[Table6Row]:
+    """Time the Gibbs samplers on both Info scenarios."""
+    scenarios = paper_scenarios()
+    rows = []
+    for name in ("DT-Info", "DG-Info"):
+        scenario = scenarios[name]
+        data = scenario.load_data()
+        prior = scenario.prior()
+        sampler = (
+            gibbs_failure_time if isinstance(data, FailureTimeData) else gibbs_grouped
+        )
+        rng = np.random.default_rng(scale.mcmc.seed)
+        timing = time_callable(
+            lambda: sampler(data, prior, scenario.alpha0, settings=scale.mcmc, rng=rng)
+        )
+        rows.append(
+            Table6Row(
+                scenario=name,
+                variate_count=timing.result.variate_count,
+                seconds=timing.seconds,
+            )
+        )
+    return rows
+
+
+def run_table7(
+    nmax_values: tuple[int, ...] = DEFAULT_NMAX_VALUES,
+) -> list[Table7Row]:
+    """Time VB2 at fixed truncation points on both Info scenarios."""
+    scenarios = paper_scenarios()
+    rows = []
+    for name in ("DT-Info", "DG-Info"):
+        scenario = scenarios[name]
+        data = scenario.load_data()
+        prior = scenario.prior()
+        for nmax in nmax_values:
+            timing = time_callable(
+                lambda: fit_vb2(data, prior, scenario.alpha0, nmax=nmax)
+            )
+            rows.append(
+                Table7Row(
+                    scenario=name,
+                    nmax=nmax,
+                    tail_mass=timing.result.tail_mass(),
+                    seconds=timing.seconds,
+                )
+            )
+    return rows
+
+
+def render_table6(rows: list[Table6Row]) -> str:
+    """Paper-style Table 6."""
+    return render_table(
+        ["data", "random variates", "time (sec)"],
+        [[r.scenario, r.variate_count, f"{r.seconds:.3f}"] for r in rows],
+        title="Table 6 — computation time for MCMC",
+    )
+
+
+def render_table7(rows: list[Table7Row]) -> str:
+    """Paper-style Table 7."""
+    return render_table(
+        ["data", "nmax", "Pv(nmax)", "time (sec)"],
+        [
+            [r.scenario, r.nmax, f"{r.tail_mass:.3e}", f"{r.seconds:.4f}"]
+            for r in rows
+        ],
+        title="Table 7 — computation time for VB2",
+    )

@@ -1,0 +1,61 @@
+"""Relative-deviation metrics, matching the paper's table conventions.
+
+Every Table 1–3 entry for LAPL/MCMC/VB1/VB2 is reported as the relative
+deviation from the NINT reference: ``(value - reference) / |reference|``
+(the paper prints it as a percentage).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+__all__ = ["relative_deviation", "deviation_table"]
+
+
+def relative_deviation(value: float, reference: float) -> float:
+    """``(value - reference) / |reference|``.
+
+    Returns NaN when the reference is zero (deviation undefined) unless
+    the value is also zero, in which case the deviation is zero. The
+    paper's convention of printing "100.0%" for VB1's zero covariance
+    against a negative reference falls out naturally.
+    """
+    if reference == 0.0:
+        return 0.0 if value == 0.0 else math.nan
+    return (value - reference) / abs(reference)
+
+
+def deviation_table(
+    results: Mapping[str, Mapping[str, float]],
+    reference_method: str,
+    quantities: Sequence[str] | None = None,
+) -> dict[str, dict[str, float]]:
+    """Per-method, per-quantity relative deviations from a reference.
+
+    Parameters
+    ----------
+    results:
+        ``{method: {quantity: value}}`` (the reference method included).
+    reference_method:
+        Key of the reference row (the paper uses "NINT").
+    quantities:
+        Subset/order of quantities; defaults to the reference row's keys.
+
+    Returns
+    -------
+    ``{method: {quantity: deviation}}`` for the non-reference methods.
+    """
+    if reference_method not in results:
+        raise KeyError(f"reference method {reference_method!r} not in results")
+    reference = results[reference_method]
+    if quantities is None:
+        quantities = list(reference.keys())
+    table: dict[str, dict[str, float]] = {}
+    for method, row in results.items():
+        if method == reference_method:
+            continue
+        table[method] = {
+            q: relative_deviation(row[q], reference[q]) for q in quantities
+        }
+    return table

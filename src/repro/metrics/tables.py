@@ -1,0 +1,72 @@
+"""Plain-text table rendering for experiment reports.
+
+Deliberately free of third-party dependencies so the benchmark harness
+can print paper-style tables in any environment.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+__all__ = ["format_value", "render_table"]
+
+
+def format_value(value: object, *, precision: int = 4) -> str:
+    """Render numbers the way the paper's tables do.
+
+    Scientific notation for magnitudes outside ``[1e-3, 1e5)``, fixed
+    point otherwise, percentages handled by the caller.
+    """
+    if value is None:
+        return "-"
+    if isinstance(value, str):
+        return value
+    if isinstance(value, (int,)) and not isinstance(value, bool):
+        return str(value)
+    x = float(value)
+    if math.isnan(x):
+        return "nan"
+    if x == 0.0:
+        return "0"
+    magnitude = abs(x)
+    if magnitude < 1e-3 or magnitude >= 1e5:
+        return f"{x:.{max(precision - 2, 2)}E}"
+    return f"{x:.{precision}g}" if magnitude < 1 else f"{x:.{precision + 1}g}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render an aligned monospace table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Row values; formatted through :func:`format_value`.
+    title:
+        Optional heading printed above the table.
+    """
+    formatted = [
+        [format_value(cell, precision=precision) for cell in row] for row in rows
+    ]
+    widths = [
+        max(len(headers[j]), *(len(r[j]) for r in formatted)) if formatted
+        else len(headers[j])
+        for j in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[j]) for j, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in formatted:
+        lines.append("  ".join(cell.rjust(widths[j]) for j, cell in enumerate(row)))
+    return "\n".join(lines)

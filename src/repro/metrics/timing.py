@@ -1,0 +1,37 @@
+"""Wall-clock timing helpers for the computation-cost tables."""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+__all__ = ["TimingRecord", "time_callable"]
+
+
+@dataclass(frozen=True)
+class TimingRecord:
+    """One timed run: the result and the elapsed wall-clock seconds."""
+
+    result: object
+    seconds: float
+    label: str = ""
+
+
+def time_callable(fn: Callable[[], object], *, label: str = "",
+                  repeat: int = 1) -> TimingRecord:
+    """Time ``fn`` with ``perf_counter``; with ``repeat > 1``, keeps the
+    *minimum* elapsed time (the standard noise-robust choice) and the
+    result of the first run."""
+    if repeat < 1:
+        raise ValueError("repeat must be at least 1")
+    best = float("inf")
+    result = None
+    for i in range(repeat):
+        start = time.perf_counter()
+        value = fn()
+        elapsed = time.perf_counter() - start
+        if i == 0:
+            result = value
+        best = min(best, elapsed)
+    return TimingRecord(result=result, seconds=best, label=label)

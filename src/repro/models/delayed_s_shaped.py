@@ -1,0 +1,48 @@
+"""Delayed S-shaped model: 2-stage Erlang fault lifetimes (gamma shape 2).
+
+Mean value function ``Λ(t) = ω (1 - (1 + βt) e^{-βt})`` (Yamada, Ohba &
+Osaki 1983). The ``α0 = 2`` member of the gamma-type family.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.gamma_srm import GammaSRM
+
+__all__ = ["DelayedSShaped"]
+
+
+class DelayedSShaped(GammaSRM):
+    """Delayed S-shaped NHPP SRM with parameters ``(ω, β)``."""
+
+    name = "delayed-s-shaped"
+
+    def __init__(self, omega: float, beta: float) -> None:
+        super().__init__(omega=omega, beta=beta, alpha0=2.0)
+
+    def replace(self, **changes: float) -> "DelayedSShaped":
+        merged = dict(self.params)
+        merged.update(changes)
+        return DelayedSShaped(omega=merged["omega"], beta=merged["beta"])
+
+    # Closed forms for the 2-stage Erlang lifetime ---------------------
+    def lifetime_cdf(self, t):
+        t = np.asarray(t, dtype=float)
+        bt = self.beta * np.clip(t, 0.0, None)
+        out = 1.0 - (1.0 + bt) * np.exp(-bt)
+        if out.ndim == 0:
+            return float(out)
+        return out
+
+    def lifetime_sf(self, t):
+        t = np.asarray(t, dtype=float)
+        bt = self.beta * np.clip(t, 0.0, None)
+        out = (1.0 + bt) * np.exp(-bt)
+        if out.ndim == 0:
+            return float(out)
+        return out
+
+    def sample_lifetimes(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        # Sum of two independent exponentials with rate β.
+        return rng.exponential(scale=1.0 / self.beta, size=(2, size)).sum(axis=0)

@@ -1,0 +1,58 @@
+"""Goel–Okumoto model: exponential fault lifetimes (gamma shape 1).
+
+Mean value function ``Λ(t) = ω (1 - e^{-βt})`` (Goel & Okumoto 1979).
+Implemented as the ``α0 = 1`` member of :class:`~repro.models.gamma_srm.
+GammaSRM` with closed-form overrides for speed and exactness.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.models.gamma_srm import GammaSRM
+
+__all__ = ["GoelOkumoto"]
+
+
+class GoelOkumoto(GammaSRM):
+    """Goel–Okumoto NHPP SRM with parameters ``(ω, β)``."""
+
+    name = "goel-okumoto"
+
+    def __init__(self, omega: float, beta: float) -> None:
+        super().__init__(omega=omega, beta=beta, alpha0=1.0)
+
+    def replace(self, **changes: float) -> "GoelOkumoto":
+        merged = dict(self.params)
+        merged.update(changes)
+        return GoelOkumoto(omega=merged["omega"], beta=merged["beta"])
+
+    # Closed forms for the exponential lifetime ------------------------
+    def lifetime_cdf(self, t):
+        t = np.asarray(t, dtype=float)
+        out = -np.expm1(-self.beta * np.clip(t, 0.0, None))
+        if out.ndim == 0:
+            return float(out)
+        return out
+
+    def lifetime_sf(self, t):
+        t = np.asarray(t, dtype=float)
+        out = np.exp(-self.beta * np.clip(t, 0.0, None))
+        if out.ndim == 0:
+            return float(out)
+        return out
+
+    def lifetime_log_sf(self, t: float) -> float:
+        return -self.beta * max(t, 0.0)
+
+    def lifetime_log_pdf(self, t):
+        t = np.asarray(t, dtype=float)
+        out = np.where(t > 0, math.log(self.beta) - self.beta * t, -np.inf)
+        if out.ndim == 0:
+            return float(out)
+        return out
+
+    def sample_lifetimes(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.exponential(scale=1.0 / self.beta, size=size)

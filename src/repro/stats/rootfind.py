@@ -1,0 +1,97 @@
+"""Bracketing root finders used for quantile inversion.
+
+The paper inverts the posterior CDF of software reliability with the
+bisection method (Section 6, around Eq. 32). We provide a robust
+monotone bisection plus a geometric bracketing helper for quantile
+problems whose support is the positive half line.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+
+from repro.exceptions import ConvergenceError
+
+__all__ = ["bisect_increasing", "bracket_quantile"]
+
+
+def bisect_increasing(
+    f: Callable[[float], float],
+    lo: float,
+    hi: float,
+    *,
+    xtol: float = 1e-12,
+    rtol: float = 1e-10,
+    max_iter: int = 200,
+) -> float:
+    """Find the root of a non-decreasing function on ``[lo, hi]``.
+
+    Requires ``f(lo) <= 0 <= f(hi)``; endpoints are returned directly if
+    the sign condition pins the root there (within floating tolerance).
+
+    Raises
+    ------
+    ConvergenceError
+        If the bracket is invalid or the iteration budget is exhausted
+        before the interval shrinks below tolerance.
+    """
+    if not lo < hi:
+        raise ValueError(f"invalid bracket: lo={lo}, hi={hi}")
+    f_lo = f(lo)
+    f_hi = f(hi)
+    if f_lo > 0.0:
+        if f_lo < 1e-9:  # root sits at or below the bracket edge
+            return lo
+        raise ConvergenceError(
+            f"bisect_increasing: f(lo)={f_lo:.3g} > 0 at lo={lo:.6g}"
+        )
+    if f_hi < 0.0:
+        if f_hi > -1e-9:
+            return hi
+        raise ConvergenceError(
+            f"bisect_increasing: f(hi)={f_hi:.3g} < 0 at hi={hi:.6g}"
+        )
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        if hi - lo <= xtol + rtol * abs(mid):
+            return mid
+        f_mid = f(mid)
+        if f_mid < 0.0:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def bracket_quantile(
+    cdf: Callable[[float], float],
+    q: float,
+    *,
+    x0: float = 1.0,
+    growth: float = 4.0,
+    max_expansions: int = 200,
+) -> tuple[float, float]:
+    """Find ``[lo, hi] ⊂ (0, ∞)`` with ``cdf(lo) <= q <= cdf(hi)``.
+
+    Expands geometrically from ``x0`` in both directions. Suitable for
+    any distribution supported on the positive half line.
+    """
+    if not 0.0 < q < 1.0:
+        raise ValueError(f"quantile level must be in (0, 1), got {q}")
+    if x0 <= 0.0 or not math.isfinite(x0):
+        raise ValueError(f"x0 must be positive and finite, got {x0}")
+    lo = hi = x0
+    for _ in range(max_expansions):
+        if cdf(lo) <= q:
+            break
+        lo /= growth
+    else:
+        raise ConvergenceError(f"could not bracket quantile {q} from below")
+    for _ in range(max_expansions):
+        if cdf(hi) >= q:
+            break
+        hi *= growth
+    else:
+        raise ConvergenceError(f"could not bracket quantile {q} from above")
+    return lo, hi

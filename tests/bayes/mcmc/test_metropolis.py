@@ -1,0 +1,56 @@
+"""Tests for the random-walk Metropolis fallback sampler."""
+
+import numpy as np
+import pytest
+
+from repro.bayes.mcmc.chains import ChainSettings
+from repro.bayes.mcmc.metropolis import random_walk_metropolis
+
+
+class TestMetropolis:
+    def test_agrees_with_gibbs_reference(
+        self, times_data, info_prior_times, nint_times
+    ):
+        settings = ChainSettings(n_samples=6000, burn_in=3000, thin=3, seed=21)
+        result = random_walk_metropolis(
+            times_data, info_prior_times, settings=settings
+        )
+        posterior = result.posterior()
+        assert posterior.mean("omega") == pytest.approx(
+            nint_times.mean("omega"), rel=0.05
+        )
+        assert posterior.mean("beta") == pytest.approx(
+            nint_times.mean("beta"), rel=0.05
+        )
+
+    def test_grouped_data_supported(self, grouped_data, info_prior_grouped):
+        settings = ChainSettings(n_samples=2000, burn_in=1000, thin=2, seed=22)
+        result = random_walk_metropolis(
+            grouped_data, info_prior_grouped, settings=settings
+        )
+        posterior = result.posterior()
+        assert 35.0 < posterior.mean("omega") < 55.0
+        assert posterior.method_name == "MH"
+
+    def test_acceptance_rate_reasonable_after_adaptation(
+        self, times_data, info_prior_times
+    ):
+        settings = ChainSettings(n_samples=3000, burn_in=2000, thin=1, seed=23)
+        result = random_walk_metropolis(
+            times_data, info_prior_times, settings=settings
+        )
+        rate = result.extra["acceptance_rate"]
+        assert 0.1 < rate < 0.6
+
+    def test_all_samples_positive(self, times_data, info_prior_times):
+        settings = ChainSettings(n_samples=500, burn_in=200, thin=1, seed=24)
+        result = random_walk_metropolis(
+            times_data, info_prior_times, settings=settings
+        )
+        assert np.all(result.samples > 0.0)
+
+    def test_reproducible(self, times_data, info_prior_times):
+        settings = ChainSettings(n_samples=300, burn_in=100, thin=1, seed=25)
+        a = random_walk_metropolis(times_data, info_prior_times, settings=settings)
+        b = random_walk_metropolis(times_data, info_prior_times, settings=settings)
+        assert np.array_equal(a.samples, b.samples)

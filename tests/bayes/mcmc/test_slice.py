@@ -1,0 +1,52 @@
+"""Tests for the slice-within-Gibbs sampler."""
+
+import numpy as np
+import pytest
+
+from repro.bayes.mcmc.chains import ChainSettings
+from repro.bayes.mcmc.slice_sampler import slice_sample
+
+
+class TestSliceSampler:
+    def test_agrees_with_nint(self, times_data, info_prior_times, nint_times):
+        settings = ChainSettings(n_samples=4000, burn_in=1000, thin=2, seed=71)
+        result = slice_sample(times_data, info_prior_times, settings=settings)
+        posterior = result.posterior()
+        assert posterior.mean("omega") == pytest.approx(
+            nint_times.mean("omega"), rel=0.03
+        )
+        assert posterior.mean("beta") == pytest.approx(
+            nint_times.mean("beta"), rel=0.03
+        )
+        assert posterior.covariance() < 0.0
+
+    def test_grouped_data(self, grouped_data, info_prior_grouped, nint_grouped):
+        settings = ChainSettings(n_samples=2000, burn_in=800, thin=1, seed=72)
+        result = slice_sample(grouped_data, info_prior_grouped, settings=settings)
+        posterior = result.posterior()
+        assert posterior.mean("omega") == pytest.approx(
+            nint_grouped.mean("omega"), rel=0.05
+        )
+
+    def test_method_label_and_samples_positive(self, times_data, info_prior_times):
+        settings = ChainSettings(n_samples=300, burn_in=100, thin=1, seed=73)
+        result = slice_sample(times_data, info_prior_times, settings=settings)
+        assert result.posterior().method_name == "SLICE"
+        assert np.all(result.samples > 0.0)
+
+    def test_reproducible(self, times_data, info_prior_times):
+        settings = ChainSettings(n_samples=200, burn_in=50, thin=1, seed=74)
+        a = slice_sample(times_data, info_prior_times, settings=settings)
+        b = slice_sample(times_data, info_prior_times, settings=settings)
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_no_tuning_needed_across_widths(self, times_data, info_prior_times):
+        # Slice sampling is robust to the width choice; both runs agree.
+        settings = ChainSettings(n_samples=2500, burn_in=800, thin=1, seed=75)
+        narrow = slice_sample(
+            times_data, info_prior_times, settings=settings, width=0.1
+        ).posterior()
+        wide = slice_sample(
+            times_data, info_prior_times, settings=settings, width=5.0
+        ).posterior()
+        assert narrow.mean("omega") == pytest.approx(wide.mean("omega"), rel=0.03)

@@ -1,0 +1,118 @@
+"""Unit tests for GridPosterior against an analytically known density.
+
+A product of two independent gammas has every moment and quantile in
+closed form, so the grid machinery (normalisation, marginals, cross
+moments, quantile inversion, reliability transforms) can be validated
+without any inference in the loop.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bayes.grid_posterior import GridPosterior
+from repro.core.reliability import reliability_increment
+from repro.stats.gamma_dist import GammaDistribution
+from repro.stats.quadrature import TensorGrid
+
+OMEGA_DIST = GammaDistribution(shape=40.0, rate=1.0)
+BETA_DIST = GammaDistribution(shape=9.0, rate=9.0e5)  # mean 1e-5
+
+
+@pytest.fixture(scope="module")
+def grid_posterior():
+    grid = TensorGrid.simpson(
+        (OMEGA_DIST.ppf(1e-7), OMEGA_DIST.ppf(1.0 - 1e-7)),
+        (BETA_DIST.ppf(1e-7), BETA_DIST.ppf(1.0 - 1e-7)),
+        301,
+        301,
+    )
+    log_post = np.add.outer(
+        np.asarray(OMEGA_DIST.log_pdf(grid.x)),
+        np.asarray(BETA_DIST.log_pdf(grid.y)),
+    )
+
+    def log_pdf_fn(omega, beta):
+        return np.add.outer(
+            np.asarray(OMEGA_DIST.log_pdf(np.asarray(omega))),
+            np.asarray(BETA_DIST.log_pdf(np.asarray(beta))),
+        )
+
+    return GridPosterior(grid, log_post, log_pdf_fn=log_pdf_fn)
+
+
+class TestAgainstAnalyticDensity:
+    def test_normaliser_is_one(self, grid_posterior):
+        # The density is already normalised: log Z ~ 0.
+        assert grid_posterior.log_normaliser == pytest.approx(0.0, abs=1e-5)
+
+    def test_means(self, grid_posterior):
+        assert grid_posterior.mean("omega") == pytest.approx(
+            OMEGA_DIST.mean, rel=1e-6
+        )
+        assert grid_posterior.mean("beta") == pytest.approx(
+            BETA_DIST.mean, rel=1e-6
+        )
+
+    def test_variances(self, grid_posterior):
+        assert grid_posterior.variance("omega") == pytest.approx(
+            OMEGA_DIST.variance, rel=1e-4
+        )
+        assert grid_posterior.variance("beta") == pytest.approx(
+            BETA_DIST.variance, rel=1e-4
+        )
+
+    def test_independence_zero_covariance(self, grid_posterior):
+        scale = OMEGA_DIST.std * BETA_DIST.std
+        assert abs(grid_posterior.covariance()) < 1e-8 * scale
+
+    def test_third_central_moment(self, grid_posterior):
+        assert grid_posterior.central_moment("omega", 3) == pytest.approx(
+            OMEGA_DIST.central_moment(3), rel=1e-3
+        )
+
+    def test_quantiles(self, grid_posterior):
+        for q in (0.005, 0.25, 0.5, 0.75, 0.995):
+            assert grid_posterior.quantile("omega", q) == pytest.approx(
+                float(OMEGA_DIST.ppf(q)), rel=1e-3
+            )
+            # The beta axis is more skewed; the piecewise-linear CDF
+            # inversion carries a slightly larger relative error there.
+            assert grid_posterior.quantile("beta", q) == pytest.approx(
+                float(BETA_DIST.ppf(q)), rel=3e-3
+            )
+
+    def test_log_pdf_grid_reevaluation(self, grid_posterior):
+        omega = np.array([35.0, 40.0])
+        beta = np.array([8e-6, 1e-5])
+        values = grid_posterior.log_pdf_grid(omega, beta)
+        expected = np.add.outer(
+            np.asarray(OMEGA_DIST.log_pdf(omega)),
+            np.asarray(BETA_DIST.log_pdf(beta)),
+        )
+        assert values == pytest.approx(expected, abs=1e-5)
+
+    def test_reliability_point_analytic(self, grid_posterior):
+        # R = exp(-omega c(beta)); for independent gammas
+        # E[R] = E_beta[(b/(b+c(beta)))^a] — compute by 1-D quadrature.
+        te, u = 240_000.0, 1000.0
+        c = reliability_increment(1.0, te, u)
+        beta_nodes = np.linspace(
+            float(BETA_DIST.ppf(1e-9)), float(BETA_DIST.ppf(1 - 1e-9)), 20_001
+        )
+        weights = np.asarray(BETA_DIST.pdf(beta_nodes))
+        c_vals = np.asarray(c(beta_nodes))
+        mgf = (1.0 / (1.0 + c_vals / OMEGA_DIST.rate)) ** OMEGA_DIST.shape
+        expected = np.trapezoid(weights * mgf, beta_nodes)
+        assert grid_posterior.reliability_point(c) == pytest.approx(
+            expected, rel=1e-6
+        )
+
+    def test_reliability_quantile_consistent_with_cdf(self, grid_posterior):
+        c = reliability_increment(1.0, 240_000.0, 10_000.0)
+        for q in (0.05, 0.5, 0.95):
+            r_q = grid_posterior.reliability_quantile(q, c)
+            assert grid_posterior.reliability_cdf(r_q, c) == pytest.approx(
+                q, abs=2e-4
+            )

@@ -1,0 +1,85 @@
+"""Tests for the VB-proposal importance-sampling corrector."""
+
+import numpy as np
+import pytest
+
+from repro.bayes.importance import importance_correct
+from repro.core.vb1 import fit_vb1
+
+
+@pytest.fixture(scope="module")
+def corrected(vb2_times, times_data, info_prior_times):
+    return importance_correct(
+        vb2_times,
+        times_data,
+        info_prior_times,
+        n_samples=20_000,
+        rng=np.random.default_rng(404),
+    )
+
+
+class TestImportanceCorrection:
+    def test_high_effective_sample_size(self, corrected):
+        # VB2 is an excellent proposal: ESS should be most of the draws.
+        assert corrected.effective_sample_size > 0.5 * 20_000
+
+    def test_moments_match_nint(self, corrected, nint_times):
+        assert corrected.mean("omega") == pytest.approx(
+            nint_times.mean("omega"), rel=0.01
+        )
+        assert corrected.mean("beta") == pytest.approx(
+            nint_times.mean("beta"), rel=0.01
+        )
+        assert corrected.variance("omega") == pytest.approx(
+            nint_times.variance("omega"), rel=0.05
+        )
+        assert corrected.covariance() == pytest.approx(
+            nint_times.covariance(), rel=0.1
+        )
+
+    def test_corrects_vb2_variance_bias(self, corrected, vb2_times, nint_times):
+        # VB2 slightly underestimates Var(beta) (paper Table 1: -2.5%);
+        # the IS correction must land closer to NINT than raw VB2 does.
+        vb2_error = abs(vb2_times.variance("beta") / nint_times.variance("beta") - 1)
+        is_error = abs(corrected.variance("beta") / nint_times.variance("beta") - 1)
+        assert is_error < vb2_error
+
+    def test_evidence_sandwich(self, corrected, vb2_times, nint_times):
+        # ELBO <= log P(D), and the IS estimate approximates log P(D)
+        # (= NINT's log normaliser up to grid truncation).
+        assert vb2_times.elbo <= corrected.log_evidence + 0.01
+        assert corrected.log_evidence == pytest.approx(
+            nint_times.log_normaliser, abs=0.02
+        )
+
+    def test_weights_normalised(self, corrected):
+        assert corrected.weights.sum() == pytest.approx(1.0)
+        assert np.all(corrected.weights >= 0.0)
+
+    def test_resample_posterior(self, corrected, nint_times, rng):
+        posterior = corrected.resample(8000, rng)
+        assert posterior.method_name == "VB2+IS"
+        assert posterior.mean("omega") == pytest.approx(
+            nint_times.mean("omega"), rel=0.02
+        )
+
+    def test_vb1_proposal_has_lower_ess(
+        self, times_data, info_prior_times, corrected
+    ):
+        # VB1's too-narrow proposal misses posterior mass: its ESS
+        # fraction must be visibly worse than VB2's.
+        vb1 = fit_vb1(times_data, info_prior_times)
+        vb1_result = importance_correct(
+            vb1,
+            times_data,
+            info_prior_times,
+            n_samples=20_000,
+            rng=np.random.default_rng(405),
+        )
+        assert (
+            vb1_result.effective_sample_size < corrected.effective_sample_size
+        )
+        # But self-normalised IS still fixes VB1's moments.
+        assert vb1_result.mean("omega") == pytest.approx(
+            corrected.mean("omega"), rel=0.05
+        )

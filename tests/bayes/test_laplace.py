@@ -1,0 +1,155 @@
+"""Tests for the MAP finder and the Laplace approximation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bayes.laplace import find_map, fit_laplace, log_posterior_fn
+from repro.bayes.normal_posterior import NormalPosterior
+from repro.core.reliability import reliability_increment
+from repro.mle.newton import fit_mle_newton
+
+
+class TestLogPosterior:
+    def test_out_of_domain_is_minus_inf(self, times_data, info_prior_times):
+        log_post = log_posterior_fn(times_data, info_prior_times, 1.0)
+        assert log_post(-1.0, 1e-5) == -math.inf
+        assert log_post(40.0, 0.0) == -math.inf
+
+
+class TestFindMap:
+    def test_map_is_local_maximum(self, times_data, info_prior_times):
+        log_post = log_posterior_fn(times_data, info_prior_times, 1.0)
+        omega_hat, beta_hat = find_map(times_data, info_prior_times)
+        centre = log_post(omega_hat, beta_hat)
+        for d_omega in (-1e-3, 1e-3):
+            for d_beta in (-1e-9, 1e-9):
+                assert log_post(omega_hat + d_omega, beta_hat + d_beta) <= centre + 1e-9
+
+    def test_flat_prior_map_equals_mle(self, times_data, flat_prior):
+        # With flat priors the MAP is the MLE (paper Section 4.2).
+        omega_hat, beta_hat = find_map(times_data, flat_prior)
+        mle = fit_mle_newton(times_data, information=False)
+        assert omega_hat == pytest.approx(mle.omega, rel=1e-4)
+        assert beta_hat == pytest.approx(mle.beta, rel=1e-4)
+
+    def test_informative_prior_shrinks_towards_prior_mean(
+        self, times_data, info_prior_times, flat_prior
+    ):
+        map_info, _ = find_map(times_data, info_prior_times)
+        map_flat, _ = find_map(times_data, flat_prior)
+        # Prior mean for omega is 50; the informative MAP moves toward it.
+        assert abs(map_info - 50.0) < abs(map_flat - 50.0)
+
+    def test_grouped_data(self, grouped_data, info_prior_grouped):
+        omega_hat, beta_hat = find_map(grouped_data, info_prior_grouped)
+        assert 35.0 < omega_hat < 55.0
+        assert 0.01 < beta_hat < 0.08
+
+
+class TestFitLaplace:
+    def test_mean_is_map(self, times_data, info_prior_times):
+        posterior = fit_laplace(times_data, info_prior_times)
+        omega_hat, beta_hat = find_map(times_data, info_prior_times)
+        assert posterior.mean("omega") == pytest.approx(omega_hat, rel=1e-6)
+        assert posterior.mean("beta") == pytest.approx(beta_hat, rel=1e-6)
+
+    def test_map_below_posterior_mean_for_right_skew(
+        self, times_data, info_prior_times, nint_times
+    ):
+        # The paper's explanation of LAPL's bias (Figure 1 discussion):
+        # right-skewed posterior => MAP < E[omega].
+        posterior = fit_laplace(times_data, info_prior_times)
+        assert posterior.mean("omega") < nint_times.mean("omega")
+
+    def test_negative_covariance(self, times_data, info_prior_times):
+        posterior = fit_laplace(times_data, info_prior_times)
+        assert posterior.covariance() < 0.0
+
+    def test_symmetric_marginals(self, times_data, info_prior_times):
+        posterior = fit_laplace(times_data, info_prior_times)
+        mean = posterior.mean("omega")
+        lo, hi = posterior.credible_interval("omega", 0.99)
+        assert hi - mean == pytest.approx(mean - lo, rel=1e-9)
+        assert posterior.central_moment("omega", 3) == 0.0
+
+    def test_variance_close_to_nint_for_peaked_posterior(
+        self, times_data, info_prior_times, nint_times
+    ):
+        posterior = fit_laplace(times_data, info_prior_times)
+        assert posterior.variance("beta") == pytest.approx(
+            nint_times.variance("beta"), rel=0.1
+        )
+
+    def test_diagnostics_attached(self, times_data, info_prior_times):
+        posterior = fit_laplace(times_data, info_prior_times)
+        assert "map" in posterior.diagnostics
+        assert posterior.diagnostics["alpha0"] == 1.0
+
+
+class TestNormalPosterior:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NormalPosterior(np.array([1.0]), np.eye(2))
+        with pytest.raises(ValueError):
+            NormalPosterior(np.array([1.0, 1.0]), np.eye(3))
+        with pytest.raises(ValueError):
+            NormalPosterior(np.array([1.0, 1.0]), -np.eye(2))
+
+    def test_moments(self):
+        cov = np.array([[4.0, -0.5], [-0.5, 0.25]])
+        posterior = NormalPosterior(np.array([40.0, 2.0]), cov)
+        assert posterior.mean("omega") == 40.0
+        assert posterior.variance("beta") == 0.25
+        assert posterior.covariance() == pytest.approx(-0.5)
+        assert posterior.cross_moment() == pytest.approx(40.0 * 2.0 - 0.5)
+
+    def test_normal_central_moments(self):
+        posterior = NormalPosterior(np.array([0.0, 0.0]), np.diag([4.0, 1.0]))
+        assert posterior.central_moment("omega", 2) == pytest.approx(4.0)
+        assert posterior.central_moment("omega", 4) == pytest.approx(48.0)
+        assert posterior.central_moment("omega", 3) == 0.0
+
+    def test_quantiles_can_be_negative(self):
+        # The known Laplace pathology the paper prints in brackets.
+        posterior = NormalPosterior(np.array([1.0, 0.001]), np.diag([1.0, 1.0]))
+        assert posterior.quantile("beta", 0.005) < 0.0
+
+    def test_log_pdf_grid(self):
+        posterior = NormalPosterior(np.array([1.0, 2.0]), np.eye(2))
+        grid = posterior.log_pdf_grid(np.array([0.5, 1.0]), np.array([1.5, 2.0, 2.5]))
+        assert grid.shape == (2, 3)
+        assert np.argmax(grid) == 1 * 3 + 1  # peak at (1.0, 2.0)
+
+    def test_reliability_plug_in_point(self, times_data):
+        posterior = NormalPosterior(
+            np.array([40.0, 1e-5]), np.diag([36.0, 4e-12])
+        )
+        c = reliability_increment(1.0, times_data.horizon, 1000.0)
+        point = posterior.reliability_point(c)
+        expected = math.exp(-40.0 * float(c(1e-5)))
+        assert point == pytest.approx(expected, rel=1e-12)
+
+    def test_reliability_interval_can_exceed_one(self, times_data):
+        # Small window, large variance: the delta-method upper bound
+        # crosses 1 — the paper's <1.0024> phenomenon.
+        posterior = NormalPosterior(
+            np.array([40.0, 1e-5]), np.diag([100.0, 4e-11])
+        )
+        c = reliability_increment(1.0, times_data.horizon, 100.0)
+        upper = posterior.reliability_quantile(0.9999, c)
+        assert upper > 1.0
+
+    def test_reliability_cdf_is_normal(self, times_data):
+        posterior = NormalPosterior(np.array([40.0, 1e-5]), np.diag([36.0, 4e-12]))
+        c = reliability_increment(1.0, times_data.horizon, 1000.0)
+        point = posterior.reliability_point(c)
+        assert posterior.reliability_cdf(point, c) == pytest.approx(0.5, abs=1e-9)
+
+    def test_sampling(self, rng):
+        cov = np.array([[4.0, -0.5], [-0.5, 0.25]])
+        posterior = NormalPosterior(np.array([40.0, 2.0]), cov)
+        draws = posterior.sample(200_000, rng)
+        assert draws[:, 0].mean() == pytest.approx(40.0, abs=0.05)
+        assert np.cov(draws.T)[0, 1] == pytest.approx(-0.5, abs=0.02)

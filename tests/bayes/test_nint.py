@@ -1,0 +1,161 @@
+"""Tests for the NINT grid posterior."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bayes.nint import (
+    fit_nint,
+    integration_limits_from_posterior,
+    log_posterior_matrix,
+)
+from repro.models.gamma_srm import GammaSRM
+
+
+class TestLogPosteriorMatrix:
+    def test_matches_model_loglik_pointwise_times(
+        self, times_data, info_prior_times
+    ):
+        omega_nodes = np.array([35.0, 45.0])
+        beta_nodes = np.array([8e-6, 1.2e-5])
+        matrix = log_posterior_matrix(
+            times_data, info_prior_times, 1.0, omega_nodes, beta_nodes
+        )
+        for i, omega in enumerate(omega_nodes):
+            for j, beta in enumerate(beta_nodes):
+                model = GammaSRM(omega=omega, beta=beta, alpha0=1.0)
+                expected = (
+                    model.log_likelihood(times_data)
+                    + info_prior_times.omega.log_pdf(omega)
+                    + info_prior_times.beta.log_pdf(beta)
+                )
+                assert matrix[i, j] == pytest.approx(expected, rel=1e-10)
+
+    def test_matches_model_loglik_pointwise_grouped(
+        self, grouped_data, info_prior_grouped
+    ):
+        omega_nodes = np.array([40.0])
+        beta_nodes = np.array([0.03, 0.05])
+        matrix = log_posterior_matrix(
+            grouped_data, info_prior_grouped, 1.0, omega_nodes, beta_nodes
+        )
+        for j, beta in enumerate(beta_nodes):
+            model = GammaSRM(omega=40.0, beta=beta, alpha0=1.0)
+            expected = (
+                model.log_likelihood(grouped_data)
+                + info_prior_grouped.omega.log_pdf(40.0)
+                + info_prior_grouped.beta.log_pdf(beta)
+            )
+            # The grouped likelihood includes the -log x_i! terms.
+            assert matrix[0, j] == pytest.approx(expected, rel=1e-10)
+
+    def test_rejects_nonpositive_nodes(self, times_data, info_prior_times):
+        with pytest.raises(ValueError):
+            log_posterior_matrix(
+                times_data, info_prior_times, 1.0, np.array([0.0]), np.array([1.0])
+            )
+
+
+class TestLimitsHeuristic:
+    def test_paper_heuristic(self, vb2_times):
+        limits = integration_limits_from_posterior(vb2_times)
+        assert limits["omega"][0] == pytest.approx(
+            vb2_times.quantile("omega", 0.005) * 0.5
+        )
+        assert limits["omega"][1] == pytest.approx(
+            vb2_times.quantile("omega", 0.995) * 1.5
+        )
+        assert limits["beta"][0] < vb2_times.mean("beta") < limits["beta"][1]
+
+
+class TestGridPosterior:
+    def test_density_normalised(self, nint_times):
+        density = nint_times.density
+        grid = nint_times.grid
+        assert grid.integrate(density) == pytest.approx(1.0, rel=1e-9)
+
+    def test_moments_match_mcmc_free_reference(self, nint_times, vb2_times):
+        # Two fully independent approximations must agree closely.
+        assert nint_times.mean("omega") == pytest.approx(
+            vb2_times.mean("omega"), rel=0.01
+        )
+        assert nint_times.mean("beta") == pytest.approx(
+            vb2_times.mean("beta"), rel=0.02
+        )
+
+    def test_quantile_inverts_marginal_cdf(self, nint_times):
+        for q in (0.005, 0.5, 0.995):
+            value = nint_times.quantile("omega", q)
+            assert nint_times.grid.x[0] <= value <= nint_times.grid.x[-1]
+        assert nint_times.quantile("omega", 0.25) < nint_times.quantile("omega", 0.75)
+
+    def test_log_pdf_grid_reevaluation(self, nint_times):
+        omega = np.linspace(35.0, 55.0, 5)
+        beta = np.linspace(6e-6, 1.4e-5, 5)
+        values = nint_times.log_pdf_grid(omega, beta)
+        assert values.shape == (5, 5)
+        # Normalised: the peak of the log density should be around the
+        # density scale of the stored grid.
+        assert np.all(np.isfinite(values))
+
+    def test_cross_moment_implies_negative_covariance(self, nint_times):
+        assert nint_times.covariance() < 0.0
+
+    def test_central_moment_skewness(self, nint_times):
+        assert nint_times.central_moment("omega", 3) > 0.0
+
+    def test_reliability_point_and_cdf(self, nint_times, times_data):
+        from repro.core.reliability import reliability_increment
+
+        c = reliability_increment(1.0, times_data.horizon, 1000.0)
+        point = nint_times.reliability_point(c)
+        assert 0.9 < point < 1.0
+        assert nint_times.reliability_cdf(0.0, c) == 0.0
+        assert nint_times.reliability_cdf(1.0, c) == 1.0
+        mid = nint_times.reliability_cdf(point, c)
+        assert 0.2 < mid < 0.8
+
+    def test_invalid_quantile_level(self, nint_times):
+        with pytest.raises(ValueError):
+            nint_times.quantile("omega", 1.5)
+
+
+class TestFitNint:
+    def test_needs_limits_or_reference(self, times_data, info_prior_times):
+        with pytest.raises(ValueError):
+            fit_nint(times_data, info_prior_times)
+
+    def test_explicit_limits(self, times_data, info_prior_times):
+        posterior = fit_nint(
+            times_data,
+            info_prior_times,
+            limits={"omega": (20.0, 80.0), "beta": (2e-6, 3e-5)},
+            n_omega=101,
+            n_beta=101,
+        )
+        assert 40.0 < posterior.mean("omega") < 50.0
+
+    def test_invalid_limits(self, times_data, info_prior_times):
+        with pytest.raises(ValueError):
+            fit_nint(
+                times_data,
+                info_prior_times,
+                limits={"omega": (-1.0, 10.0), "beta": (1e-6, 1e-5)},
+            )
+
+    def test_resolution_convergence(self, times_data, info_prior_times, vb2_times):
+        # Doubling the resolution should barely move the moments
+        # (Simpson is O(h^4)).
+        coarse = fit_nint(
+            times_data, info_prior_times, reference_posterior=vb2_times,
+            n_omega=81, n_beta=81,
+        )
+        fine = fit_nint(
+            times_data, info_prior_times, reference_posterior=vb2_times,
+            n_omega=161, n_beta=161,
+        )
+        assert coarse.mean("omega") == pytest.approx(fine.mean("omega"), rel=1e-5)
+        assert coarse.variance("beta") == pytest.approx(
+            fine.variance("beta"), rel=1e-4
+        )

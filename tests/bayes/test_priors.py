@@ -1,0 +1,82 @@
+"""Tests for prior specification."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bayes.priors import (
+    FlatPrior,
+    GammaPrior,
+    ModelPrior,
+    ScaleInvariantPrior,
+)
+from repro.exceptions import PriorSpecificationError
+
+
+class TestGammaPrior:
+    def test_proper_prior_moments(self):
+        prior = GammaPrior.from_mean_std(50.0, 15.8)
+        assert prior.mean == pytest.approx(50.0)
+        assert prior.std == pytest.approx(15.8)
+        assert prior.is_proper
+
+    def test_paper_info_priors_hyperparameters(self):
+        # omega prior (50, 15.8): shape = (50/15.8)^2 ~ 10.01.
+        prior = GammaPrior.from_mean_std(50.0, 15.8)
+        assert prior.shape == pytest.approx(10.0157, rel=1e-3)
+        assert prior.rate == pytest.approx(0.20031, rel=1e-3)
+
+    def test_flat_prior(self):
+        prior = FlatPrior()
+        assert not prior.is_proper
+        # p(x) propto 1: log density 0 everywhere on the support.
+        assert prior.log_pdf(0.37) == 0.0
+        assert prior.log_pdf(1234.5) == 0.0
+        assert prior.log_pdf(-1.0) == -math.inf
+
+    def test_scale_invariant_prior(self):
+        prior = ScaleInvariantPrior()
+        assert not prior.is_proper
+        assert prior.log_pdf(2.0) == pytest.approx(-math.log(2.0))
+
+    def test_improper_moments_raise(self):
+        with pytest.raises(PriorSpecificationError):
+            FlatPrior().mean
+        with pytest.raises(PriorSpecificationError):
+            FlatPrior().std
+        with pytest.raises(PriorSpecificationError):
+            FlatPrior().log_normaliser()
+
+    def test_log_pdf_normalised_when_proper(self):
+        prior = GammaPrior.from_mean_std(2.0, 1.0)
+        x = np.linspace(1e-9, 30.0, 200_001)
+        integral = np.trapezoid(np.exp(prior.log_pdf(x)), x)
+        assert integral == pytest.approx(1.0, abs=1e-4)
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(PriorSpecificationError):
+            GammaPrior(shape=-1.0, rate=1.0)
+        with pytest.raises(PriorSpecificationError):
+            GammaPrior(shape=1.0, rate=-1.0)
+        with pytest.raises(PriorSpecificationError):
+            GammaPrior.from_mean_std(-1.0, 1.0)
+
+
+class TestModelPrior:
+    def test_informative_factory(self):
+        prior = ModelPrior.informative(50.0, 15.8, 1e-5, 3.2e-6)
+        assert prior.is_proper
+        assert prior.omega.mean == pytest.approx(50.0)
+        assert prior.beta.mean == pytest.approx(1e-5)
+
+    def test_noninformative_factory(self):
+        prior = ModelPrior.noninformative()
+        assert not prior.is_proper
+        assert prior.log_pdf(3.0, 4.0) == 0.0
+
+    def test_joint_log_pdf_is_sum(self):
+        prior = ModelPrior.informative(50.0, 15.8, 1e-5, 3.2e-6)
+        assert prior.log_pdf(40.0, 1e-5) == pytest.approx(
+            prior.omega.log_pdf(40.0) + prior.beta.log_pdf(1e-5)
+        )

@@ -1,0 +1,112 @@
+"""Tests for the empirical (sample-based) posterior."""
+
+import numpy as np
+import pytest
+
+from repro.bayes.sample_posterior import EmpiricalPosterior
+from repro.core.reliability import reliability_increment
+
+
+@pytest.fixture(scope="module")
+def gaussian_samples():
+    rng = np.random.default_rng(31)
+    cov = np.array([[4.0, -0.8], [-0.8, 0.25]])
+    return rng.multivariate_normal([40.0, 2.0], cov, size=50_000)
+
+
+class TestConstruction:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            EmpiricalPosterior(np.zeros((10, 3)))
+        with pytest.raises(ValueError):
+            EmpiricalPosterior(np.zeros((1, 2)))
+
+    def test_nonfinite_rejected(self):
+        samples = np.ones((10, 2))
+        samples[3, 1] = np.nan
+        with pytest.raises(ValueError):
+            EmpiricalPosterior(samples)
+
+
+class TestMoments:
+    def test_mean_variance(self, gaussian_samples):
+        posterior = EmpiricalPosterior(gaussian_samples)
+        assert posterior.mean("omega") == pytest.approx(40.0, abs=0.1)
+        assert posterior.variance("omega") == pytest.approx(4.0, rel=0.05)
+        assert posterior.covariance() == pytest.approx(-0.8, rel=0.1)
+
+    def test_cross_moment_consistent_with_covariance(self, gaussian_samples):
+        posterior = EmpiricalPosterior(gaussian_samples)
+        implied = posterior.cross_moment() - posterior.mean("omega") * posterior.mean(
+            "beta"
+        )
+        # cross_moment uses 1/n, covariance uses 1/(n-1): near-equal at n=50k.
+        assert implied == pytest.approx(posterior.covariance(), rel=1e-3)
+
+    def test_central_moment(self, gaussian_samples):
+        posterior = EmpiricalPosterior(gaussian_samples)
+        assert posterior.central_moment("omega", 3) == pytest.approx(0.0, abs=0.3)
+
+
+class TestQuantiles:
+    def test_order_statistic_convention(self):
+        # 2.5% of 20000 samples -> the 500th smallest, per the paper.
+        values = np.arange(1.0, 20_001.0)
+        samples = np.column_stack([values, values])
+        posterior = EmpiricalPosterior(samples)
+        assert posterior.quantile("omega", 0.025) == 500.0
+
+    def test_extreme_levels_clamped_to_range(self):
+        samples = np.column_stack([np.arange(1.0, 11.0), np.arange(1.0, 11.0)])
+        posterior = EmpiricalPosterior(samples)
+        assert posterior.quantile("omega", 0.001) == 1.0
+        assert posterior.quantile("omega", 0.9999) == 10.0
+
+    def test_invalid_level(self, gaussian_samples):
+        posterior = EmpiricalPosterior(gaussian_samples)
+        with pytest.raises(ValueError):
+            posterior.quantile("omega", 0.0)
+
+
+class TestReliability:
+    def test_point_is_sample_mean_of_transform(self, times_data):
+        rng = np.random.default_rng(32)
+        samples = np.column_stack(
+            [rng.gamma(40.0, 1.0, 10_000), rng.gamma(38.0, 1.0 / 4e6, 10_000)]
+        )
+        posterior = EmpiricalPosterior(samples)
+        c = reliability_increment(1.0, times_data.horizon, 1000.0)
+        expected = np.exp(-samples[:, 0] * np.asarray(c(samples[:, 1]))).mean()
+        assert posterior.reliability_point(c) == pytest.approx(expected, rel=1e-12)
+
+    def test_reliability_quantiles_ordered(self, times_data):
+        rng = np.random.default_rng(33)
+        samples = np.column_stack(
+            [rng.gamma(40.0, 1.0, 10_000), rng.gamma(38.0, 1.0 / 4e6, 10_000)]
+        )
+        posterior = EmpiricalPosterior(samples)
+        c = reliability_increment(1.0, times_data.horizon, 5000.0)
+        lo = posterior.reliability_quantile(0.005, c)
+        hi = posterior.reliability_quantile(0.995, c)
+        assert lo < posterior.reliability_point(c) < hi
+
+    def test_cdf_limits(self, gaussian_samples, times_data):
+        posterior = EmpiricalPosterior(np.abs(gaussian_samples))
+        c = reliability_increment(1.0, times_data.horizon, 1000.0)
+        assert posterior.reliability_cdf(0.0, c) == 0.0
+        assert posterior.reliability_cdf(1.0, c) == 1.0
+
+
+class TestScatter:
+    def test_subsample_size(self, gaussian_samples):
+        posterior = EmpiricalPosterior(gaussian_samples)
+        assert posterior.scatter(1000).shape == (1000, 2)
+
+    def test_full_sample_when_small(self, gaussian_samples):
+        posterior = EmpiricalPosterior(gaussian_samples[:100])
+        assert posterior.scatter(1000).shape == (100, 2)
+
+    def test_bootstrap_sample(self, gaussian_samples, rng):
+        posterior = EmpiricalPosterior(gaussian_samples)
+        draws = posterior.sample(500, rng)
+        assert draws.shape == (500, 2)

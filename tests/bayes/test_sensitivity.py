@@ -1,0 +1,52 @@
+"""Tests for the prior-sensitivity analysis."""
+
+import pytest
+
+from repro.bayes.priors import ModelPrior
+from repro.bayes.sensitivity import prior_sensitivity
+
+
+class TestPriorSensitivity:
+    def test_sweep_structure(self, times_data, info_prior_times):
+        report = prior_sensitivity(times_data, info_prior_times)
+        assert len(report.records) == 4 + 2  # locations + strengths
+        assert report.base.label == "base"
+
+    def test_informative_data_is_robust(self, times_data, info_prior_times):
+        # 38 failures carry real information: moderate prior changes
+        # should move the posterior mean by far less than they move the
+        # prior mean.
+        report = prior_sensitivity(times_data, info_prior_times)
+        assert report.max_relative_shift() < 0.25
+        lo, hi = report.omega_mean_range()
+        assert lo < report.base.posterior_mean_omega < hi
+
+    def test_posterior_follows_prior_direction(self, times_data, info_prior_times):
+        report = prior_sensitivity(
+            times_data, info_prior_times, location_factors=(0.5, 2.0)
+        )
+        lowered, raised = report.records[0], report.records[1]
+        assert lowered.posterior_mean_omega < raised.posterior_mean_omega
+
+    def test_stronger_prior_pulls_harder(self, times_data):
+        # Off-centre prior: quadrupling its precision must pull the
+        # posterior mean further toward the prior mean.
+        off_centre = ModelPrior.informative(80.0, 20.0, 1.0e-5, 3.2e-6)
+        report = prior_sensitivity(
+            times_data,
+            off_centre,
+            location_factors=(),
+            strength_factors=(0.25, 4.0),
+        )
+        weak, strong = report.records
+        assert strong.posterior_mean_omega > weak.posterior_mean_omega
+
+    def test_small_data_is_less_robust(self, times_data, info_prior_times):
+        small = times_data.truncate(times_data.times[4] + 1.0)
+        small_report = prior_sensitivity(small, info_prior_times)
+        full_report = prior_sensitivity(times_data, info_prior_times)
+        assert small_report.max_relative_shift() > full_report.max_relative_shift()
+
+    def test_requires_proper_prior(self, times_data):
+        with pytest.raises(ValueError):
+            prior_sensitivity(times_data, ModelPrior.noninformative())

@@ -1,0 +1,114 @@
+"""Shared fixtures for the test suite.
+
+Expensive posterior fits are session-scoped: the suite reuses one fit
+per (data view, prior) combination instead of re-fitting per test.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+# Allow running the tests without an installed package (e.g. a fresh
+# checkout): put src/ on the path ahead of site-packages.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.bayes.mcmc.chains import ChainSettings
+from repro.bayes.nint import fit_nint
+from repro.bayes.priors import ModelPrior
+from repro.core.vb1 import fit_vb1
+from repro.core.vb2 import fit_vb2
+from repro.data.datasets import (
+    ntds_failure_times,
+    system17_failure_times,
+    system17_grouped,
+)
+
+
+@pytest.fixture(scope="session")
+def rng():
+    """Deterministic generator for sampling tests."""
+    return np.random.default_rng(123456)
+
+
+@pytest.fixture(scope="session")
+def times_data():
+    """System 17 analogue, failure-time view."""
+    return system17_failure_times()
+
+
+@pytest.fixture(scope="session")
+def grouped_data():
+    """System 17 analogue, grouped view."""
+    return system17_grouped()
+
+
+@pytest.fixture(scope="session")
+def ntds_data():
+    """NTDS classic dataset."""
+    return ntds_failure_times()
+
+
+@pytest.fixture(scope="session")
+def info_prior_times():
+    """Paper's Info prior for the failure-time view."""
+    return ModelPrior.informative(50.0, 15.8, 1.0e-5, 3.2e-6)
+
+
+@pytest.fixture(scope="session")
+def info_prior_grouped():
+    """Paper's Info prior for the grouped view."""
+    return ModelPrior.informative(50.0, 15.8, 3.3e-2, 1.1e-2)
+
+
+@pytest.fixture(scope="session")
+def flat_prior():
+    """Paper's NoInfo prior."""
+    return ModelPrior.noninformative()
+
+
+@pytest.fixture(scope="session")
+def vb2_times(times_data, info_prior_times):
+    """VB2 posterior on DT-Info (shared)."""
+    return fit_vb2(times_data, info_prior_times, alpha0=1.0)
+
+
+@pytest.fixture(scope="session")
+def vb2_grouped(grouped_data, info_prior_grouped):
+    """VB2 posterior on DG-Info (shared)."""
+    return fit_vb2(grouped_data, info_prior_grouped, alpha0=1.0)
+
+
+@pytest.fixture(scope="session")
+def vb1_times(times_data, info_prior_times):
+    """VB1 posterior on DT-Info (shared)."""
+    return fit_vb1(times_data, info_prior_times, alpha0=1.0)
+
+
+@pytest.fixture(scope="session")
+def nint_times(times_data, info_prior_times, vb2_times):
+    """NINT posterior on DT-Info (shared)."""
+    return fit_nint(
+        times_data, info_prior_times, 1.0, reference_posterior=vb2_times,
+        n_omega=201, n_beta=201,
+    )
+
+
+@pytest.fixture(scope="session")
+def nint_grouped(grouped_data, info_prior_grouped, vb2_grouped):
+    """NINT posterior on DG-Info (shared)."""
+    return fit_nint(
+        grouped_data, info_prior_grouped, 1.0, reference_posterior=vb2_grouped,
+        n_omega=201, n_beta=201,
+    )
+
+
+@pytest.fixture(scope="session")
+def quick_chain_settings():
+    """Small but adequate MCMC schedule for tests."""
+    return ChainSettings(n_samples=4000, burn_in=1500, thin=2, seed=99)

@@ -1,0 +1,45 @@
+"""Tests for VBConfig validation."""
+
+import pytest
+
+from repro.core.config import VBConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        config = VBConfig()
+        assert config.truncation_policy == "error"
+
+    def test_tail_tolerance_bounds(self):
+        with pytest.raises(ValueError):
+            VBConfig(tail_tolerance=0.0)
+        with pytest.raises(ValueError):
+            VBConfig(tail_tolerance=1.0)
+
+    def test_nmax_initial_positive(self):
+        with pytest.raises(ValueError):
+            VBConfig(nmax_initial=0)
+
+    def test_growth_above_one(self):
+        with pytest.raises(ValueError):
+            VBConfig(nmax_growth=1.0)
+
+    def test_ceiling_at_least_initial(self):
+        with pytest.raises(ValueError):
+            VBConfig(nmax_initial=100, nmax_ceiling=50)
+
+    def test_fixed_point_settings(self):
+        with pytest.raises(ValueError):
+            VBConfig(fixed_point_rtol=0.0)
+        with pytest.raises(ValueError):
+            VBConfig(fixed_point_max_iter=0)
+
+    def test_truncation_policy_values(self):
+        assert VBConfig(truncation_policy="clamp").truncation_policy == "clamp"
+        with pytest.raises(ValueError):
+            VBConfig(truncation_policy="ignore")
+
+    def test_frozen(self):
+        config = VBConfig()
+        with pytest.raises(Exception):
+            config.tail_tolerance = 0.5

@@ -1,0 +1,71 @@
+"""Tests for posterior curve bands."""
+
+import numpy as np
+import pytest
+
+from repro.core.curves import mean_value_band, residual_fault_band
+
+
+class TestMeanValueBand:
+    def test_band_orders(self, vb2_times, times_data):
+        times = np.linspace(0.0, times_data.horizon, 20)
+        band = mean_value_band(vb2_times, times, level=0.95)
+        assert np.all(band.lower <= band.mean + 1e-12)
+        assert np.all(band.mean <= band.upper + 1e-12)
+
+    def test_band_monotone_in_time(self, vb2_times, times_data):
+        times = np.linspace(0.0, times_data.horizon, 20)
+        band = mean_value_band(vb2_times, times)
+        assert np.all(np.diff(band.mean) >= -1e-9)
+        assert np.all(np.diff(band.lower) >= -1e-9)
+
+    def test_band_covers_observed_counts(self, vb2_times, times_data):
+        # The cumulative count curve of the data that produced the
+        # posterior should mostly lie inside a 99% band for Lambda(t).
+        checkpoints = times_data.times[::4]
+        observed = np.arange(1, times_data.count + 1)[::4].astype(float)
+        band = mean_value_band(vb2_times, checkpoints, level=0.99)
+        assert band.contains(observed).mean() > 0.8
+
+    def test_wider_level_wider_band(self, vb2_times, times_data):
+        times = np.array([times_data.horizon / 2])
+        narrow = mean_value_band(vb2_times, times, level=0.5)
+        wide = mean_value_band(vb2_times, times, level=0.99)
+        assert (wide.upper - wide.lower)[0] > (narrow.upper - narrow.lower)[0]
+
+    def test_zero_at_time_zero(self, vb2_times):
+        band = mean_value_band(vb2_times, np.array([0.0, 1.0]))
+        assert band.mean[0] == pytest.approx(0.0, abs=1e-12)
+        assert band.upper[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_to_rows(self, vb2_times):
+        band = mean_value_band(vb2_times, np.array([0.0, 1000.0]))
+        rows = band.to_rows()
+        assert len(rows) == 2
+        assert len(rows[0]) == 4
+
+    def test_validation(self, vb2_times):
+        with pytest.raises(ValueError):
+            mean_value_band(vb2_times, np.array([-1.0]))
+        with pytest.raises(ValueError):
+            mean_value_band(vb2_times, np.array([1.0]), level=1.5)
+
+
+class TestResidualBand:
+    def test_residuals_decrease(self, vb2_times, times_data):
+        times = np.linspace(0.0, times_data.horizon, 20)
+        band = residual_fault_band(vb2_times, times)
+        assert np.all(np.diff(band.mean) <= 1e-9)
+
+    def test_starts_at_omega(self, vb2_times):
+        band = residual_fault_band(vb2_times, np.array([0.0]))
+        assert band.mean[0] == pytest.approx(vb2_times.mean("omega"), rel=0.02)
+
+    def test_complementarity_with_mean_value(self, vb2_times, times_data):
+        times = np.linspace(0.0, times_data.horizon, 10)
+        total = vb2_times.mean("omega")
+        mv = mean_value_band(vb2_times, times)
+        res = residual_fault_band(vb2_times, times)
+        assert mv.mean + res.mean == pytest.approx(
+            np.full_like(times, total), rel=0.02
+        )

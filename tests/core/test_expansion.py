@@ -1,0 +1,87 @@
+"""Tests for the Cornish-Fisher expansion intervals (paper future work)."""
+
+import numpy as np
+import pytest
+
+from repro.bayes.laplace import fit_laplace
+from repro.core.expansion import cornish_fisher_quantile, expansion_interval
+from repro.stats.gamma_dist import GammaDistribution
+from repro.core.posterior import VBPosterior
+
+
+def gamma_posterior(shape=8.0, rate=0.2):
+    """One-component VB posterior whose quantiles are known exactly."""
+    return VBPosterior(
+        n_values=[1.0],
+        weights=[1.0],
+        omega_components=[GammaDistribution(shape, rate)],
+        beta_components=[GammaDistribution(38.0, 4e6)],
+    )
+
+
+class TestAgainstExactGamma:
+    def test_order4_beats_order2_on_skewed_posterior(self):
+        posterior = gamma_posterior()
+        exact = posterior.quantile("omega", 0.995)
+        errors = {
+            order: abs(
+                cornish_fisher_quantile(posterior, "omega", 0.995, order=order)
+                - exact
+            )
+            for order in (2, 3, 4)
+        }
+        assert errors[3] < errors[2]
+        assert errors[4] < 0.5 * errors[2]
+
+    def test_order2_is_normal_quantile(self):
+        posterior = gamma_posterior()
+        from scipy import stats as st
+
+        z = st.norm.ppf(0.975)
+        expected = posterior.mean("omega") + z * posterior.std("omega")
+        assert cornish_fisher_quantile(
+            posterior, "omega", 0.975, order=2
+        ) == pytest.approx(expected, rel=1e-12)
+
+    def test_symmetric_posterior_needs_no_correction(self):
+        # Large shape: gamma approaches normal; orders 2 and 4 converge.
+        posterior = gamma_posterior(shape=10_000.0, rate=100.0)
+        q2 = cornish_fisher_quantile(posterior, "omega", 0.995, order=2)
+        q4 = cornish_fisher_quantile(posterior, "omega", 0.995, order=4)
+        assert q2 == pytest.approx(q4, rel=1e-3)
+
+
+class TestOnRealPosteriors:
+    def test_matches_exact_interval_on_vb2(self, vb2_times):
+        exact = vb2_times.credible_interval("omega", 0.99)
+        expansion = expansion_interval(vb2_times, "omega", 0.99, order=4)
+        assert expansion.lower == pytest.approx(exact[0], rel=0.01)
+        assert expansion.upper == pytest.approx(exact[1], rel=0.01)
+
+    def test_beats_laplace_interval(
+        self, vb2_times, nint_times, times_data, info_prior_times
+    ):
+        # The expansion interval built on VB2 cumulants should land closer
+        # to NINT's exact interval than LAPL's symmetric one does.
+        lapl = fit_laplace(times_data, info_prior_times)
+        exact = nint_times.credible_interval("omega", 0.99)
+        lapl_interval = lapl.credible_interval("omega", 0.99)
+        cf = expansion_interval(vb2_times, "omega", 0.99, order=4)
+        lapl_error = abs(lapl_interval[0] - exact[0]) + abs(
+            lapl_interval[1] - exact[1]
+        )
+        cf_error = abs(cf.lower - exact[0]) + abs(cf.upper - exact[1])
+        assert cf_error < 0.5 * lapl_error
+
+    def test_records_cumulants(self, vb2_times):
+        interval = expansion_interval(vb2_times, "omega", 0.99)
+        assert interval.skewness > 0.0  # right-skewed posterior
+        assert interval.level == 0.99
+
+    def test_validation(self, vb2_times):
+        with pytest.raises(ValueError):
+            cornish_fisher_quantile(vb2_times, "omega", 1.5)
+        with pytest.raises(ValueError):
+            cornish_fisher_quantile(vb2_times, "omega", 0.5, order=5)
+        with pytest.raises(ValueError):
+            expansion_interval(vb2_times, "omega", level=0.0)

@@ -1,0 +1,56 @@
+"""Tests for the scalar fixed-point solver."""
+
+import math
+
+import pytest
+
+from repro.core.fixed_point import solve_fixed_point
+from repro.exceptions import ConvergenceError
+
+
+class TestSolve:
+    def test_linear_contraction(self):
+        # x = 0.5 x + 1 -> x* = 2.
+        result = solve_fixed_point(lambda x: 0.5 * x + 1.0, 10.0)
+        assert result.value == pytest.approx(2.0, rel=1e-10)
+        assert result.converged
+
+    def test_cosine_fixed_point(self):
+        result = solve_fixed_point(lambda x: math.cos(x) + 1.5, 1.0)
+        assert result.value == pytest.approx(math.cos(result.value) + 1.5, rel=1e-9)
+
+    def test_aitken_accelerates_slow_contraction(self):
+        # Contraction factor 0.99: plain substitution needs thousands of
+        # steps for 1e-12; Aitken needs far fewer evaluations.
+        update = lambda x: 0.99 * x + 0.01 * 5.0
+        accelerated = solve_fixed_point(update, 100.0, use_aitken=True)
+        assert accelerated.value == pytest.approx(5.0, rel=1e-9)
+        plain_budget_fails = False
+        try:
+            solve_fixed_point(update, 100.0, use_aitken=False, max_iter=100)
+        except ConvergenceError:
+            plain_budget_fails = True
+        assert plain_budget_fails
+        assert accelerated.iterations <= 100
+
+    def test_fixed_point_already_at_start(self):
+        result = solve_fixed_point(lambda x: x, 3.0)
+        assert result.value == 3.0
+        assert result.iterations == 1
+
+    def test_budget_exhaustion_raises(self):
+        with pytest.raises(ConvergenceError) as excinfo:
+            solve_fixed_point(lambda x: 2.0 * x, 1.0, max_iter=20, use_aitken=False)
+        assert excinfo.value.iterations == 20
+
+    def test_domain_violation_raises(self):
+        with pytest.raises(ConvergenceError):
+            solve_fixed_point(lambda x: x - 10.0, 1.0)
+
+    def test_invalid_start_rejected(self):
+        with pytest.raises(ValueError):
+            solve_fixed_point(lambda x: x, -1.0)
+
+    def test_result_residual_small_on_convergence(self):
+        result = solve_fixed_point(lambda x: 0.3 * x + 0.7, 5.0, rtol=1e-10)
+        assert result.residual <= 1e-10

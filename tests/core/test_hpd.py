@@ -1,0 +1,87 @@
+"""Tests for HPD intervals."""
+
+import pytest
+
+from repro.core.hpd import hpd_interval
+from repro.core.posterior import VBPosterior
+from repro.stats.gamma_dist import GammaDistribution
+
+
+def skewed_posterior():
+    """Single-gamma posterior: the HPD interval is known to sit left of
+    the central one."""
+    return VBPosterior(
+        n_values=[1.0],
+        weights=[1.0],
+        omega_components=[GammaDistribution(5.0, 0.125)],  # heavily skewed
+        beta_components=[GammaDistribution(38.0, 4e6)],
+    )
+
+
+class TestHPD:
+    def test_coverage_is_exact(self):
+        posterior = skewed_posterior()
+        interval = hpd_interval(posterior, "omega", 0.9)
+        mass = posterior.marginal("omega").cdf(interval.upper) - posterior.marginal(
+            "omega"
+        ).cdf(interval.lower)
+        assert mass == pytest.approx(0.9, abs=1e-6)
+
+    def test_shorter_than_central_interval(self):
+        posterior = skewed_posterior()
+        hpd = hpd_interval(posterior, "omega", 0.9)
+        central = posterior.credible_interval("omega", 0.9)
+        assert hpd.width < central[1] - central[0]
+
+    def test_shifted_left_under_right_skew(self):
+        posterior = skewed_posterior()
+        hpd = hpd_interval(posterior, "omega", 0.9)
+        central = posterior.credible_interval("omega", 0.9)
+        assert hpd.lower < central[0]
+        assert hpd.upper < central[1]
+        assert hpd.left_tail < 0.05  # less than the central interval's tail
+
+    def test_density_at_endpoints_nearly_equal(self):
+        # The defining property of an HPD interval for a smooth unimodal
+        # density: equal density at the two endpoints.
+        posterior = skewed_posterior()
+        hpd = hpd_interval(posterior, "omega", 0.9)
+        marginal = posterior.marginal("omega")
+        f_lo = float(marginal.pdf(hpd.lower))
+        f_hi = float(marginal.pdf(hpd.upper))
+        assert f_lo == pytest.approx(f_hi, rel=0.02)
+
+    def test_on_real_vb2_posterior(self, vb2_times):
+        hpd = hpd_interval(vb2_times, "omega", 0.99)
+        central = vb2_times.credible_interval("omega", 0.99)
+        assert hpd.width <= (central[1] - central[0]) + 1e-9
+        assert hpd.lower < vb2_times.mean("omega") < hpd.upper
+
+    def test_symmetric_posterior_matches_central(self):
+        # Near-normal gamma: HPD ~ central interval.
+        posterior = VBPosterior(
+            n_values=[1.0],
+            weights=[1.0],
+            omega_components=[GammaDistribution(40_000.0, 1000.0)],
+            beta_components=[GammaDistribution(38.0, 4e6)],
+        )
+        hpd = hpd_interval(posterior, "omega", 0.95)
+        central = posterior.credible_interval("omega", 0.95)
+        assert hpd.lower == pytest.approx(central[0], rel=1e-3)
+        assert hpd.upper == pytest.approx(central[1], rel=1e-3)
+
+    def test_validation(self, vb2_times):
+        with pytest.raises(ValueError):
+            hpd_interval(vb2_times, "omega", 0.0)
+
+    def test_works_on_grid_posterior(self, nint_times):
+        hpd = hpd_interval(nint_times, "omega", 0.95)
+        central = nint_times.credible_interval("omega", 0.95)
+        assert hpd.width <= (central[1] - central[0]) + 1e-6
+        assert hpd.lower <= central[0] + 1e-6
+
+    def test_agrees_across_methods(self, vb2_times, nint_times):
+        vb2_hpd = hpd_interval(vb2_times, "omega", 0.95)
+        nint_hpd = hpd_interval(nint_times, "omega", 0.95)
+        assert vb2_hpd.lower == pytest.approx(nint_hpd.lower, rel=0.02)
+        assert vb2_hpd.upper == pytest.approx(nint_hpd.upper, rel=0.02)

@@ -1,0 +1,96 @@
+"""Tests for the reliability-increment helper and the user-facing API."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.reliability import (
+    ReliabilityEstimate,
+    estimate_reliability,
+    reliability_increment,
+)
+from repro.models.gamma_srm import GammaSRM
+
+
+class TestIncrement:
+    def test_matches_model_cdf_difference(self):
+        c = reliability_increment(2.0, 10.0, 3.0)
+        model = GammaSRM(omega=1.0, beta=0.4, alpha0=2.0)
+        expected = model.lifetime_cdf(13.0) - model.lifetime_cdf(10.0)
+        assert c(0.4) == pytest.approx(expected, rel=1e-10)
+
+    def test_zero_window(self):
+        c = reliability_increment(1.0, 5.0, 0.0)
+        assert c(0.3) == 0.0
+
+    def test_vectorised(self):
+        c = reliability_increment(1.0, 5.0, 2.0)
+        betas = np.array([0.1, 0.2, 0.5])
+        out = c(betas)
+        assert out.shape == (3,)
+        assert np.all((out >= 0.0) & (out <= 1.0))
+
+    def test_deep_tail_stability(self):
+        # te so large that both CDFs are 1 to machine precision: the SF
+        # difference must return a clean 0, not a negative round-off.
+        c = reliability_increment(1.0, 1e9, 1.0)
+        assert c(1.0) == 0.0
+
+    def test_derivative_matches_numeric(self):
+        c = reliability_increment(2.0, 10.0, 3.0)
+        beta = 0.37
+        step = 1e-7
+        numeric = (c(beta + step) - c(beta - step)) / (2.0 * step)
+        assert c.derivative(beta) == pytest.approx(numeric, rel=1e-5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            reliability_increment(0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            reliability_increment(1.0, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            reliability_increment(1.0, 1.0, -1.0)
+        with pytest.raises(ValueError):
+            reliability_increment(1.0, 1.0, 1.0).derivative(0.0)
+
+    def test_hashable_for_caching(self):
+        a = reliability_increment(1.0, 5.0, 2.0)
+        b = reliability_increment(1.0, 5.0, 2.0)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestEstimateReliability:
+    def test_estimate_structure(self, vb2_times, times_data):
+        estimate = estimate_reliability(vb2_times, times_data.horizon, 1000.0)
+        assert isinstance(estimate, ReliabilityEstimate)
+        assert estimate.method == "VB2"
+        assert 0.0 < estimate.lower < estimate.point < estimate.upper <= 1.0
+
+    def test_longer_window_lower_reliability(self, vb2_times, times_data):
+        short = estimate_reliability(vb2_times, times_data.horizon, 1000.0)
+        long = estimate_reliability(vb2_times, times_data.horizon, 10_000.0)
+        assert long.point < short.point
+
+    def test_level_widens_interval(self, vb2_times, times_data):
+        narrow = estimate_reliability(
+            vb2_times, times_data.horizon, 5000.0, level=0.5
+        )
+        wide = estimate_reliability(vb2_times, times_data.horizon, 5000.0, level=0.99)
+        assert wide.upper - wide.lower > narrow.upper - narrow.lower
+
+    def test_point_within_model_plugin_neighbourhood(self, vb2_times, times_data):
+        estimate = estimate_reliability(vb2_times, times_data.horizon, 1000.0)
+        plug_in = GammaSRM(
+            omega=vb2_times.mean("omega"),
+            beta=vb2_times.mean("beta"),
+            alpha0=1.0,
+        ).reliability(times_data.horizon, 1000.0)
+        assert estimate.point == pytest.approx(plug_in, abs=0.02)
+
+    def test_str_rendering(self, vb2_times, times_data):
+        estimate = estimate_reliability(vb2_times, times_data.horizon, 1000.0)
+        text = str(estimate)
+        assert "VB2" in text
+        assert "99%" in text

@@ -1,0 +1,68 @@
+"""Tests for the sequential reliability tracker."""
+
+import numpy as np
+import pytest
+
+from repro.core.sequential import ReliabilityTracker
+from repro.bayes.priors import ModelPrior
+
+
+@pytest.fixture()
+def tracker(info_prior_grouped):
+    return ReliabilityTracker(
+        info_prior_grouped,
+        prediction_window=1.0,
+        reliability_target=0.7,
+    )
+
+
+class TestTracker:
+    def test_replay_grouped_produces_one_record_per_period(
+        self, tracker, grouped_data
+    ):
+        history = tracker.replay_grouped(grouped_data, period=8)
+        assert len(history) == grouped_data.n_intervals // 8
+        horizons = [record.horizon for record in history]
+        assert horizons == sorted(horizons)
+
+    def test_observed_counts_cumulative(self, tracker, grouped_data):
+        history = tracker.replay_grouped(grouped_data, period=8)
+        counts = [record.observed_failures for record in history]
+        assert counts == sorted(counts)
+        assert counts[-1] == grouped_data.total_count
+
+    def test_reliability_improves_as_faults_deplete(self, tracker, grouped_data):
+        history = tracker.replay_grouped(grouped_data, period=8)
+        # Late-campaign reliability should exceed early-campaign.
+        assert history[-1].reliability_point > history[0].reliability_point
+
+    def test_first_ship_record(self, tracker, grouped_data):
+        tracker.replay_grouped(grouped_data, period=8)
+        record = tracker.first_ship_record()
+        if record is not None:
+            assert record.meets_target
+            assert record.reliability_lower >= 0.7
+
+    def test_replay_times(self, times_data, info_prior_times):
+        tracker = ReliabilityTracker(
+            info_prior_times,
+            prediction_window=1000.0,
+            reliability_target=0.9,
+        )
+        checkpoints = np.linspace(
+            times_data.times[5], times_data.horizon, 4
+        )
+        history = tracker.replay_times(times_data, checkpoints)
+        assert len(history) == 4
+        assert history[-1].observed_failures == times_data.count
+
+    def test_residuals_decrease_over_campaign(self, tracker, grouped_data):
+        history = tracker.replay_grouped(grouped_data, period=16)
+        assert history[-1].expected_residual < history[0].expected_residual + 5.0
+
+    def test_validation(self, info_prior_grouped, grouped_data):
+        with pytest.raises(ValueError):
+            ReliabilityTracker(info_prior_grouped, reliability_target=1.5)
+        tracker = ReliabilityTracker(info_prior_grouped)
+        with pytest.raises(ValueError):
+            tracker.replay_grouped(grouped_data, period=0)

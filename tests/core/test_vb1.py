@@ -1,0 +1,97 @@
+"""Tests for the fully factorised VB1 baseline."""
+
+import math
+
+import pytest
+
+from repro.core.config import VBConfig
+from repro.core.vb1 import fit_vb1
+from repro.core.vb2 import fit_vb2
+from repro.data.failure_data import FailureTimeData
+
+
+class TestStructure:
+    def test_single_component_product_posterior(self, vb1_times):
+        assert vb1_times.n_components == 1
+        assert vb1_times.method_name == "VB1"
+
+    def test_zero_covariance_by_construction(self, vb1_times):
+        # The defining failure of VB1 (paper Table 1).
+        assert vb1_times.covariance() == pytest.approx(0.0, abs=1e-12)
+        assert vb1_times.correlation() == pytest.approx(0.0, abs=1e-12)
+
+    def test_expected_n_above_observed(self, vb1_times, times_data):
+        assert vb1_times.diagnostics["expected_n"] > times_data.count
+
+    def test_grouped_fit(self, grouped_data, info_prior_grouped):
+        posterior = fit_vb1(grouped_data, info_prior_grouped)
+        assert posterior.covariance() == 0.0
+        assert posterior.mean("omega") > grouped_data.total_count
+
+    def test_invalid_alpha0(self, times_data, info_prior_times):
+        with pytest.raises(ValueError):
+            fit_vb1(times_data, info_prior_times, alpha0=-1.0)
+
+    def test_unsupported_data_type(self, info_prior_times):
+        with pytest.raises(TypeError):
+            fit_vb1({"not": "data"}, info_prior_times)
+
+
+class TestAgainstVB2:
+    def test_means_close_to_vb2(self, vb1_times, vb2_times):
+        # VB1 biases means slightly but stays in the same neighbourhood.
+        assert vb1_times.mean("omega") == pytest.approx(
+            vb2_times.mean("omega"), rel=0.05
+        )
+        assert vb1_times.mean("beta") == pytest.approx(
+            vb2_times.mean("beta"), rel=0.10
+        )
+
+    def test_underestimates_variances(self, vb1_times, vb2_times):
+        # The paper's central observation about VB1.
+        assert vb1_times.variance("omega") < vb2_times.variance("omega")
+        assert vb1_times.variance("beta") < vb2_times.variance("beta")
+
+    def test_narrower_intervals_than_vb2(self, vb1_times, vb2_times):
+        lo1, hi1 = vb1_times.credible_interval("beta", 0.99)
+        lo2, hi2 = vb2_times.credible_interval("beta", 0.99)
+        assert hi1 - lo1 < hi2 - lo2
+
+    def test_elbo_below_vb2(self, times_data, info_prior_times, vb1_times):
+        # VB2's variational family strictly contains VB1's, so the
+        # optimised bound must be at least as tight.
+        vb2 = fit_vb2(times_data, info_prior_times)
+        assert vb1_times.elbo is not None
+        assert vb1_times.elbo <= vb2.elbo + 1e-9
+
+    def test_grouped_elbo_below_vb2(self, grouped_data, info_prior_grouped):
+        vb1 = fit_vb1(grouped_data, info_prior_grouped)
+        vb2 = fit_vb2(grouped_data, info_prior_grouped)
+        assert vb1.elbo <= vb2.elbo + 1e-9
+
+
+class TestConvergence:
+    def test_deterministic(self, times_data, info_prior_times):
+        a = fit_vb1(times_data, info_prior_times)
+        b = fit_vb1(times_data, info_prior_times)
+        assert a.mean("omega") == b.mean("omega")
+
+    def test_flat_prior_runs(self, times_data, flat_prior):
+        posterior = fit_vb1(times_data, flat_prior)
+        assert math.isfinite(posterior.mean("omega"))
+        assert posterior.elbo is None
+
+    def test_single_failure(self, info_prior_times):
+        data = FailureTimeData([1000.0], horizon=240_000.0)
+        posterior = fit_vb1(data, info_prior_times)
+        assert posterior.mean("omega") > 0
+
+    def test_iterations_recorded(self, vb1_times):
+        assert vb1_times.diagnostics["iterations"] >= 1
+
+    def test_tolerance_config_respected(self, times_data, info_prior_times):
+        config = VBConfig(fixed_point_rtol=1e-6, fixed_point_max_iter=50)
+        posterior = fit_vb1(times_data, info_prior_times, config=config)
+        loose = posterior.diagnostics["lambda_star"]
+        tight = fit_vb1(times_data, info_prior_times).diagnostics["lambda_star"]
+        assert loose == pytest.approx(tight, rel=1e-4)

@@ -1,0 +1,191 @@
+"""Tests for the Weibull-type VB extension (power-transform reduction)."""
+
+import numpy as np
+import pytest
+
+from repro.bayes.priors import GammaPrior, ModelPrior
+from repro.core.reliability import reliability_increment
+from repro.core.weibull_vb import fit_vb2_weibull
+from repro.data.simulation import simulate_failure_times
+from repro.models.weibull_srm import WeibullSRM
+
+SHAPE = 2.0  # Rayleigh member
+TRUE_OMEGA = 80.0
+TRUE_BETA = 0.12
+
+
+@pytest.fixture(scope="module")
+def weibull_data():
+    model = WeibullSRM(omega=TRUE_OMEGA, beta=TRUE_BETA, shape=SHAPE)
+    return simulate_failure_times(model, 15.0, np.random.default_rng(606))
+
+
+@pytest.fixture(scope="module")
+def theta_prior():
+    # Prior on theta = beta^c; center near TRUE_BETA^2 with wide spread.
+    return ModelPrior(
+        omega=GammaPrior.from_mean_std(75.0, 30.0),
+        beta=GammaPrior.from_mean_std(TRUE_BETA**SHAPE, 0.8 * TRUE_BETA**SHAPE),
+    )
+
+
+@pytest.fixture(scope="module")
+def posterior(weibull_data, theta_prior):
+    return fit_vb2_weibull(weibull_data, theta_prior, shape=SHAPE)
+
+
+class TestWeibullVB:
+    def test_recovers_truth(self, posterior):
+        lo, hi = posterior.credible_interval("omega", 0.99)
+        assert lo < TRUE_OMEGA < hi
+        lo, hi = posterior.credible_interval("beta", 0.99)
+        assert lo < TRUE_BETA < hi
+
+    def test_beta_moments_match_sampling(self, posterior, rng):
+        draws = posterior.sample(300_000, rng)
+        assert posterior.mean("beta") == pytest.approx(
+            draws[:, 1].mean(), rel=5e-3
+        )
+        assert posterior.variance("beta") == pytest.approx(
+            draws[:, 1].var(), rel=0.03
+        )
+        assert posterior.cross_moment() == pytest.approx(
+            np.mean(draws[:, 0] * draws[:, 1]), rel=5e-3
+        )
+
+    def test_quantile_transform_exact(self, posterior):
+        # beta quantile = (theta quantile)^(1/c), monotone map.
+        inner = posterior.theta_posterior
+        for q in (0.05, 0.5, 0.95):
+            assert posterior.quantile("beta", q) == pytest.approx(
+                inner.quantile("beta", q) ** 0.5, rel=1e-10
+            )
+
+    def test_matches_nint_on_weibull_likelihood(
+        self, weibull_data, theta_prior, posterior
+    ):
+        # Independent validation: integrate the *untransformed* Weibull
+        # posterior numerically over (omega, beta) with the prior mapped
+        # through theta = beta^c (Jacobian c beta^(c-1)).
+        from repro.bayes.grid_posterior import GridPosterior
+        from repro.stats.quadrature import TensorGrid
+
+        omega_range = (
+            posterior.quantile("omega", 0.0005) * 0.5,
+            posterior.quantile("omega", 0.9995) * 1.5,
+        )
+        beta_range = (
+            posterior.quantile("beta", 0.0005) * 0.5,
+            posterior.quantile("beta", 0.9995) * 1.5,
+        )
+        grid = TensorGrid.simpson(omega_range, beta_range, 241, 241)
+
+        def log_post_matrix():
+            out = np.empty((grid.x.size, grid.y.size))
+            for j, beta in enumerate(grid.y):
+                model = WeibullSRM(omega=1.0, beta=beta, shape=SHAPE)
+                base = float(
+                    np.sum(model.lifetime_log_pdf(weibull_data.times))
+                )
+                g_te = float(model.lifetime_cdf(weibull_data.horizon))
+                theta = beta**SHAPE
+                log_prior_beta = float(
+                    theta_prior.beta.log_pdf(theta)
+                ) + np.log(SHAPE) + (SHAPE - 1.0) * np.log(beta)
+                out[:, j] = (
+                    weibull_data.count * np.log(grid.x)
+                    - grid.x * g_te
+                    + base
+                    + log_prior_beta
+                    + np.asarray(theta_prior.omega.log_pdf(grid.x))
+                )
+            return out
+
+        nint = GridPosterior(grid, log_post_matrix())
+        assert posterior.mean("omega") == pytest.approx(
+            nint.mean("omega"), rel=0.01
+        )
+        assert posterior.mean("beta") == pytest.approx(
+            nint.mean("beta"), rel=0.01
+        )
+        assert posterior.variance("beta") == pytest.approx(
+            nint.variance("beta"), rel=0.10
+        )
+
+    def test_reliability_window_transform(self, posterior, weibull_data):
+        te = weibull_data.horizon
+        u = 2.0
+        c = reliability_increment(1.0, te, u)
+        point = posterior.reliability_point(c)
+        # Monte-Carlo check with the actual Weibull model.
+        rng = np.random.default_rng(607)
+        draws = posterior.sample(200_000, rng)
+        model_vals = np.exp(
+            -draws[:, 0]
+            * (
+                np.exp(-((draws[:, 1] * te) ** SHAPE))
+                - np.exp(-((draws[:, 1] * (te + u)) ** SHAPE))
+            )
+        )
+        assert point == pytest.approx(model_vals.mean(), rel=5e-3)
+        assert 0.0 < posterior.reliability_quantile(0.005, c) < point
+
+    def test_reliability_rejects_wrong_kernel(self, posterior, weibull_data):
+        c = reliability_increment(2.0, weibull_data.horizon, 1.0)
+        with pytest.raises(ValueError):
+            posterior.reliability_point(c)
+
+    def test_density_grid_integrates_to_one(self, posterior):
+        omega = np.linspace(
+            posterior.quantile("omega", 0.0005),
+            posterior.quantile("omega", 0.9995),
+            301,
+        )
+        beta = np.linspace(
+            posterior.quantile("beta", 0.0005),
+            posterior.quantile("beta", 0.9995),
+            301,
+        )
+        density = np.exp(posterior.log_pdf_grid(omega, beta))
+        integral = np.trapezoid(np.trapezoid(density, beta, axis=1), omega)
+        assert integral == pytest.approx(1.0, abs=5e-3)
+
+    def test_grouped_data_supported(self, theta_prior):
+        model = WeibullSRM(omega=TRUE_OMEGA, beta=TRUE_BETA, shape=SHAPE)
+        rng = np.random.default_rng(608)
+        from repro.data.simulation import simulate_grouped
+
+        grouped = simulate_grouped(model, np.arange(1.0, 16.0), rng)
+        posterior = fit_vb2_weibull(grouped, theta_prior, shape=SHAPE)
+        lo, hi = posterior.credible_interval("omega", 0.99)
+        assert lo < TRUE_OMEGA < hi
+
+    def test_shape_validation(self, weibull_data, theta_prior):
+        with pytest.raises(ValueError):
+            fit_vb2_weibull(weibull_data, theta_prior, shape=0.0)
+
+    def test_elbo_jacobian_correction(self, weibull_data, theta_prior, posterior):
+        # The corrected ELBO lives on the original clock: it must equal
+        # the inner (transformed-clock) ELBO plus sum(log(c t^{c-1})).
+        import math
+
+        expected = posterior.theta_posterior.elbo + (
+            weibull_data.count * math.log(SHAPE)
+            + (SHAPE - 1.0) * weibull_data.sum_log_times
+        )
+        assert posterior.elbo == pytest.approx(expected)
+
+    def test_weibull_evidence_beats_goel_okumoto_on_weibull_data(
+        self, weibull_data, theta_prior, posterior
+    ):
+        # Model selection by evidence: the correct family must win on
+        # data simulated from it (this is what the Jacobian correction
+        # makes possible).
+        from repro.core.vb2 import fit_vb2
+
+        go_prior = ModelPrior(
+            omega=theta_prior.omega,
+            beta=GammaPrior.from_mean_std(0.08, 0.06),
+        )
+        go = fit_vb2(weibull_data, go_prior, alpha0=1.0)
+        assert posterior.elbo > go.elbo

@@ -1,0 +1,69 @@
+"""Tests for the bundled datasets."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import (
+    dataset_registry,
+    ntds_failure_times,
+    system17_failure_times,
+    system17_grouped,
+)
+
+
+class TestSystem17:
+    def test_failure_time_view_shape(self):
+        data = system17_failure_times()
+        # Same sample size and scale as the paper's System 17 data.
+        assert data.count == 38
+        assert data.unit == "seconds"
+        assert data.horizon == 240_000.0
+        assert data.times[-1] <= data.horizon
+
+    def test_grouped_view_shape(self):
+        data = system17_grouped()
+        assert data.n_intervals == 64
+        assert data.total_count == 38
+        assert data.unit == "days"
+        assert data.horizon == 64.0
+
+    def test_views_agree_on_total(self):
+        assert system17_failure_times().count == system17_grouped().total_count
+
+    def test_deterministic(self):
+        a = system17_failure_times()
+        b = system17_failure_times()
+        assert np.array_equal(a.times, b.times)
+
+    def test_growth_is_concave_overall(self):
+        # Goel-Okumoto-like data: more failures in the first half of the
+        # observation period than the second.
+        data = system17_failure_times()
+        first_half = int((data.times <= data.horizon / 2).sum())
+        assert first_half > data.count / 2
+
+
+class TestNTDS:
+    def test_classic_values(self):
+        data = ntds_failure_times()
+        assert data.count == 26
+        assert data.times[0] == 9.0
+        assert data.times[-1] == 250.0
+        assert data.unit == "days"
+
+    def test_cumulative_of_known_interfailures(self):
+        data = ntds_failure_times()
+        inter = data.interarrival_times()
+        assert inter[:5] == pytest.approx([9, 12, 11, 4, 7])
+        assert inter[-3:] == pytest.approx([91, 2, 1])
+
+
+class TestRegistry:
+    def test_contains_all_loaders(self):
+        registry = dataset_registry()
+        assert set(registry) == {"system17_times", "system17_grouped", "ntds_times"}
+
+    def test_loaders_work(self):
+        for loader in dataset_registry().values():
+            data = loader()
+            assert data.horizon > 0

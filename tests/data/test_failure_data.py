@@ -1,0 +1,189 @@
+"""Tests for the failure-data containers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.failure_data import FailureTimeData, GroupedData
+from repro.exceptions import DataValidationError
+
+
+class TestFailureTimeData:
+    def test_basic_properties(self):
+        data = FailureTimeData([1.0, 2.0, 5.0], horizon=10.0)
+        assert data.count == 3
+        assert data.total_time == pytest.approx(8.0)
+        assert data.sum_log_times == pytest.approx(np.log([1, 2, 5]).sum())
+        assert data.horizon == 10.0
+
+    def test_default_horizon_is_last_failure(self):
+        data = FailureTimeData([1.0, 4.0])
+        assert data.horizon == 4.0
+
+    def test_ties_allowed(self):
+        data = FailureTimeData([1.0, 1.0, 2.0])
+        assert data.count == 3
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(DataValidationError):
+            FailureTimeData([2.0, 1.0])
+
+    def test_rejects_nonpositive_times(self):
+        with pytest.raises(DataValidationError):
+            FailureTimeData([0.0, 1.0])
+        with pytest.raises(DataValidationError):
+            FailureTimeData([-1.0, 1.0])
+
+    def test_rejects_horizon_before_last_failure(self):
+        with pytest.raises(DataValidationError):
+            FailureTimeData([1.0, 5.0], horizon=4.0)
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(DataValidationError):
+            FailureTimeData([1.0, np.nan])
+        with pytest.raises(DataValidationError):
+            FailureTimeData([1.0], horizon=np.inf)
+
+    def test_empty_needs_horizon(self):
+        with pytest.raises(DataValidationError):
+            FailureTimeData([])
+        data = FailureTimeData([], horizon=5.0)
+        assert data.count == 0
+        assert data.sum_log_times == 0.0
+
+    def test_times_are_immutable(self):
+        data = FailureTimeData([1.0, 2.0])
+        with pytest.raises(ValueError):
+            data.times[0] = 9.9
+
+    def test_truncate(self):
+        data = FailureTimeData([1.0, 2.0, 5.0], horizon=10.0)
+        cut = data.truncate(3.0)
+        assert cut.count == 2
+        assert cut.horizon == 3.0
+
+    def test_truncate_cannot_extend(self):
+        data = FailureTimeData([1.0], horizon=2.0)
+        with pytest.raises(DataValidationError):
+            data.truncate(5.0)
+
+    def test_interarrival_times(self):
+        data = FailureTimeData([1.0, 3.0, 6.0])
+        assert data.interarrival_times() == pytest.approx([1.0, 2.0, 3.0])
+
+    def test_summary_keys(self):
+        summary = FailureTimeData([1.0, 2.0], horizon=4.0).summary()
+        assert summary["count"] == 2.0
+        assert summary["horizon"] == 4.0
+
+
+class TestToGrouped:
+    def test_counts_bucketing(self):
+        data = FailureTimeData([1.0, 2.0, 5.0], horizon=10.0)
+        grouped = data.to_grouped([2.0, 4.0, 10.0])
+        assert grouped.counts.tolist() == [2, 0, 1]
+
+    def test_boundary_time_goes_to_closing_interval(self):
+        # t == boundary belongs to (s_{i-1}, s_i].
+        data = FailureTimeData([2.0], horizon=4.0)
+        grouped = data.to_grouped([2.0, 4.0])
+        assert grouped.counts.tolist() == [1, 0]
+
+    def test_total_preserved(self):
+        data = FailureTimeData([0.5, 1.5, 2.5, 3.5], horizon=4.0)
+        grouped = data.to_grouped([1.0, 2.0, 3.0, 4.0])
+        assert grouped.total_count == data.count
+
+    def test_rejects_short_boundaries(self):
+        data = FailureTimeData([5.0], horizon=6.0)
+        with pytest.raises(DataValidationError):
+            data.to_grouped([2.0, 4.0])
+
+    @given(
+        times=st.lists(
+            st.floats(min_value=0.01, max_value=9.99), min_size=0, max_size=30
+        )
+    )
+    @settings(max_examples=100)
+    def test_total_count_preserved_property(self, times):
+        data = FailureTimeData(np.sort(times), horizon=10.0)
+        grouped = data.to_grouped(np.linspace(1.0, 10.0, 10))
+        assert grouped.total_count == data.count
+
+
+class TestGroupedData:
+    def test_basic_properties(self):
+        data = GroupedData(counts=[1, 0, 2], boundaries=[1.0, 2.0, 3.0])
+        assert data.n_intervals == 3
+        assert data.total_count == 3
+        assert data.horizon == 3.0
+        assert data.cumulative_counts.tolist() == [1, 1, 3]
+
+    def test_interval_edges(self):
+        data = GroupedData(counts=[1, 1], boundaries=[2.0, 5.0])
+        assert data.interval_edges().tolist() == [0.0, 2.0, 5.0]
+        assert data.intervals() == [(0.0, 2.0, 1), (2.0, 5.0, 1)]
+
+    def test_from_equal_intervals(self):
+        data = GroupedData.from_equal_intervals([3, 1, 0], interval_length=2.0)
+        assert data.boundaries.tolist() == [2.0, 4.0, 6.0]
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(DataValidationError):
+            GroupedData(counts=[-1], boundaries=[1.0])
+
+    def test_rejects_noninteger_counts(self):
+        with pytest.raises(DataValidationError):
+            GroupedData(counts=[1.5], boundaries=[1.0])
+
+    def test_rejects_nonincreasing_boundaries(self):
+        with pytest.raises(DataValidationError):
+            GroupedData(counts=[1, 1], boundaries=[2.0, 2.0])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(DataValidationError):
+            GroupedData(counts=[1], boundaries=[1.0, 2.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataValidationError):
+            GroupedData(counts=[], boundaries=[])
+
+    def test_truncate(self):
+        data = GroupedData(counts=[1, 2, 3], boundaries=[1.0, 2.0, 3.0])
+        cut = data.truncate(2)
+        assert cut.total_count == 3
+        assert cut.horizon == 2.0
+
+    def test_truncate_bounds(self):
+        data = GroupedData(counts=[1], boundaries=[1.0])
+        with pytest.raises(DataValidationError):
+            data.truncate(0)
+        with pytest.raises(DataValidationError):
+            data.truncate(2)
+
+    def test_merge_intervals(self):
+        data = GroupedData(counts=[1, 2, 3, 4, 5], boundaries=[1, 2, 3, 4, 5])
+        merged = data.merge_intervals(2)
+        assert merged.counts.tolist() == [3, 7, 5]
+        assert merged.boundaries.tolist() == [2.0, 4.0, 5.0]
+        assert merged.total_count == data.total_count
+
+    def test_merge_identity(self):
+        data = GroupedData(counts=[1, 2], boundaries=[1.0, 2.0])
+        assert data.merge_intervals(1) is data
+
+    def test_with_unit(self):
+        data = GroupedData(counts=[1], boundaries=[1.0], unit="days")
+        assert data.with_unit("weeks").unit == "weeks"
+
+    @given(
+        counts=st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=40),
+        factor=st.integers(min_value=1, max_value=7),
+    )
+    @settings(max_examples=100)
+    def test_merge_preserves_totals_property(self, counts, factor):
+        data = GroupedData.from_equal_intervals(counts)
+        merged = data.merge_intervals(factor)
+        assert merged.total_count == data.total_count
+        assert merged.horizon == data.horizon

@@ -1,0 +1,84 @@
+"""Tests for the Musa-format reader/writer."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import ntds_failure_times
+from repro.data.failure_data import FailureTimeData
+from repro.data.musa_format import load_musa, save_musa
+from repro.exceptions import DataValidationError
+
+
+class TestLoad:
+    def test_interfailure_rows(self, tmp_path):
+        path = tmp_path / "musa.dat"
+        path.write_text("# NTDS head\n1 9\n2 12\n3 11\n")
+        data = load_musa(path, unit="days")
+        assert data.times.tolist() == [9.0, 21.0, 32.0]
+        assert data.unit == "days"
+
+    def test_cumulative_rows(self, tmp_path):
+        path = tmp_path / "musa.dat"
+        path.write_text("1 9\n2 21\n3 32\n")
+        data = load_musa(path, cumulative=True)
+        assert data.times.tolist() == [9.0, 21.0, 32.0]
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "musa.dat"
+        path.write_text("; comment\n\n// other comment\n1 5\n2 2\n")
+        assert load_musa(path).count == 2
+
+    def test_explicit_horizon(self, tmp_path):
+        path = tmp_path / "musa.dat"
+        path.write_text("1 5\n")
+        data = load_musa(path, horizon=100.0)
+        assert data.horizon == 100.0
+
+    def test_bad_rows_rejected(self, tmp_path):
+        path = tmp_path / "musa.dat"
+        path.write_text("1\n")
+        with pytest.raises(DataValidationError):
+            load_musa(path)
+        path.write_text("1 abc\n")
+        with pytest.raises(DataValidationError):
+            load_musa(path)
+        path.write_text("")
+        with pytest.raises(DataValidationError):
+            load_musa(path)
+
+    def test_unsorted_indices_rejected(self, tmp_path):
+        path = tmp_path / "musa.dat"
+        path.write_text("2 5\n1 3\n")
+        with pytest.raises(DataValidationError):
+            load_musa(path)
+
+    def test_negative_gap_rejected(self, tmp_path):
+        path = tmp_path / "musa.dat"
+        path.write_text("1 5\n2 -1\n")
+        with pytest.raises(DataValidationError):
+            load_musa(path)
+
+
+class TestRoundTrip:
+    def test_interfailure_roundtrip(self, tmp_path):
+        original = ntds_failure_times()
+        path = tmp_path / "ntds.dat"
+        save_musa(original, path, header="NTDS production phase")
+        loaded = load_musa(path, unit="days")
+        assert np.allclose(loaded.times, original.times)
+
+    def test_cumulative_roundtrip(self, tmp_path):
+        original = FailureTimeData([1.5, 3.25, 9.0], horizon=10.0)
+        path = tmp_path / "cum.dat"
+        save_musa(original, path, cumulative=True)
+        loaded = load_musa(path, cumulative=True, horizon=10.0)
+        assert np.allclose(loaded.times, original.times)
+        assert loaded.horizon == 10.0
+
+    def test_header_written_as_comment(self, tmp_path):
+        path = tmp_path / "x.dat"
+        save_musa(
+            FailureTimeData([1.0]), path, header="line one\nline two"
+        )
+        text = path.read_text()
+        assert text.startswith("# line one\n# line two\n")

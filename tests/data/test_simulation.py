@@ -1,0 +1,97 @@
+"""Tests for the NHPP simulators."""
+
+import numpy as np
+import pytest
+
+from repro.data.simulation import (
+    simulate_failure_times,
+    simulate_grouped,
+    simulate_nhpp_thinning,
+)
+from repro.models.goel_okumoto import GoelOkumoto
+
+
+class TestOrderStatisticsSimulator:
+    def test_counts_match_mean_value_function(self):
+        model = GoelOkumoto(omega=50.0, beta=0.1)
+        horizon = 20.0
+        rng = np.random.default_rng(11)
+        counts = [
+            simulate_failure_times(model, horizon, rng).count for _ in range(400)
+        ]
+        expected = model.mean_value(horizon)
+        assert np.mean(counts) == pytest.approx(expected, rel=0.05)
+        # NHPP counts: variance equals mean.
+        assert np.var(counts) == pytest.approx(expected, rel=0.2)
+
+    def test_all_times_within_horizon(self):
+        model = GoelOkumoto(omega=30.0, beta=0.05)
+        rng = np.random.default_rng(12)
+        data = simulate_failure_times(model, 15.0, rng)
+        assert np.all(data.times <= 15.0)
+        assert np.all(np.diff(data.times) >= 0.0)
+
+    def test_zero_faults_possible(self):
+        model = GoelOkumoto(omega=1e-6, beta=1.0)
+        rng = np.random.default_rng(13)
+        data = simulate_failure_times(model, 1.0, rng)
+        assert data.count == 0
+
+    def test_invalid_horizon(self):
+        model = GoelOkumoto(omega=10.0, beta=1.0)
+        with pytest.raises(ValueError):
+            simulate_failure_times(model, 0.0, np.random.default_rng(0))
+
+
+class TestGroupedSimulator:
+    def test_structure(self):
+        model = GoelOkumoto(omega=40.0, beta=0.2)
+        rng = np.random.default_rng(14)
+        data = simulate_grouped(model, np.arange(1.0, 11.0), rng, unit="weeks")
+        assert data.n_intervals == 10
+        assert data.unit == "weeks"
+
+    def test_mean_counts_per_interval(self):
+        model = GoelOkumoto(omega=60.0, beta=0.3)
+        bounds = np.arange(1.0, 6.0)
+        rng = np.random.default_rng(15)
+        totals = np.zeros(len(bounds))
+        n_rep = 400
+        for _ in range(n_rep):
+            totals += simulate_grouped(model, bounds, rng).counts
+        edges = np.concatenate(([0.0], bounds))
+        expected = np.diff(model.mean_value(edges))
+        assert totals / n_rep == pytest.approx(expected, rel=0.1)
+
+    def test_empty_boundaries_rejected(self):
+        model = GoelOkumoto(omega=10.0, beta=1.0)
+        with pytest.raises(ValueError):
+            simulate_grouped(model, [], np.random.default_rng(0))
+
+
+class TestThinning:
+    def test_agrees_with_order_statistics_method(self):
+        model = GoelOkumoto(omega=50.0, beta=0.1)
+        horizon = 20.0
+        # GO intensity is decreasing; its supremum is omega * beta at 0+.
+        bound = model.omega * model.beta * 1.01
+        rng = np.random.default_rng(16)
+        counts = [
+            simulate_nhpp_thinning(
+                model.intensity, bound, horizon, rng
+            ).count
+            for _ in range(400)
+        ]
+        assert np.mean(counts) == pytest.approx(model.mean_value(horizon), rel=0.05)
+
+    def test_bound_violation_detected(self):
+        rng = np.random.default_rng(17)
+        with pytest.raises(ValueError):
+            simulate_nhpp_thinning(lambda t: 10.0 + 0 * t, 1.0, 100.0, rng)
+
+    def test_invalid_arguments(self):
+        rng = np.random.default_rng(18)
+        with pytest.raises(ValueError):
+            simulate_nhpp_thinning(lambda t: t, 1.0, -1.0, rng)
+        with pytest.raises(ValueError):
+            simulate_nhpp_thinning(lambda t: t, 0.0, 1.0, rng)

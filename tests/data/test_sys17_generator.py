@@ -1,0 +1,31 @@
+"""Provenance test: the frozen System 17 analogue arrays in
+repro.data.datasets must be exactly what the checked-in generator
+produces, so the dataset's origin stays auditable."""
+
+import numpy as np
+
+from repro.data._sys17_generator import (
+    HORIZON_SECONDS,
+    N_DAYS,
+    TARGET_FAILURES,
+    generate,
+)
+from repro.data.datasets import system17_failure_times, system17_grouped
+
+
+class TestProvenance:
+    def test_generator_reproduces_frozen_failure_times(self):
+        times, _, _ = generate()
+        frozen = system17_failure_times().times
+        assert np.allclose(np.round(times, 1), frozen)
+
+    def test_generator_reproduces_frozen_daily_counts(self):
+        _, _, counts = generate()
+        frozen = system17_grouped().counts
+        assert np.array_equal(counts, frozen)
+
+    def test_generator_constants_match_dataset_shape(self):
+        data = system17_failure_times()
+        assert data.count == TARGET_FAILURES
+        assert data.horizon == HORIZON_SECONDS
+        assert system17_grouped().n_intervals == N_DAYS

@@ -1,0 +1,188 @@
+"""Integration tests pinning the paper's headline qualitative claims.
+
+These are the "shape" results EXPERIMENTS.md reports: they must hold on
+the bundled System 17 analogue for the reproduction to be meaningful.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bayes.mcmc.chains import ChainSettings
+from repro.bayes.mcmc.gibbs_failure_time import gibbs_failure_time
+from repro.core.reliability import estimate_reliability
+from repro.core.vb1 import fit_vb1
+from repro.core.vb2 import fit_vb2
+from repro.bayes.laplace import fit_laplace
+
+
+@pytest.fixture(scope="module")
+def mcmc_times(times_data, info_prior_times):
+    settings = ChainSettings(n_samples=8000, burn_in=3000, thin=3, seed=77)
+    return gibbs_failure_time(
+        times_data, info_prior_times, settings=settings
+    ).posterior()
+
+
+class TestMomentAgreement:
+    """Paper Table 1: NINT ~ MCMC ~ VB2 on the first two moments."""
+
+    def test_vb2_mean_within_one_percent_of_nint(self, vb2_times, nint_times):
+        assert vb2_times.mean("omega") == pytest.approx(
+            nint_times.mean("omega"), rel=0.01
+        )
+        assert vb2_times.mean("beta") == pytest.approx(
+            nint_times.mean("beta"), rel=0.01
+        )
+
+    def test_vb2_variance_within_five_percent_of_nint(self, vb2_times, nint_times):
+        assert vb2_times.variance("omega") == pytest.approx(
+            nint_times.variance("omega"), rel=0.05
+        )
+        assert vb2_times.variance("beta") == pytest.approx(
+            nint_times.variance("beta"), rel=0.08
+        )
+
+    def test_vb2_covariance_close_to_nint(self, vb2_times, nint_times):
+        assert vb2_times.covariance() == pytest.approx(
+            nint_times.covariance(), rel=0.1
+        )
+
+    def test_mcmc_close_to_nint(self, mcmc_times, nint_times):
+        assert mcmc_times.mean("omega") == pytest.approx(
+            nint_times.mean("omega"), rel=0.02
+        )
+        assert mcmc_times.variance("omega") == pytest.approx(
+            nint_times.variance("omega"), rel=0.15
+        )
+
+    def test_third_moments_agree(self, vb2_times, nint_times):
+        # The paper highlights that even higher moments of VB2 track NINT.
+        assert vb2_times.central_moment("omega", 3) == pytest.approx(
+            nint_times.central_moment("omega", 3), rel=0.15
+        )
+
+    def test_grouped_view_agreement(self, vb2_grouped, nint_grouped):
+        assert vb2_grouped.mean("omega") == pytest.approx(
+            nint_grouped.mean("omega"), rel=0.01
+        )
+        assert vb2_grouped.variance("omega") == pytest.approx(
+            nint_grouped.variance("omega"), rel=0.05
+        )
+
+
+class TestVB1Failures:
+    """Paper Table 1 and Section 6: VB1's structural deficiencies."""
+
+    def test_vb1_zero_covariance(self, vb1_times):
+        assert vb1_times.covariance() == pytest.approx(0.0, abs=1e-15)
+
+    def test_vb1_underestimates_variances(self, vb1_times, nint_times):
+        assert vb1_times.variance("omega") < 0.9 * nint_times.variance("omega")
+        assert vb1_times.variance("beta") < 0.7 * nint_times.variance("beta")
+
+    def test_vb1_intervals_too_narrow(self, vb1_times, nint_times):
+        for param in ("omega", "beta"):
+            lo1, hi1 = vb1_times.credible_interval(param, 0.99)
+            lo2, hi2 = nint_times.credible_interval(param, 0.99)
+            assert hi1 - lo1 < hi2 - lo2
+
+    def test_vb1_reliability_interval_too_narrow(
+        self, vb1_times, vb2_times, times_data
+    ):
+        vb1_est = estimate_reliability(vb1_times, times_data.horizon, 10_000.0)
+        vb2_est = estimate_reliability(vb2_times, times_data.horizon, 10_000.0)
+        assert vb1_est.upper - vb1_est.lower < vb2_est.upper - vb2_est.lower
+
+
+class TestLaplaceFailures:
+    """Paper Tables 1-2: LAPL shifted left; symmetric by construction."""
+
+    def test_lapl_mean_below_nint(self, times_data, info_prior_times, nint_times):
+        lapl = fit_laplace(times_data, info_prior_times)
+        assert lapl.mean("omega") < nint_times.mean("omega")
+
+    def test_lapl_intervals_shifted_left(
+        self, times_data, info_prior_times, nint_times
+    ):
+        lapl = fit_laplace(times_data, info_prior_times)
+        for param in ("omega", "beta"):
+            lo_l, hi_l = lapl.credible_interval(param, 0.99)
+            lo_n, hi_n = nint_times.credible_interval(param, 0.99)
+            assert lo_l < lo_n
+            assert hi_l < hi_n
+
+    def test_lapl_cannot_represent_skew(self, times_data, info_prior_times):
+        lapl = fit_laplace(times_data, info_prior_times)
+        assert lapl.central_moment("omega", 3) == 0.0
+
+
+class TestReliabilityAgreement:
+    """Paper Tables 4-5: NINT ~ MCMC ~ VB2 reliability estimates."""
+
+    def test_vb2_reliability_tracks_nint(self, vb2_times, nint_times, times_data):
+        for u in (1000.0, 10_000.0):
+            vb2_est = estimate_reliability(vb2_times, times_data.horizon, u)
+            nint_est = estimate_reliability(nint_times, times_data.horizon, u)
+            assert vb2_est.point == pytest.approx(nint_est.point, abs=0.005)
+            assert vb2_est.lower == pytest.approx(nint_est.lower, abs=0.01)
+            assert vb2_est.upper == pytest.approx(nint_est.upper, abs=0.01)
+
+    def test_mcmc_reliability_tracks_nint(self, mcmc_times, nint_times, times_data):
+        est_m = estimate_reliability(mcmc_times, times_data.horizon, 10_000.0)
+        est_n = estimate_reliability(nint_times, times_data.horizon, 10_000.0)
+        assert est_m.point == pytest.approx(est_n.point, abs=0.01)
+
+
+class TestComputationalCost:
+    """Paper Tables 6-7: VB2 is orders of magnitude cheaper than MCMC."""
+
+    def test_vb2_faster_than_mcmc_at_matched_quality(
+        self, times_data, info_prior_times
+    ):
+        import time
+
+        start = time.perf_counter()
+        fit_vb2(times_data, info_prior_times)
+        vb2_seconds = time.perf_counter() - start
+
+        settings = ChainSettings(n_samples=2000, burn_in=1000, thin=2, seed=1)
+        start = time.perf_counter()
+        gibbs_failure_time(times_data, info_prior_times, settings=settings)
+        mcmc_seconds = time.perf_counter() - start
+        assert vb2_seconds < mcmc_seconds
+
+    def test_vb2_cost_grows_with_nmax(self, times_data, info_prior_times):
+        from repro.metrics.timing import time_callable
+
+        t100 = time_callable(
+            lambda: fit_vb2(times_data, info_prior_times, nmax=100), repeat=3
+        ).seconds
+        t1000 = time_callable(
+            lambda: fit_vb2(times_data, info_prior_times, nmax=1000), repeat=3
+        ).seconds
+        assert t1000 > t100
+
+    def test_tail_mass_decays_with_nmax(self, times_data, info_prior_times):
+        masses = [
+            fit_vb2(times_data, info_prior_times, nmax=n).tail_mass()
+            for n in (100, 200, 500)
+        ]
+        assert masses[0] > masses[1] > masses[2]
+        assert masses[1] < 1e-15  # paper: Pv(200) ~ 4e-21 under Info prior
+
+
+class TestVB1VsVB2Consistency:
+    def test_vb1_is_special_case_when_mixture_collapses(self, vb2_times):
+        # If VB2's latent pmf were a point mass, its covariance would be
+        # zero too: verify the mixture is what carries the correlation.
+        ns, weights = vb2_times.fault_count_pmf()
+        peak = int(np.argmax(weights))
+        from repro.core.posterior import VBPosterior
+
+        collapsed = VBPosterior(
+            n_values=[ns[peak]],
+            weights=[1.0],
+            omega_components=[vb2_times._omega_components[peak]],
+            beta_components=[vb2_times._beta_components[peak]],
+        )
+        assert collapsed.covariance() == pytest.approx(0.0, abs=1e-15)

@@ -1,0 +1,86 @@
+"""End-to-end recovery study: simulate from a known model, infer with
+every method, and check the truth is covered.
+
+This exercises the full stack (simulator -> data containers -> every
+posterior method -> interval estimation) independently of the bundled
+datasets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bayes.laplace import fit_laplace
+from repro.bayes.mcmc.chains import ChainSettings
+from repro.bayes.mcmc.gibbs_failure_time import gibbs_failure_time
+from repro.bayes.nint import fit_nint
+from repro.bayes.priors import ModelPrior
+from repro.core.reliability import estimate_reliability
+from repro.core.vb2 import fit_vb2
+from repro.data.simulation import simulate_failure_times, simulate_grouped
+from repro.models.goel_okumoto import GoelOkumoto
+
+TRUE_OMEGA = 60.0
+TRUE_BETA = 0.08
+
+
+@pytest.fixture(scope="module")
+def sim_data():
+    model = GoelOkumoto(omega=TRUE_OMEGA, beta=TRUE_BETA)
+    return simulate_failure_times(model, 25.0, np.random.default_rng(2024))
+
+
+@pytest.fixture(scope="module")
+def sim_prior():
+    # Weakly informative prior centred near (but not at) the truth.
+    return ModelPrior.informative(55.0, 25.0, 0.1, 0.06)
+
+
+class TestRecovery:
+    def test_vb2_interval_covers_truth(self, sim_data, sim_prior):
+        posterior = fit_vb2(sim_data, sim_prior)
+        lo, hi = posterior.credible_interval("omega", 0.99)
+        assert lo < TRUE_OMEGA < hi
+        lo, hi = posterior.credible_interval("beta", 0.99)
+        assert lo < TRUE_BETA < hi
+
+    def test_all_methods_agree_on_simulated_data(self, sim_data, sim_prior):
+        vb2 = fit_vb2(sim_data, sim_prior)
+        nint = fit_nint(
+            sim_data, sim_prior, reference_posterior=vb2, n_omega=161, n_beta=161
+        )
+        lapl = fit_laplace(sim_data, sim_prior)
+        mcmc = gibbs_failure_time(
+            sim_data,
+            sim_prior,
+            settings=ChainSettings(n_samples=4000, burn_in=1500, thin=2, seed=55),
+        ).posterior()
+        reference = nint.mean("omega")
+        assert vb2.mean("omega") == pytest.approx(reference, rel=0.02)
+        assert mcmc.mean("omega") == pytest.approx(reference, rel=0.03)
+        assert lapl.mean("omega") == pytest.approx(reference, rel=0.10)
+
+    def test_reliability_prediction_matches_truth_scale(self, sim_data, sim_prior):
+        posterior = fit_vb2(sim_data, sim_prior)
+        true_model = GoelOkumoto(omega=TRUE_OMEGA, beta=TRUE_BETA)
+        u = 2.0
+        est = estimate_reliability(posterior, sim_data.horizon, u)
+        truth = true_model.reliability(sim_data.horizon, u)
+        assert est.lower <= truth <= est.upper
+
+    def test_grouped_view_consistency(self, sim_prior):
+        model = GoelOkumoto(omega=TRUE_OMEGA, beta=TRUE_BETA)
+        rng = np.random.default_rng(77)
+        grouped = simulate_grouped(model, np.arange(1.0, 26.0), rng)
+        posterior = fit_vb2(grouped, sim_prior)
+        lo, hi = posterior.credible_interval("omega", 0.99)
+        assert lo < TRUE_OMEGA < hi
+
+    def test_more_data_narrows_intervals(self, sim_prior):
+        model = GoelOkumoto(omega=200.0, beta=0.08)
+        rng = np.random.default_rng(88)
+        long_data = simulate_failure_times(model, 40.0, rng)
+        short_data = long_data.truncate(8.0)
+        prior = ModelPrior.informative(150.0, 80.0, 0.1, 0.08)
+        wide = fit_vb2(short_data, prior).credible_interval("omega", 0.99)
+        narrow = fit_vb2(long_data, prior).credible_interval("omega", 0.99)
+        assert narrow[1] - narrow[0] < wide[1] - wide[0]

@@ -1,0 +1,62 @@
+"""Tests for the interval coverage study harness."""
+
+import pytest
+
+from repro.bayes.priors import ModelPrior
+from repro.core.vb1 import fit_vb1
+from repro.core.vb2 import fit_vb2
+from repro.metrics.coverage import interval_coverage_study
+from repro.models.goel_okumoto import GoelOkumoto
+
+
+@pytest.fixture(scope="module")
+def study():
+    true_model = GoelOkumoto(omega=50.0, beta=0.1)
+    prior = ModelPrior.informative(45.0, 20.0, 0.12, 0.06)
+    return interval_coverage_study(
+        true_model,
+        prior,
+        {"VB2": fit_vb2, "VB1": fit_vb1},
+        horizon=25.0,
+        level=0.9,
+        replications=120,
+        seed=13,
+    )
+
+
+class TestCoverageStudy:
+    def test_same_campaigns_for_all_fitters(self, study):
+        assert study["VB2"].replications == study["VB1"].replications
+        assert study["VB2"].replications > 100
+
+    def test_vb2_near_nominal(self, study):
+        # 90% nominal: VB2's empirical coverage within sampling noise.
+        assert study["VB2"].coverage("omega") > 0.82
+        assert study["VB2"].coverage("beta") > 0.82
+        assert not study["VB2"].undercovers("omega")
+
+    def test_vb1_intervals_narrower(self, study):
+        assert study["VB1"].widths["omega"] < study["VB2"].widths["omega"]
+        assert study["VB1"].widths["beta"] < study["VB2"].widths["beta"]
+
+    def test_vb1_coverage_not_better(self, study):
+        # Narrower intervals cannot cover more often.
+        assert study["VB1"].coverage("beta") <= study["VB2"].coverage("beta") + 0.02
+
+    def test_standard_error(self, study):
+        se = study["VB2"].coverage_standard_error("omega")
+        assert 0.0 <= se < 0.1
+
+    def test_validation(self):
+        true_model = GoelOkumoto(omega=1e-6, beta=1.0)
+        prior = ModelPrior.informative(45.0, 20.0, 0.12, 0.06)
+        with pytest.raises(ValueError):
+            interval_coverage_study(
+                true_model, prior, {"VB2": fit_vb2},
+                horizon=1.0, replications=5,
+            )
+        with pytest.raises(ValueError):
+            interval_coverage_study(
+                GoelOkumoto(omega=50.0, beta=0.1), prior, {"VB2": fit_vb2},
+                horizon=25.0, replications=0,
+            )

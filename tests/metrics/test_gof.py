@@ -1,0 +1,94 @@
+"""Tests for the goodness-of-fit tools."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.data.failure_data import FailureTimeData, GroupedData
+from repro.data.simulation import simulate_failure_times
+from repro.metrics.gof import (
+    chi_square_grouped,
+    ks_uplot_statistic,
+    laplace_trend_test,
+    log_likelihood_ratio,
+)
+from repro.mle.em import fit_mle_em
+from repro.models.goel_okumoto import GoelOkumoto
+
+
+class TestLaplaceTrend:
+    def test_growth_detected_on_system17(self, times_data):
+        result = laplace_trend_test(times_data)
+        assert result.statistic < 0.0
+        assert result.indicates_growth
+        assert result.p_value < 0.01
+
+    def test_homogeneous_process_not_flagged(self, rng):
+        # Uniform arrival times = homogeneous Poisson: no trend.
+        flagged = 0
+        for _ in range(20):
+            times = np.sort(rng.uniform(0.0, 100.0, size=50))
+            result = laplace_trend_test(FailureTimeData(times, horizon=100.0))
+            flagged += result.indicates_growth
+        assert flagged <= 4  # ~5% false-positive rate, generous bound
+
+    def test_needs_two_failures(self):
+        with pytest.raises(ValueError):
+            laplace_trend_test(FailureTimeData([1.0], horizon=2.0))
+
+
+class TestUPlot:
+    def test_well_specified_model_has_small_distance(self, rng):
+        model = GoelOkumoto(omega=200.0, beta=0.1)
+        data = simulate_failure_times(model, 30.0, rng)
+        fitted = fit_mle_em(data, information=False).model
+        assert ks_uplot_statistic(data, fitted) < 0.15
+
+    def test_misspecified_model_has_larger_distance(self, rng):
+        model = GoelOkumoto(omega=200.0, beta=0.1)
+        data = simulate_failure_times(model, 30.0, rng)
+        good = fit_mle_em(data, information=False).model
+        bad = good.replace(beta=good.params["beta"] * 8.0)
+        assert ks_uplot_statistic(data, bad) > ks_uplot_statistic(data, good)
+
+    def test_needs_failures(self):
+        data = FailureTimeData([], horizon=10.0)
+        with pytest.raises(ValueError):
+            ks_uplot_statistic(data, GoelOkumoto(omega=1.0, beta=1.0))
+
+
+class TestChiSquare:
+    def test_fitted_model_passes_on_system17(self, grouped_data):
+        fitted = fit_mle_em(grouped_data, information=False).model
+        result = chi_square_grouped(grouped_data, fitted)
+        assert result.dof > 0
+        assert result.p_value > 0.01  # the synthetic data IS Goel-Okumoto
+
+    def test_bad_model_fails(self, grouped_data):
+        bad = GoelOkumoto(omega=10.0, beta=0.5)
+        good = fit_mle_em(grouped_data, information=False).model
+        bad_result = chi_square_grouped(grouped_data, bad)
+        good_result = chi_square_grouped(grouped_data, good)
+        assert bad_result.statistic > good_result.statistic
+
+    def test_pooling_respects_min_expected(self, grouped_data):
+        fitted = fit_mle_em(grouped_data, information=False).model
+        result = chi_square_grouped(grouped_data, fitted, min_expected=5.0)
+        # Pooled cells are far fewer than the 64 raw intervals.
+        assert 2 <= result.n_cells < grouped_data.n_intervals
+
+    def test_single_cell_degenerate_dof(self):
+        data = GroupedData(counts=[3], boundaries=[1.0])
+        model = GoelOkumoto(omega=3.0, beta=1.0)
+        result = chi_square_grouped(data, model)
+        assert result.dof <= 0
+        assert math.isnan(result.p_value)
+
+
+class TestLikelihoodRatio:
+    def test_sign_convention(self, times_data):
+        good = fit_mle_em(times_data, information=False).model
+        bad = good.replace(omega=good.omega * 3.0)
+        assert log_likelihood_ratio(times_data, good, bad) > 0.0
+        assert log_likelihood_ratio(times_data, bad, good) < 0.0

@@ -1,0 +1,115 @@
+"""Tests for comparison metrics, table rendering, and timing."""
+
+import math
+import time
+
+import pytest
+
+from repro.metrics.comparison import deviation_table, relative_deviation
+from repro.metrics.tables import format_value, render_table
+from repro.metrics.timing import TimingRecord, time_callable
+
+
+class TestRelativeDeviation:
+    def test_basic(self):
+        assert relative_deviation(11.0, 10.0) == pytest.approx(0.1)
+        assert relative_deviation(9.0, 10.0) == pytest.approx(-0.1)
+
+    def test_negative_reference_uses_absolute_value(self):
+        # Paper convention: VB1's Cov = 0 against Cov = -2.1e-6 prints
+        # as +100%.
+        assert relative_deviation(0.0, -2.1e-6) == pytest.approx(1.0)
+
+    def test_zero_reference(self):
+        assert relative_deviation(0.0, 0.0) == 0.0
+        assert math.isnan(relative_deviation(1.0, 0.0))
+
+
+class TestDeviationTable:
+    def test_reference_excluded(self):
+        results = {
+            "NINT": {"x": 10.0},
+            "VB2": {"x": 10.5},
+        }
+        table = deviation_table(results, "NINT")
+        assert set(table) == {"VB2"}
+        assert table["VB2"]["x"] == pytest.approx(0.05)
+
+    def test_missing_reference_rejected(self):
+        with pytest.raises(KeyError):
+            deviation_table({"VB2": {"x": 1.0}}, "NINT")
+
+    def test_quantity_subset(self):
+        results = {
+            "NINT": {"x": 10.0, "y": 1.0},
+            "VB2": {"x": 10.0, "y": 2.0},
+        }
+        table = deviation_table(results, "NINT", quantities=("y",))
+        assert list(table["VB2"]) == ["y"]
+
+
+class TestFormatValue:
+    def test_scientific_for_small_magnitudes(self):
+        assert "E-" in format_value(1.11e-5)
+
+    def test_fixed_for_moderate(self):
+        assert format_value(41.78) == "41.78"
+
+    def test_zero_and_none(self):
+        assert format_value(0.0) == "0"
+        assert format_value(None) == "-"
+
+    def test_string_passthrough(self):
+        assert format_value("+1.2%") == "+1.2%"
+
+    def test_nan(self):
+        assert format_value(float("nan")) == "nan"
+
+    def test_int(self):
+        assert format_value(630000) == "630000"
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        text = render_table(
+            ["method", "E"],
+            [["NINT", 41.78], ["VB2", 41.75]],
+            title="Table X",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Table X"
+        assert "method" in lines[1]
+        assert len(lines) == 5
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestTiming:
+    def test_returns_result_and_time(self):
+        record = time_callable(lambda: 42, label="answer")
+        assert record.result == 42
+        assert record.seconds >= 0.0
+        assert record.label == "answer"
+
+    def test_repeat_keeps_minimum(self):
+        calls = []
+
+        def work():
+            calls.append(1)
+            time.sleep(0.001)
+            return len(calls)
+
+        record = time_callable(work, repeat=3)
+        assert record.result == 1  # result of the first run
+        assert len(calls) == 3
+
+    def test_repeat_validation(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: 1, repeat=0)
+
+    def test_record_frozen(self):
+        record = TimingRecord(result=1, seconds=0.1)
+        with pytest.raises(Exception):
+            record.seconds = 0.2

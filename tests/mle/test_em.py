@@ -1,0 +1,99 @@
+"""Tests for the EM maximum-likelihood estimator."""
+
+import numpy as np
+import pytest
+
+from repro.data.failure_data import FailureTimeData
+from repro.exceptions import ConvergenceError
+from repro.mle.em import fit_mle_em
+from repro.mle.newton import fit_mle_newton
+
+
+class TestEMOnTimes:
+    def test_loglik_monotone_nondecreasing(self, times_data):
+        result = fit_mle_em(times_data, information=False)
+        history = np.asarray(result.history)
+        assert np.all(np.diff(history) >= -1e-9)
+
+    def test_agrees_with_newton(self, times_data):
+        em = fit_mle_em(times_data, information=False)
+        newton = fit_mle_newton(times_data, information=False)
+        assert em.omega == pytest.approx(newton.omega, rel=1e-4)
+        assert em.beta == pytest.approx(newton.beta, rel=1e-4)
+        assert em.log_likelihood == pytest.approx(newton.log_likelihood, abs=1e-6)
+
+    def test_score_zero_at_mle(self, times_data):
+        result = fit_mle_em(times_data, information=False)
+        model = result.model
+        eps_omega = 1e-5 * result.omega
+        eps_beta = 1e-5 * result.beta
+        d_omega = (
+            model.replace(omega=result.omega + eps_omega).log_likelihood(times_data)
+            - model.replace(omega=result.omega - eps_omega).log_likelihood(times_data)
+        ) / (2 * eps_omega)
+        d_beta = (
+            model.replace(beta=result.beta + eps_beta).log_likelihood(times_data)
+            - model.replace(beta=result.beta - eps_beta).log_likelihood(times_data)
+        ) / (2 * eps_beta)
+        assert d_omega == pytest.approx(0.0, abs=1e-3)
+        assert abs(d_beta * result.beta) < 1e-2  # scale-relative score
+
+    def test_recovers_simulation_truth(self, rng):
+        from repro.data.simulation import simulate_failure_times
+        from repro.models.goel_okumoto import GoelOkumoto
+
+        true = GoelOkumoto(omega=500.0, beta=0.15)
+        data = simulate_failure_times(true, 25.0, rng)
+        result = fit_mle_em(data, information=False)
+        assert result.omega == pytest.approx(500.0, rel=0.15)
+        assert result.beta == pytest.approx(0.15, rel=0.2)
+
+    def test_delayed_s_shaped_member(self, times_data):
+        result = fit_mle_em(times_data, alpha0=2.0, information=False)
+        assert result.converged
+        assert result.omega > times_data.count
+
+
+class TestEMOnGrouped:
+    def test_agrees_with_newton(self, grouped_data):
+        em = fit_mle_em(grouped_data, information=False)
+        newton = fit_mle_newton(grouped_data, information=False)
+        assert em.omega == pytest.approx(newton.omega, rel=1e-3)
+        assert em.beta == pytest.approx(newton.beta, rel=1e-3)
+
+    def test_loglik_monotone(self, grouped_data):
+        result = fit_mle_em(grouped_data, information=False)
+        history = np.asarray(result.history)
+        assert np.all(np.diff(history) >= -1e-9)
+
+
+class TestEdgeCases:
+    def test_zero_failures_rejected(self):
+        data = FailureTimeData([], horizon=100.0)
+        with pytest.raises(ConvergenceError):
+            fit_mle_em(data)
+
+    def test_budget_exhaustion_raises(self, times_data):
+        with pytest.raises(ConvergenceError):
+            fit_mle_em(times_data, max_iter=2, information=False)
+
+    def test_unsupported_data_type(self):
+        with pytest.raises(TypeError):
+            fit_mle_em([1.0, 2.0])
+
+    def test_covariance_computed(self, times_data):
+        result = fit_mle_em(times_data, information=True)
+        assert result.covariance is not None
+        assert result.covariance[0, 0] > 0.0
+        assert result.covariance[0, 1] < 0.0  # omega and beta anti-correlated
+
+    def test_confidence_interval(self, times_data):
+        result = fit_mle_em(times_data, information=True)
+        lo, hi = result.confidence_interval("omega", 0.95)
+        assert lo < result.omega < hi
+        assert result.std_error("omega") > 0.0
+
+    def test_no_covariance_raises_on_interval(self, times_data):
+        result = fit_mle_em(times_data, information=False)
+        with pytest.raises(ValueError):
+            result.confidence_interval("omega")

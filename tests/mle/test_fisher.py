@@ -1,0 +1,52 @@
+"""Tests for the observed information and Wald intervals."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mle.em import fit_mle_em
+from repro.mle.fisher import observed_information, wald_interval
+
+
+class TestObservedInformation:
+    def test_positive_definite_at_mle(self, times_data):
+        result = fit_mle_em(times_data, information=False)
+        info = observed_information(times_data, result.model)
+        eigenvalues = np.linalg.eigvalsh(info)
+        assert np.all(eigenvalues > 0.0)
+
+    def test_symmetry(self, times_data):
+        result = fit_mle_em(times_data, information=False)
+        info = observed_information(times_data, result.model)
+        assert info[0, 1] == pytest.approx(info[1, 0])
+
+    def test_omega_block_closed_form(self, times_data):
+        # d^2/d omega^2 log L = -me / omega^2 for any NHPP of this class.
+        result = fit_mle_em(times_data, information=False)
+        info = observed_information(times_data, result.model)
+        expected = times_data.count / result.omega**2
+        assert info[0, 0] == pytest.approx(expected, rel=1e-3)
+
+    def test_grouped_data(self, grouped_data):
+        result = fit_mle_em(grouped_data, information=False)
+        info = observed_information(grouped_data, result.model)
+        assert np.all(np.linalg.eigvalsh(info) > 0.0)
+
+
+class TestWaldInterval:
+    def test_symmetric_around_estimate(self):
+        lo, hi = wald_interval(10.0, 2.0, 0.95)
+        assert hi - 10.0 == pytest.approx(10.0 - lo)
+        assert hi - lo == pytest.approx(2 * 1.959964 * 2.0, rel=1e-5)
+
+    def test_can_produce_negative_lower_bound(self):
+        # The known Wald pathology for positive parameters.
+        lo, _ = wald_interval(1.0, 2.0, 0.95)
+        assert lo < 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wald_interval(1.0, -1.0, 0.95)
+        with pytest.raises(ValueError):
+            wald_interval(1.0, 1.0, 1.5)

@@ -1,0 +1,131 @@
+"""Tests for the family-agnostic MLE and the extended model zoo."""
+
+import numpy as np
+import pytest
+
+from repro.data.simulation import simulate_failure_times
+from repro.exceptions import EstimationError, ModelSpecificationError
+from repro.data.failure_data import FailureTimeData
+from repro.mle.em import fit_mle_em
+from repro.mle.generic import fit_mle_generic
+from repro.models.gamma_srm import GammaSRM
+from repro.models.goel_okumoto import GoelOkumoto
+from repro.models.lognormal_srm import LogNormalSRM
+from repro.models.pareto_srm import ParetoSRM
+from repro.models.weibull_srm import WeibullSRM
+
+
+class TestGenericMLE:
+    def test_agrees_with_em_on_gamma_family(self, times_data):
+        em = fit_mle_em(times_data, information=False)
+        generic = fit_mle_generic(
+            times_data, GammaSRM, alpha0=1.0, information=False,
+            initial=(45.0, 1e-5),
+        )
+        assert generic.omega == pytest.approx(em.omega, rel=1e-3)
+        assert generic.beta == pytest.approx(em.beta, rel=1e-3)
+
+    def test_weibull_recovery(self, rng):
+        true = WeibullSRM(omega=150.0, beta=0.1, shape=2.0)
+        data = simulate_failure_times(true, 20.0, rng)
+        result = fit_mle_generic(
+            data, WeibullSRM, shape=2.0, information=False,
+            initial=(120.0, 0.08),
+        )
+        assert result.omega == pytest.approx(150.0, rel=0.2)
+        assert result.beta == pytest.approx(0.1, rel=0.2)
+
+    def test_pareto_recovery(self, rng):
+        true = ParetoSRM(omega=200.0, beta=0.3, kappa=3.0)
+        data = simulate_failure_times(true, 30.0, rng)
+        result = fit_mle_generic(
+            data, ParetoSRM, kappa=3.0, information=False,
+            initial=(150.0, 0.2),
+        )
+        assert result.omega == pytest.approx(200.0, rel=0.25)
+        assert result.beta == pytest.approx(0.3, rel=0.3)
+
+    def test_lognormal_recovery(self, rng):
+        true = LogNormalSRM(omega=150.0, beta=0.2, sigma=0.8)
+        data = simulate_failure_times(true, 40.0, rng)
+        result = fit_mle_generic(
+            data, LogNormalSRM, sigma=0.8, information=False,
+            initial=(120.0, 0.15),
+        )
+        assert result.omega == pytest.approx(150.0, rel=0.25)
+        assert result.beta == pytest.approx(0.2, rel=0.3)
+
+    def test_information_matrix(self, times_data):
+        result = fit_mle_generic(times_data, GoelOkumoto, initial=(45.0, 1e-5))
+        assert result.covariance is not None
+        assert result.covariance[0, 0] > 0.0
+
+    def test_zero_failures_rejected(self):
+        data = FailureTimeData([], horizon=10.0)
+        with pytest.raises(EstimationError):
+            fit_mle_generic(data, GoelOkumoto)
+
+
+class TestNewFamilies:
+    def test_lognormal_cdf_matches_scipy(self):
+        from scipy import stats as st
+
+        model = LogNormalSRM(omega=1.0, beta=0.5, sigma=0.7)
+        t = np.array([0.3, 1.0, 5.0])
+        ref = st.lognorm.cdf(t, s=0.7, scale=2.0)  # median = 1/beta = 2
+        assert model.lifetime_cdf(t) == pytest.approx(ref, rel=1e-10)
+
+    def test_lognormal_log_pdf_matches_scipy(self):
+        from scipy import stats as st
+
+        model = LogNormalSRM(omega=1.0, beta=0.5, sigma=0.7)
+        t = np.array([0.3, 1.0, 5.0])
+        ref = st.lognorm.logpdf(t, s=0.7, scale=2.0)
+        assert model.lifetime_log_pdf(t) == pytest.approx(ref, rel=1e-10)
+
+    def test_lognormal_sampling(self, rng):
+        model = LogNormalSRM(omega=1.0, beta=0.5, sigma=0.5)
+        draws = model.sample_lifetimes(200_000, rng)
+        expected_mean = 2.0 * np.exp(0.125)
+        assert draws.mean() == pytest.approx(expected_mean, rel=0.02)
+
+    def test_pareto_cdf_matches_scipy(self):
+        from scipy import stats as st
+
+        model = ParetoSRM(omega=1.0, beta=0.5, kappa=3.0)
+        t = np.array([0.5, 2.0, 10.0])
+        # Lomax with c = kappa, scale = kappa / beta.
+        ref = st.lomax.cdf(t, c=3.0, scale=6.0)
+        assert model.lifetime_cdf(t) == pytest.approx(ref, rel=1e-10)
+
+    def test_pareto_hazard_at_zero_is_beta(self):
+        model = ParetoSRM(omega=1.0, beta=0.5, kappa=3.0)
+        pdf0 = float(np.exp(model.lifetime_log_pdf(1e-12)))
+        assert pdf0 == pytest.approx(0.5, rel=1e-6)
+
+    def test_pareto_limits_to_exponential(self):
+        # kappa -> infinity: Lomax -> exponential.
+        heavy = ParetoSRM(omega=1.0, beta=0.5, kappa=1e7)
+        go = GoelOkumoto(omega=1.0, beta=0.5)
+        t = np.array([0.5, 2.0, 5.0])
+        assert heavy.lifetime_cdf(t) == pytest.approx(go.lifetime_cdf(t), rel=1e-5)
+
+    def test_pareto_sampling_median(self, rng):
+        model = ParetoSRM(omega=1.0, beta=0.5, kappa=2.0)
+        draws = model.sample_lifetimes(200_000, rng)
+        expected_median = (2.0 / 0.5) * (2.0 ** (1.0 / 2.0) - 1.0)
+        assert np.median(draws) == pytest.approx(expected_median, rel=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ModelSpecificationError):
+            LogNormalSRM(omega=1.0, beta=-1.0)
+        with pytest.raises(ModelSpecificationError):
+            LogNormalSRM(omega=1.0, beta=1.0, sigma=0.0)
+        with pytest.raises(ModelSpecificationError):
+            ParetoSRM(omega=1.0, beta=1.0, kappa=-2.0)
+
+    def test_replace_keeps_fixed_params(self):
+        lognormal = LogNormalSRM(omega=10.0, beta=1.0, sigma=0.6).replace(beta=2.0)
+        assert lognormal.sigma == 0.6
+        pareto = ParetoSRM(omega=10.0, beta=1.0, kappa=4.0).replace(omega=20.0)
+        assert pareto.kappa == 4.0

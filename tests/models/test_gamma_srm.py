@@ -1,0 +1,188 @@
+"""Tests for the gamma-type NHPP SRM (and its base-class machinery)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as stdist
+
+from repro.data.failure_data import FailureTimeData, GroupedData
+from repro.exceptions import ModelSpecificationError
+from repro.models.gamma_srm import GammaSRM
+
+
+class TestConstruction:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ModelSpecificationError):
+            GammaSRM(omega=-1.0, beta=1.0)
+        with pytest.raises(ModelSpecificationError):
+            GammaSRM(omega=1.0, beta=0.0)
+        with pytest.raises(ModelSpecificationError):
+            GammaSRM(omega=1.0, beta=1.0, alpha0=-2.0)
+
+    def test_params_mapping(self):
+        model = GammaSRM(omega=10.0, beta=0.5, alpha0=2.0)
+        assert dict(model.params) == {"omega": 10.0, "beta": 0.5}
+
+    def test_replace(self):
+        model = GammaSRM(omega=10.0, beta=0.5, alpha0=2.0)
+        other = model.replace(omega=20.0)
+        assert other.omega == 20.0
+        assert other.beta == 0.5
+        assert other.alpha0 == 2.0
+        assert model.omega == 10.0  # original untouched
+
+    def test_replace_rejects_unknown(self):
+        model = GammaSRM(omega=10.0, beta=0.5)
+        with pytest.raises(ModelSpecificationError):
+            model.replace(alpha0=3.0)
+
+
+class TestLifetimeDistribution:
+    def test_cdf_matches_scipy(self):
+        model = GammaSRM(omega=1.0, beta=0.5, alpha0=3.0)
+        t = np.array([0.5, 1.0, 5.0, 20.0])
+        ref = stdist.gamma.cdf(t, a=3.0, scale=2.0)
+        assert model.lifetime_cdf(t) == pytest.approx(ref, rel=1e-12)
+
+    def test_sf_complementary(self):
+        model = GammaSRM(omega=1.0, beta=0.5, alpha0=3.0)
+        t = 2.0
+        assert model.lifetime_cdf(t) + model.lifetime_sf(t) == pytest.approx(1.0)
+
+    def test_log_pdf_matches_scipy(self):
+        model = GammaSRM(omega=1.0, beta=2.0, alpha0=1.5)
+        t = np.array([0.1, 1.0, 3.0])
+        ref = stdist.gamma.logpdf(t, a=1.5, scale=0.5)
+        assert model.lifetime_log_pdf(t) == pytest.approx(ref, rel=1e-12)
+
+    def test_log_sf_stable(self):
+        model = GammaSRM(omega=1.0, beta=1.0, alpha0=2.0)
+        value = model.lifetime_log_sf(5000.0)
+        assert math.isfinite(value)
+
+    def test_sample_lifetimes_moments(self, rng):
+        model = GammaSRM(omega=1.0, beta=0.25, alpha0=2.0)
+        draws = model.sample_lifetimes(300_000, rng)
+        assert draws.mean() == pytest.approx(8.0, rel=0.02)
+
+
+class TestProcessQuantities:
+    def test_mean_value_saturates_at_omega(self):
+        model = GammaSRM(omega=30.0, beta=1.0, alpha0=1.0)
+        assert model.mean_value(1e9) == pytest.approx(30.0)
+
+    def test_intensity_integrates_to_mean_value(self):
+        model = GammaSRM(omega=30.0, beta=0.7, alpha0=2.0)
+        t = np.linspace(1e-9, 10.0, 40_001)
+        integral = np.trapezoid(model.intensity(t), t)
+        assert integral == pytest.approx(model.mean_value(10.0), rel=1e-6)
+
+    def test_expected_residual_faults(self):
+        model = GammaSRM(omega=30.0, beta=0.7, alpha0=1.0)
+        assert model.expected_residual_faults(0.0) == pytest.approx(30.0)
+        assert model.expected_residual_faults(100.0) == pytest.approx(
+            30.0 * math.exp(-70.0), rel=1e-9
+        )
+
+    def test_reliability_formula(self):
+        # Paper Eq. 3: R = exp(-omega (G(t+u) - G(t))).
+        model = GammaSRM(omega=30.0, beta=0.7, alpha0=1.0)
+        t, u = 2.0, 1.0
+        expected = math.exp(
+            -30.0 * (model.lifetime_cdf(t + u) - model.lifetime_cdf(t))
+        )
+        assert model.reliability(t, u) == pytest.approx(expected, rel=1e-12)
+
+    def test_reliability_of_zero_window_is_one(self):
+        model = GammaSRM(omega=30.0, beta=0.7)
+        assert model.reliability(5.0, 0.0) == 1.0
+
+    def test_reliability_rejects_negative_window(self):
+        model = GammaSRM(omega=30.0, beta=0.7)
+        with pytest.raises(ValueError):
+            model.reliability(5.0, -1.0)
+
+    @given(
+        omega=st.floats(min_value=0.5, max_value=200.0),
+        beta=st.floats(min_value=1e-3, max_value=10.0),
+        t=st.floats(min_value=0.0, max_value=100.0),
+        u=st.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=150)
+    def test_reliability_in_unit_interval(self, omega, beta, t, u):
+        model = GammaSRM(omega=omega, beta=beta, alpha0=1.0)
+        r = model.reliability(t, u)
+        assert 0.0 <= r <= 1.0
+
+    def test_reliability_decreasing_in_u(self):
+        model = GammaSRM(omega=30.0, beta=0.7, alpha0=2.0)
+        values = [model.reliability(2.0, u) for u in (0.0, 0.5, 1.0, 2.0, 5.0)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+
+class TestLikelihoods:
+    def test_times_loglik_formula(self):
+        # Check Eq. 4 against a hand computation.
+        model = GammaSRM(omega=10.0, beta=0.5, alpha0=1.0)
+        data = FailureTimeData([1.0, 2.0], horizon=4.0)
+        expected = (
+            2.0 * math.log(10.0)
+            + sum(math.log(0.5) - 0.5 * t for t in (1.0, 2.0))
+            - 10.0 * (1.0 - math.exp(-2.0))
+        )
+        assert model.log_likelihood(data) == pytest.approx(expected, rel=1e-12)
+
+    def test_grouped_loglik_formula(self):
+        model = GammaSRM(omega=10.0, beta=0.5, alpha0=1.0)
+        data = GroupedData(counts=[2, 1], boundaries=[1.0, 3.0])
+        g1 = 1.0 - math.exp(-0.5)
+        g2 = 1.0 - math.exp(-1.5)
+        expected = (
+            2.0 * (math.log(g1) + math.log(10.0))
+            + 1.0 * (math.log(g2 - g1) + math.log(10.0))
+            - math.log(2.0)
+            - 10.0 * g2
+        )
+        assert model.log_likelihood(data) == pytest.approx(expected, rel=1e-12)
+
+    def test_grouped_zero_mass_interval_with_failures(self):
+        # A count in an interval the model gives zero probability (the
+        # CDF increment underflows to exactly 0 for beta = 1000):
+        # likelihood must be -inf, not an exception.
+        model = GammaSRM(omega=10.0, beta=1000.0, alpha0=1.0)
+        data = GroupedData(counts=[0, 1], boundaries=[1.0, 2.0])
+        assert model.log_likelihood(data) == -math.inf
+
+    def test_empty_data_loglik(self):
+        model = GammaSRM(omega=5.0, beta=0.5)
+        data = FailureTimeData([], horizon=2.0)
+        expected = -5.0 * (1.0 - math.exp(-1.0))
+        assert model.log_likelihood(data) == pytest.approx(expected)
+
+    def test_dispatch_rejects_unknown_type(self):
+        model = GammaSRM(omega=5.0, beta=0.5)
+        with pytest.raises(TypeError):
+            model.log_likelihood([1.0, 2.0])
+
+    def test_grouping_loses_little_information_at_fine_resolution(self):
+        # The grouped likelihood of finely bucketed data should peak near
+        # the same parameters as the exact times likelihood.
+        model = GammaSRM(omega=40.0, beta=0.1, alpha0=1.0)
+        rng = np.random.default_rng(5)
+        from repro.data.simulation import simulate_failure_times
+
+        data = simulate_failure_times(model, 30.0, rng)
+        fine = data.to_grouped(np.linspace(0.3, 30.0, 100))
+        candidates = np.linspace(0.05, 0.2, 31)
+        ll_times = [
+            model.replace(beta=b).log_likelihood(data) for b in candidates
+        ]
+        ll_grouped = [
+            model.replace(beta=b).log_likelihood(fine) for b in candidates
+        ]
+        assert abs(
+            candidates[np.argmax(ll_times)] - candidates[np.argmax(ll_grouped)]
+        ) <= 0.02

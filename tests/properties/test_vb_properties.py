@@ -1,0 +1,153 @@
+"""Property-based tests: VB invariants under randomly generated data.
+
+Hypothesis drives the data generator; each property must hold for any
+valid dataset, not just the bundled ones.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bayes.priors import ModelPrior
+from repro.core.config import VBConfig
+from repro.core.vb1 import fit_vb1
+from repro.core.vb2 import fit_vb2
+from repro.data.failure_data import FailureTimeData, GroupedData
+
+# Hypothesis strategies -------------------------------------------------
+
+failure_times = st.lists(
+    st.floats(min_value=0.01, max_value=99.0),
+    min_size=1,
+    max_size=25,
+).map(lambda values: FailureTimeData(np.sort(values), horizon=100.0))
+
+grouped_counts = st.lists(
+    st.integers(min_value=0, max_value=6), min_size=2, max_size=15
+).filter(lambda counts: sum(counts) >= 1).map(
+    lambda counts: GroupedData.from_equal_intervals(counts)
+)
+
+priors = st.tuples(
+    st.floats(min_value=5.0, max_value=100.0),   # omega mean
+    st.floats(min_value=2.0, max_value=40.0),    # omega std
+    st.floats(min_value=1e-3, max_value=0.5),    # beta mean
+    st.floats(min_value=1e-3, max_value=0.2),    # beta std
+).map(lambda args: ModelPrior.informative(*args))
+
+_FAST = VBConfig(tail_tolerance=1e-8, fixed_point_rtol=1e-10)
+_SETTINGS = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestVB2PropertiesTimes:
+    @given(data=failure_times, prior=priors)
+    @settings(**_SETTINGS)
+    def test_posterior_is_proper_and_ordered(self, data, prior):
+        posterior = fit_vb2(data, prior, config=_FAST)
+        ns, weights = posterior.fault_count_pmf()
+        assert ns[0] == data.count
+        assert weights.sum() == pytest.approx(1.0)
+        assert np.all(weights >= 0.0)
+        assert posterior.mean("omega") > 0.0
+        assert posterior.variance("omega") > 0.0
+        lo, hi = posterior.credible_interval("omega", 0.95)
+        assert lo < posterior.quantile("omega", 0.5) < hi
+
+    @given(data=failure_times, prior=priors)
+    @settings(**_SETTINGS)
+    def test_latent_mean_dominates_observed_count(self, data, prior):
+        posterior = fit_vb2(data, prior, config=_FAST)
+        assert posterior.expected_total_faults() >= data.count
+
+    @given(data=failure_times, prior=priors)
+    @settings(**_SETTINGS)
+    def test_elbo_dominates_vb1(self, data, prior):
+        vb2 = fit_vb2(data, prior, config=_FAST)
+        vb1 = fit_vb1(data, prior, config=_FAST)
+        assert vb2.elbo is not None and vb1.elbo is not None
+        assert vb2.elbo >= vb1.elbo - 1e-6
+
+    @given(data=failure_times, prior=priors)
+    @settings(**_SETTINGS)
+    def test_posterior_mean_between_prior_and_likelihood_regions(
+        self, data, prior
+    ):
+        # With a proper prior the posterior mean of omega cannot exceed
+        # max(prior mean, a generous data bound) nor drop below zero.
+        posterior = fit_vb2(data, prior, config=_FAST)
+        upper = max(prior.omega.mean + 6 * prior.omega.std, data.count * 50.0)
+        assert 0.0 < posterior.mean("omega") < upper
+
+
+class TestVB2PropertiesGrouped:
+    @given(data=grouped_counts, prior=priors)
+    @settings(**_SETTINGS)
+    def test_posterior_proper_on_grouped(self, data, prior):
+        posterior = fit_vb2(data, prior, config=_FAST)
+        ns, weights = posterior.fault_count_pmf()
+        assert ns[0] == data.total_count
+        assert weights.sum() == pytest.approx(1.0)
+        assert posterior.variance("beta") > 0.0
+
+    @given(
+        data=grouped_counts,
+        prior=priors,
+        scale=st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(**_SETTINGS)
+    def test_time_scale_equivariance(self, data, prior, scale):
+        # Rescaling the clock by s while transforming the beta prior as
+        # beta' = beta / s (a gamma rate scaling) leaves the omega
+        # posterior invariant and scales the beta posterior by 1/s —
+        # an exact symmetry of the model.
+        from repro.bayes.priors import GammaPrior
+
+        scaled_data = GroupedData(
+            counts=data.counts, boundaries=data.boundaries * scale
+        )
+        scaled_prior = ModelPrior(
+            omega=prior.omega,
+            beta=GammaPrior(prior.beta.shape, prior.beta.rate * scale),
+        )
+        base = fit_vb2(data, prior, config=_FAST)
+        scaled = fit_vb2(scaled_data, scaled_prior, config=_FAST)
+        assert scaled.mean("omega") == pytest.approx(
+            base.mean("omega"), rel=1e-8
+        )
+        assert scaled.variance("omega") == pytest.approx(
+            base.variance("omega"), rel=1e-6
+        )
+        assert scaled.mean("beta") == pytest.approx(
+            base.mean("beta") / scale, rel=1e-8
+        )
+
+
+class TestReliabilityProperties:
+    @given(
+        data=failure_times,
+        prior=priors,
+        u=st.floats(min_value=0.1, max_value=50.0),
+    )
+    @settings(**_SETTINGS)
+    def test_reliability_point_in_unit_interval(self, data, prior, u):
+        from repro.core.reliability import reliability_increment
+
+        posterior = fit_vb2(data, prior, config=_FAST)
+        c = reliability_increment(1.0, data.horizon, u)
+        point = posterior.reliability_point(c)
+        assert 0.0 < point <= 1.0
+
+    @given(data=failure_times, prior=priors)
+    @settings(**_SETTINGS)
+    def test_reliability_cdf_is_monotone(self, data, prior):
+        from repro.core.reliability import reliability_increment
+
+        posterior = fit_vb2(data, prior, config=_FAST)
+        c = reliability_increment(1.0, data.horizon, 10.0)
+        values = [posterior.reliability_cdf(r, c) for r in (0.2, 0.5, 0.8)]
+        assert values[0] <= values[1] <= values[2]

@@ -1,0 +1,62 @@
+"""Tests for the Poisson helpers."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats as st
+
+from repro.stats.poisson import log_poisson_pmf, poisson_interval, sample_poisson
+
+
+class TestLogPmf:
+    def test_matches_scipy(self):
+        for mean in (0.5, 3.0, 40.0):
+            for k in (0, 1, 5, 50):
+                assert log_poisson_pmf(k, mean) == pytest.approx(
+                    st.poisson.logpmf(k, mean), rel=1e-12
+                )
+
+    def test_zero_mean_point_mass(self):
+        assert log_poisson_pmf(0, 0.0) == 0.0
+        assert log_poisson_pmf(3, 0.0) == -math.inf
+
+    def test_vectorised(self):
+        out = log_poisson_pmf(np.arange(4), 2.0)
+        assert out.shape == (4,)
+        assert np.exp(out).sum() <= 1.0
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            log_poisson_pmf(-1, 2.0)
+
+    def test_negative_mean_rejected(self):
+        with pytest.raises(ValueError):
+            log_poisson_pmf(1, -2.0)
+
+
+class TestInterval:
+    def test_covers_requested_mass(self):
+        lo, hi = poisson_interval(40.0, 0.99)
+        mass = st.poisson.cdf(hi, 40.0) - st.poisson.cdf(lo - 1, 40.0)
+        assert mass >= 0.99
+
+    def test_zero_mean(self):
+        assert poisson_interval(0.0, 0.95) == (0, 0)
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            poisson_interval(1.0, 1.5)
+
+
+class TestSample:
+    def test_returns_int(self, rng):
+        value = sample_poisson(5.0, rng)
+        assert isinstance(value, int)
+        assert value >= 0
+
+    def test_rejects_bad_mean(self, rng):
+        with pytest.raises(ValueError):
+            sample_poisson(-1.0, rng)
+        with pytest.raises(ValueError):
+            sample_poisson(math.inf, rng)

@@ -1,0 +1,59 @@
+"""Tests for the bracketing root finders."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConvergenceError
+from repro.stats.rootfind import bisect_increasing, bracket_quantile
+
+
+class TestBisect:
+    def test_linear_root(self):
+        root = bisect_increasing(lambda x: x - 2.5, 0.0, 10.0)
+        assert root == pytest.approx(2.5, abs=1e-9)
+
+    def test_nonlinear_root(self):
+        root = bisect_increasing(lambda x: math.tanh(x) - 0.5, 0.0, 5.0)
+        assert root == pytest.approx(math.atanh(0.5), abs=1e-9)
+
+    def test_root_at_lower_edge(self):
+        assert bisect_increasing(lambda x: x, 0.0, 1.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_invalid_bracket_raises(self):
+        with pytest.raises(ValueError):
+            bisect_increasing(lambda x: x, 2.0, 1.0)
+
+    def test_sign_violation_raises(self):
+        with pytest.raises(ConvergenceError):
+            bisect_increasing(lambda x: x + 10.0, 1.0, 2.0)
+
+    @given(target=st.floats(min_value=0.01, max_value=0.99))
+    @settings(max_examples=100)
+    def test_cdf_style_inversion(self, target):
+        cdf = lambda x: 1.0 - math.exp(-x)
+        root = bisect_increasing(lambda x: cdf(x) - target, 0.0, 100.0)
+        assert cdf(root) == pytest.approx(target, abs=1e-8)
+
+
+class TestBracketQuantile:
+    def test_brackets_exponential_quantiles(self):
+        cdf = lambda x: 1.0 - math.exp(-x)
+        for q in (0.001, 0.5, 0.999):
+            lo, hi = bracket_quantile(cdf, q)
+            assert cdf(lo) <= q <= cdf(hi)
+
+    def test_handles_far_scale(self):
+        # Distribution concentrated near 1e-5: expansion must find it.
+        cdf = lambda x: 1.0 - math.exp(-x / 1e-5)
+        lo, hi = bracket_quantile(cdf, 0.5)
+        assert cdf(lo) <= 0.5 <= cdf(hi)
+
+    def test_invalid_inputs(self):
+        cdf = lambda x: 1.0 - math.exp(-x)
+        with pytest.raises(ValueError):
+            bracket_quantile(cdf, 0.0)
+        with pytest.raises(ValueError):
+            bracket_quantile(cdf, 0.5, x0=-1.0)

@@ -1,0 +1,204 @@
+"""Tests for the stable special-function helpers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import special as sc
+from scipy import stats as stdist
+
+from repro.stats.special import (
+    digamma,
+    gamma_cdf_increment,
+    gamma_sf_ratio,
+    log1mexp,
+    log_factorial,
+    log_gamma_cdf,
+    log_gamma_cdf_increment,
+    log_gamma_fn,
+    log_gamma_sf,
+    logsumexp,
+)
+
+
+class TestLog1mExp:
+    def test_matches_naive_for_moderate_values(self):
+        for x in (-0.1, -0.5, -1.0, -3.0):
+            assert log1mexp(x) == pytest.approx(math.log(1.0 - math.exp(x)), rel=1e-12)
+
+    def test_tiny_argument_does_not_underflow(self):
+        # exp(-1e-18) == 1 in float, but log1mexp must stay finite.
+        assert math.isfinite(log1mexp(-1e-18))
+        assert log1mexp(-1e-18) == pytest.approx(math.log(1e-18), rel=1e-6)
+
+    def test_zero_maps_to_minus_infinity(self):
+        assert log1mexp(0.0) == -math.inf
+
+    def test_rejects_positive_input(self):
+        with pytest.raises(ValueError):
+            log1mexp(0.5)
+
+    def test_vectorised(self):
+        x = np.array([-0.5, -2.0, -50.0])
+        out = log1mexp(x)
+        assert out.shape == (3,)
+        assert np.all(np.isfinite(out))
+
+    @given(st.floats(min_value=-700.0, max_value=-1e-10))
+    @settings(max_examples=200)
+    def test_always_negative_and_finite(self, x):
+        value = log1mexp(x)
+        assert math.isfinite(value)
+        assert value <= 0.0
+
+
+class TestLogSumExp:
+    def test_simple_reduction(self):
+        values = np.log([1.0, 2.0, 3.0])
+        assert logsumexp(values) == pytest.approx(math.log(6.0))
+
+    def test_with_weights(self):
+        values = np.log([1.0, 1.0])
+        assert logsumexp(values, weights=np.array([2.0, 3.0])) == pytest.approx(
+            math.log(5.0)
+        )
+
+    def test_handles_minus_infinity(self):
+        values = np.array([-math.inf, 0.0])
+        assert logsumexp(values) == pytest.approx(0.0)
+
+    @given(
+        st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=20)
+    )
+    @settings(max_examples=100)
+    def test_shift_invariance(self, values):
+        arr = np.asarray(values)
+        shifted = logsumexp(arr + 5.0)
+        assert shifted == pytest.approx(logsumexp(arr) + 5.0, rel=1e-9, abs=1e-9)
+
+
+class TestGammaTails:
+    def test_log_cdf_matches_scipy(self):
+        for shape, rate, x in [(1.0, 2.0, 0.5), (3.5, 0.1, 10.0), (0.5, 5.0, 0.01)]:
+            expected = stdist.gamma.logcdf(x, a=shape, scale=1.0 / rate)
+            assert log_gamma_cdf(x, shape, rate) == pytest.approx(expected, rel=1e-9)
+
+    def test_log_sf_matches_scipy(self):
+        for shape, rate, x in [(1.0, 2.0, 0.5), (3.5, 0.1, 60.0), (2.0, 1.0, 8.0)]:
+            expected = stdist.gamma.logsf(x, a=shape, scale=1.0 / rate)
+            assert log_gamma_sf(x, shape, rate) == pytest.approx(expected, rel=1e-9)
+
+    def test_log_sf_deep_tail_is_finite(self):
+        # Far beyond float underflow of the survival function itself.
+        value = log_gamma_sf(10_000.0, 2.0, 1.0)
+        assert math.isfinite(value)
+        # Exponential-dominated decay: roughly -rate * x.
+        assert value == pytest.approx(-10_000.0 + math.log(10_000.0), rel=0.01)
+
+    def test_log_cdf_deep_lower_tail_is_finite(self):
+        value = log_gamma_cdf(1e-12, 5.0, 1.0)
+        assert math.isfinite(value)
+        expected = 5.0 * math.log(1e-12) - float(sc.gammaln(6.0))
+        assert value == pytest.approx(expected, rel=1e-6)
+
+    def test_log_cdf_at_zero(self):
+        assert log_gamma_cdf(0.0, 2.0, 1.0) == -math.inf
+
+    def test_log_sf_at_zero(self):
+        assert log_gamma_sf(0.0, 2.0, 1.0) == 0.0
+
+    @given(
+        shape=st.floats(min_value=0.1, max_value=50.0),
+        rate=st.floats(min_value=1e-3, max_value=1e3),
+        x=st.floats(min_value=1e-6, max_value=1e3),
+    )
+    @settings(max_examples=200)
+    def test_cdf_sf_complementarity(self, shape, rate, x):
+        log_p = log_gamma_cdf(x, shape, rate)
+        log_q = log_gamma_sf(x, shape, rate)
+        total = math.exp(log_p) + math.exp(log_q)
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+
+class TestGammaSfRatio:
+    def test_exponential_case_closed_form(self):
+        # shape=1: ratio = SF(x;2)/SF(x;1) = (1 + rate x e^{-rx}/e^{-rx})...
+        rate, x = 2.0, 3.0
+        expected = stdist.gamma.sf(x, a=2.0, scale=0.5) / math.exp(-rate * x)
+        assert gamma_sf_ratio(x, 1.0, rate) == pytest.approx(expected, rel=1e-10)
+
+    def test_at_zero_is_one(self):
+        assert gamma_sf_ratio(0.0, 3.0, 1.0) == 1.0
+
+    def test_deep_tail_limit(self):
+        # ratio -> rate*x/shape for x -> infinity.
+        value = gamma_sf_ratio(5000.0, 2.0, 1.0)
+        assert value == pytest.approx(5000.0 / 2.0, rel=0.01)
+
+    @given(
+        shape=st.floats(min_value=0.2, max_value=20.0),
+        rate=st.floats(min_value=1e-2, max_value=1e2),
+        x=st.floats(min_value=1e-3, max_value=100.0),
+    )
+    @settings(max_examples=150)
+    def test_ratio_at_least_one(self, shape, rate, x):
+        # SF(x; shape+1) >= SF(x; shape): a gamma with larger shape is
+        # stochastically larger at the same rate.
+        assert gamma_sf_ratio(x, shape, rate) >= 1.0 - 1e-12
+
+
+class TestGammaIncrement:
+    def test_increment_matches_cdf_difference(self):
+        shape, rate = 2.5, 0.8
+        lo, hi = 1.0, 4.0
+        expected = stdist.gamma.cdf(hi, a=shape, scale=1.0 / rate) - stdist.gamma.cdf(
+            lo, a=shape, scale=1.0 / rate
+        )
+        assert gamma_cdf_increment(lo, hi, shape, rate) == pytest.approx(
+            expected, rel=1e-12
+        )
+
+    def test_log_increment_deep_tail(self):
+        # Interval far in the right tail: plain difference underflows and
+        # even scipy's logsf returns -inf at x=800, but the closed form
+        # for shape 2 is log[(1+lo)e^-lo - (1+hi)e^-hi].
+        value = log_gamma_cdf_increment(800.0, 810.0, 2.0, 1.0)
+        assert math.isfinite(value)
+        log_sf_lo = math.log(801.0) - 800.0
+        log_sf_hi = math.log(811.0) - 810.0
+        expected = log_sf_lo + math.log1p(-math.exp(log_sf_hi - log_sf_lo))
+        assert value == pytest.approx(expected, rel=1e-6)
+
+    def test_invalid_interval_raises(self):
+        with pytest.raises(ValueError):
+            gamma_cdf_increment(3.0, 2.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            gamma_cdf_increment(-1.0, 2.0, 1.0, 1.0)
+
+    @given(
+        shape=st.floats(min_value=0.3, max_value=10.0),
+        rate=st.floats(min_value=0.01, max_value=10.0),
+        lo=st.floats(min_value=0.0, max_value=50.0),
+        width=st.floats(min_value=1e-3, max_value=50.0),
+    )
+    @settings(max_examples=150)
+    def test_increment_in_unit_interval(self, shape, rate, lo, width):
+        inc = gamma_cdf_increment(lo, lo + width, shape, rate)
+        assert -1e-12 <= inc <= 1.0 + 1e-12
+
+
+class TestSmallHelpers:
+    def test_log_factorial(self):
+        assert log_factorial(0) == pytest.approx(0.0)
+        assert log_factorial(5) == pytest.approx(math.log(120.0))
+        arr = log_factorial(np.array([0, 1, 2, 3]))
+        assert arr == pytest.approx([0.0, 0.0, math.log(2), math.log(6)])
+
+    def test_log_gamma_fn(self):
+        assert log_gamma_fn(5.0) == pytest.approx(math.log(24.0))
+
+    def test_digamma(self):
+        # psi(1) = -euler_gamma
+        assert digamma(1.0) == pytest.approx(-0.5772156649, rel=1e-9)

@@ -1,0 +1,129 @@
+"""Tests for truncated/censored gamma moments and samplers.
+
+These quantities are the heart of the VB E-step (paper Eqs. 24/26), so
+they are checked against Monte Carlo, closed forms, and limit cases.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.truncated import (
+    censored_gamma_mean,
+    sample_censored_gamma,
+    sample_truncated_gamma,
+    truncated_gamma_mean,
+)
+
+positive = st.floats(min_value=0.05, max_value=50.0)
+
+
+class TestCensoredMean:
+    def test_exponential_memorylessness(self):
+        # shape 1: E[T | T > c] = c + 1/rate exactly.
+        assert censored_gamma_mean(3.0, 1.0, 2.0) == pytest.approx(3.5)
+
+    def test_zero_cut_returns_unconditional_mean(self):
+        assert censored_gamma_mean(0.0, 2.5, 0.5) == pytest.approx(5.0)
+
+    def test_monte_carlo_agreement(self):
+        rng = np.random.default_rng(2)
+        shape, rate, cut = 2.0, 1.5, 2.0
+        samples = rng.gamma(shape, 1.0 / rate, size=2_000_000)
+        tail = samples[samples > cut]
+        assert censored_gamma_mean(cut, shape, rate) == pytest.approx(
+            tail.mean(), rel=5e-3
+        )
+
+    def test_deep_tail_stays_finite_and_ordered(self):
+        cut = 5_000.0
+        value = censored_gamma_mean(cut, 2.0, 1.0)
+        assert math.isfinite(value)
+        assert value > cut
+        # Asymptotically cut + 1/rate for the gamma right tail.
+        assert value == pytest.approx(cut + 1.0, rel=1e-3)
+
+    @given(shape=positive, rate=positive, cut=st.floats(min_value=0.0, max_value=100.0))
+    @settings(max_examples=200)
+    def test_exceeds_cut_and_unconditional_mean(self, shape, rate, cut):
+        value = censored_gamma_mean(cut, shape, rate)
+        assert value >= cut
+        assert value >= shape / rate - 1e-9
+
+
+class TestTruncatedMean:
+    def test_inside_interval(self):
+        value = truncated_gamma_mean(1.0, 2.0, 2.0, 1.0)
+        assert 1.0 <= value <= 2.0
+
+    def test_monte_carlo_agreement(self):
+        rng = np.random.default_rng(3)
+        shape, rate, lo, hi = 3.0, 2.0, 0.5, 2.0
+        samples = rng.gamma(shape, 1.0 / rate, size=2_000_000)
+        inside = samples[(samples > lo) & (samples <= hi)]
+        assert truncated_gamma_mean(lo, hi, shape, rate) == pytest.approx(
+            inside.mean(), rel=5e-3
+        )
+
+    def test_degenerate_far_tail_interval(self):
+        # Negligible mass: must not divide 0/0; returns boundary point.
+        value = truncated_gamma_mean(900.0, 901.0, 2.0, 1.0)
+        assert 900.0 <= value <= 901.0
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            truncated_gamma_mean(2.0, 1.0, 1.0, 1.0)
+
+    @given(
+        shape=positive,
+        rate=positive,
+        lo=st.floats(min_value=0.0, max_value=20.0),
+        width=st.floats(min_value=0.01, max_value=20.0),
+    )
+    @settings(max_examples=200)
+    def test_mean_within_interval_property(self, shape, rate, lo, width):
+        value = truncated_gamma_mean(lo, lo + width, shape, rate)
+        assert lo - 1e-9 <= value <= lo + width + 1e-9
+
+
+class TestTruncatedSampler:
+    def test_samples_in_interval(self, rng):
+        draws = sample_truncated_gamma(1.0, 3.0, 2.0, 1.0, 10_000, rng)
+        assert np.all(draws > 1.0)
+        assert np.all(draws <= 3.0 + 1e-12)
+
+    def test_sample_mean_matches_analytic(self, rng):
+        lo, hi, shape, rate = 0.5, 4.0, 2.5, 1.2
+        draws = sample_truncated_gamma(lo, hi, shape, rate, 400_000, rng)
+        assert draws.mean() == pytest.approx(
+            truncated_gamma_mean(lo, hi, shape, rate), rel=5e-3
+        )
+
+    def test_far_tail_fallback_does_not_stall(self, rng):
+        draws = sample_truncated_gamma(900.0, 901.0, 2.0, 1.0, 100, rng)
+        assert np.all((draws >= 900.0) & (draws <= 901.0))
+
+
+class TestCensoredSampler:
+    def test_samples_beyond_cut(self, rng):
+        draws = sample_censored_gamma(2.0, 2.0, 1.0, 10_000, rng)
+        assert np.all(draws > 2.0)
+
+    def test_sample_mean_matches_analytic(self, rng):
+        cut, shape, rate = 1.5, 3.0, 2.0
+        draws = sample_censored_gamma(cut, shape, rate, 400_000, rng)
+        assert draws.mean() == pytest.approx(
+            censored_gamma_mean(cut, shape, rate), rel=5e-3
+        )
+
+    def test_zero_cut_is_plain_gamma(self, rng):
+        draws = sample_censored_gamma(0.0, 2.0, 1.0, 200_000, rng)
+        assert draws.mean() == pytest.approx(2.0, rel=0.02)
+
+    def test_underflowed_tail_fallback(self, rng):
+        draws = sample_censored_gamma(10_000.0, 2.0, 1.0, 1000, rng)
+        assert np.all(draws > 10_000.0)
+        assert np.all(np.isfinite(draws))
