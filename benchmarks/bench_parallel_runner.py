@@ -1,0 +1,106 @@
+"""Benchmark: serial vs. parallel SBC campaign wall-clock time.
+
+Measures `run_sbc` end to end at 1 worker and at `--workers` (default
+4), verifies the two results are bit-identical, and reports the
+speedup. The speedup is hardware-bound — on an N-core machine the
+parallel run approaches min(workers, N) times faster once per-process
+startup is amortised; on a single core it degrades to ~1x (pool
+overhead only), which is why the identity check, not the speedup, is
+the asserted property in the pytest entry point.
+
+As a script (the acceptance benchmark):
+
+    PYTHONPATH=src python benchmarks/bench_parallel_runner.py \
+        --replications 200 --workers 4
+
+Under pytest it also rides the pytest-benchmark suite, timing the
+parallel configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from pathlib import Path
+
+# Script-mode bootstrap: pytest injects these roots via benchmarks/
+# conftest.py, a bare `python benchmarks/bench_parallel_runner.py`
+# does not.
+_HERE = Path(__file__).resolve().parent
+for _root in (_HERE, _HERE.parent / "src"):
+    if str(_root) not in sys.path:
+        sys.path.insert(0, str(_root))
+
+from conftest import RESULTS_DIR, write_result
+from repro.validation.sbc import SBCSpec, run_sbc
+
+
+def measure(replications: int, workers: int, method: str = "VB2",
+            seed: int = 0) -> dict:
+    """Time serial vs. parallel campaigns and check bit-identity."""
+    spec = SBCSpec(method=method, replications=replications, seed=seed)
+
+    start = time.perf_counter()
+    serial = run_sbc(spec, workers=1)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_sbc(spec, workers=workers)
+    parallel_s = time.perf_counter() - start
+
+    return {
+        "spec": spec,
+        "workers": workers,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s,
+        "identical": serial.to_dict() == parallel.to_dict(),
+    }
+
+
+def render(result: dict) -> str:
+    spec = result["spec"]
+    lines = [
+        "Parallel campaign runner — serial vs. parallel SBC wall-clock",
+        f"method={spec.method} replications={spec.replications} "
+        f"seed={spec.seed} cores={os.cpu_count()}",
+        f"  serial   (workers=1):              {result['serial_s']:8.3f} s",
+        f"  parallel (workers={result['workers']}):"
+        f"              {result['parallel_s']:8.3f} s",
+        f"  speedup: {result['speedup']:.2f}x   "
+        f"bit-identical: {result['identical']}",
+    ]
+    return "\n".join(lines)
+
+
+def test_parallel_runner_speedup(benchmark, results_dir):
+    """Times the 4-worker campaign; asserts the determinism contract
+    (the speedup itself is a function of the host's core count)."""
+    result = measure(replications=64, workers=4)
+    assert result["identical"], "parallel result diverged from serial"
+    write_result(results_dir / "parallel_runner.txt", render(result))
+
+    spec = result["spec"]
+    benchmark(lambda: run_sbc(spec, workers=4))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--replications", type=int, default=200)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--method", default="VB2")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    result = measure(
+        args.replications, args.workers, method=args.method, seed=args.seed
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write_result(RESULTS_DIR / "parallel_runner.txt", render(result))
+    if not result["identical"]:
+        raise SystemExit("FAIL: parallel result diverged from serial")
+
+
+if __name__ == "__main__":
+    main()

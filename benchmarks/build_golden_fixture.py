@@ -1,0 +1,112 @@
+"""Regenerate the golden-table fixture from benchmarks/results/*.txt.
+
+The rendered tables under ``benchmarks/results/`` are the repository's
+reference outputs (a PAPER_SCALE run). This script parses Tables 1-5
+back into a machine-readable JSON fixture,
+``tests/fixtures/golden_tables.json``, which the tier-2 regression
+suite (``tests/experiments/test_golden_tables.py``) asserts against.
+
+Run after intentionally refreshing the table outputs:
+
+    PYTHONPATH=src python benchmarks/build_golden_fixture.py
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+RESULTS = Path(__file__).resolve().parent / "results"
+FIXTURE = (
+    Path(__file__).resolve().parent.parent
+    / "tests" / "fixtures" / "golden_tables.json"
+)
+
+METHODS = ("NINT", "LAPL", "MCMC", "VB1", "VB2")
+
+MOMENT_KEYS = (
+    "E[omega]", "E[beta]", "Var(omega)", "Var(beta)", "Cov(omega,beta)"
+)
+ENDPOINT_KEYS = ("omega_lower", "omega_upper", "beta_lower", "beta_upper")
+
+
+def _method_rows(text: str):
+    """Yield ``(block_title, method, values)`` for every method row.
+
+    Percentage rows (the deviation-from-NINT lines) are skipped.
+    """
+    title = None
+    for line in text.splitlines():
+        match = re.match(r"Table \d+ — (\S+)", line)
+        if match:
+            title = match.group(1)
+            continue
+        tokens = line.split()
+        if tokens and tokens[0] in METHODS:
+            yield title, tokens[0], [float(tok) for tok in tokens[1:]]
+
+
+def parse_moments(path: Path) -> dict:
+    """Table 1: posterior moments per scenario and method."""
+    out: dict[str, dict] = {}
+    for scenario, method, values in _method_rows(path.read_text()):
+        out.setdefault(scenario, {})[method] = dict(
+            zip(MOMENT_KEYS, values, strict=True)
+        )
+    return out
+
+
+def parse_intervals(path: Path) -> dict:
+    """Tables 2/3: 99% interval endpoints per scenario and method."""
+    out: dict[str, dict] = {}
+    for scenario, method, values in _method_rows(path.read_text()):
+        out.setdefault(scenario, {})[method] = dict(
+            zip(ENDPOINT_KEYS, values, strict=True)
+        )
+    return out
+
+
+def parse_reliability(path: Path) -> dict:
+    """Tables 4/5: reliability point/lower/upper per window and method."""
+    out: dict[str, dict] = {}
+    for line in path.read_text().splitlines():
+        tokens = line.split()
+        if len(tokens) == 5 and tokens[1] in METHODS:
+            window = str(float(re.sub(r"^u=|[a-z]+$", "", tokens[0])))
+            out.setdefault(window, {})[tokens[1]] = {
+                "point": float(tokens[2]),
+                "lower": float(tokens[3].strip("<>")),
+                "upper": float(tokens[4].strip("<>")),
+            }
+    return out
+
+
+def build() -> dict:
+    return {
+        "source": "benchmarks/results/table[1-5].txt (PAPER_SCALE run)",
+        "moments": parse_moments(RESULTS / "table1.txt"),
+        "intervals": {
+            **parse_intervals(RESULTS / "table2.txt"),
+            **parse_intervals(RESULTS / "table3.txt"),
+        },
+        "reliability": {
+            "DT-Info": parse_reliability(RESULTS / "table4.txt"),
+            "DG-Info": parse_reliability(RESULTS / "table5.txt"),
+        },
+    }
+
+
+def main() -> None:
+    fixture = build()
+    FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+    FIXTURE.write_text(
+        json.dumps(fixture, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    scenarios = sorted(fixture["moments"])
+    print(f"wrote {FIXTURE} ({', '.join(scenarios)})")
+
+
+if __name__ == "__main__":
+    main()

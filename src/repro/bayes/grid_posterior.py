@@ -125,6 +125,30 @@ class GridPosterior(JointPosterior):
         cdf /= cdf[-1]
         return float(np.interp(q, cdf, nodes))
 
+    def cdf(self, param: str, x: float) -> float:
+        """Marginal CDF from the same trapezoid construction as
+        :meth:`quantile`."""
+        nodes, masses = self._axis(param)
+        grid_w = self._grid.wx if param == "omega" else self._grid.wy
+        density = np.where(grid_w > 0.0, masses / grid_w, 0.0)
+        cdf = np.concatenate(
+            ([0.0], np.cumsum(0.5 * (density[1:] + density[:-1]) * np.diff(nodes)))
+        )
+        cdf /= cdf[-1]
+        return float(np.interp(x, nodes, cdf, left=0.0, right=1.0))
+
+    # ------------------------------------------------------------------
+    # Pickling (parallel campaign runner)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Drop the (often closure-based) re-evaluation callable so grid
+        posteriors cross process boundaries; every tabulated functional
+        survives, only :meth:`log_pdf_grid` beyond the stored grid is
+        lost."""
+        state = self.__dict__.copy()
+        state["_log_pdf_fn"] = None
+        return state
+
     # ------------------------------------------------------------------
     # Density re-evaluation (Figure 1)
     # ------------------------------------------------------------------

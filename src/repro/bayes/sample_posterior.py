@@ -87,6 +87,11 @@ class EmpiricalPosterior(JointPosterior):
         rank = min(max(int(round(q * ordered.size)), 1), ordered.size)
         return float(ordered[rank - 1])
 
+    def cdf(self, param: str, x: float) -> float:
+        """Empirical CDF: fraction of samples at or below ``x``."""
+        ordered = self._sorted[self._check_param(param)]
+        return float(np.searchsorted(ordered, x, side="right")) / ordered.size
+
     def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
         """Bootstrap re-draw from the stored samples."""
         idx = rng.integers(0, self.n_samples, size=size)

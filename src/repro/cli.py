@@ -14,6 +14,13 @@ Two families of commands:
           --omega-mean 50 --omega-std 16 --beta-mean 1e-5 --beta-std 3e-6
       python -m repro simulate --model goel-okumoto --omega 40 \
           --beta 1e-5 --horizon 250000 --out sim.csv
+
+* posterior-method validation campaigns (parallel across cores)::
+
+      python -m repro validate sbc --model goel-okumoto --method VB2 \
+          --replications 200 --workers 4
+      python -m repro validate coverage --methods VB1,VB2 \
+          --replications 200 --level 0.9 --workers 4
 """
 
 from __future__ import annotations
@@ -56,6 +63,11 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument(
             "--out", default=None,
             help="directory for figure1 CSV export (figure1/all only)",
+        )
+        sub.add_argument(
+            "--workers", type=int, default=1,
+            help="process count for running independent scenarios "
+            "concurrently (0 = one per core)",
         )
 
     fit = subparsers.add_parser("fit", help="fit a posterior to a dataset")
@@ -101,18 +113,85 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument("--out", default=None,
                           help="write the failure times to this CSV")
+
+    validate = subparsers.add_parser(
+        "validate",
+        help="run a posterior-method validation campaign "
+        "(simulation-based calibration or interval coverage)",
+    )
+    validate_kind = validate.add_subparsers(dest="validate_command",
+                                            required=True)
+
+    def add_campaign_options(sub) -> None:
+        sub.add_argument("--replications", type=int, default=200,
+                         help="number of simulated campaigns")
+        sub.add_argument("--workers", type=int, default=1,
+                         help="process count (0 = one per core); results "
+                         "are identical for any value")
+        sub.add_argument("--seed", type=int, default=0,
+                         help="root seed of the deterministic stream tree")
+        sub.add_argument("--horizon", type=float, default=25.0,
+                         help="observation horizon of each campaign")
+        sub.add_argument("--min-failures", type=int, default=3,
+                         help="campaigns observing fewer failures are skipped")
+        sub.add_argument("--scale", choices=["quick", "paper"],
+                         default="quick",
+                         help="MCMC schedule / NINT resolution for those "
+                         "methods")
+        sub.add_argument("--out", default=None,
+                         help="JSON artifact path (defaults to "
+                         "benchmarks/results/<campaign>.json)")
+        sub.add_argument("--omega-mean", type=float, default=40.0,
+                         help="prior mean for omega")
+        sub.add_argument("--omega-std", type=float, default=12.0)
+        sub.add_argument("--beta-mean", type=float, default=0.1)
+        sub.add_argument("--beta-std", type=float, default=0.04)
+
+    sbc = validate_kind.add_parser(
+        "sbc", help="simulation-based calibration (rank uniformity)"
+    )
+    sbc.add_argument("--model", default="goel-okumoto",
+                     help="data-generating model registry name "
+                     "(underscores accepted)")
+    sbc.add_argument("--method", default="VB2",
+                     help="posterior method under test "
+                     "(NINT, LAPL, MCMC, VB1, VB2)")
+    sbc.add_argument("--ranks", type=int, default=63,
+                     help="L: posterior draws per rank statistic")
+    sbc.add_argument("--window", type=float, default=None,
+                     help="reliability prediction window "
+                     "(default horizon / 5)")
+    add_campaign_options(sbc)
+
+    coverage = validate_kind.add_parser(
+        "coverage", help="frequentist coverage of the credible intervals"
+    )
+    coverage.add_argument("--methods", default="VB1,VB2",
+                          help="comma-separated fitters to compare "
+                          "(subset of LAPL, VB1, VB2)")
+    coverage.add_argument("--level", type=float, default=0.99,
+                          help="nominal credible level to assess")
+    coverage.add_argument("--true-omega", type=float, default=40.0,
+                          help="data-generating omega")
+    coverage.add_argument("--true-beta", type=float, default=0.1,
+                          help="data-generating beta")
+    add_campaign_options(coverage)
     return parser
 
 
-def _run_experiment(name: str, scale, out: str | None) -> str:
+def _run_experiment(name: str, scale, out: str | None, workers: int = 1) -> str:
     from repro.experiments import figure1, table1, table23, table45, table67
 
     if name == "table1":
-        return table1.render(table1.run(scale=scale))
+        return table1.render(table1.run(scale=scale, workers=workers))
     if name == "table2":
-        return table23.render(table23.run("DT", scale=scale), table_number=2)
+        return table23.render(
+            table23.run("DT", scale=scale, workers=workers), table_number=2
+        )
     if name == "table3":
-        return table23.render(table23.run("DG", scale=scale), table_number=3)
+        return table23.render(
+            table23.run("DG", scale=scale, workers=workers), table_number=3
+        )
     if name == "table4":
         _, rows = table45.run("DT", scale=scale)
         return table45.render(rows, table_number=4, unit="s")
@@ -205,6 +284,134 @@ def _run_fit(args) -> str:
     return "\n".join(lines)
 
 
+def _campaign_prior(args) -> "ModelPrior":
+    from repro.bayes.priors import ModelPrior
+
+    return ModelPrior.informative(
+        args.omega_mean, args.omega_std, args.beta_mean, args.beta_std
+    )
+
+
+def _campaign_workers(args) -> int | None:
+    # --workers 0 means "one process per core".
+    return None if args.workers == 0 else args.workers
+
+
+def _run_validate_sbc(args) -> str:
+    from repro.experiments import PAPER_SCALE, QUICK_SCALE
+    from repro.metrics.timing import time_callable
+    from repro.validation.artifacts import (
+        ValidationArtifact,
+        default_artifact_path,
+        save_artifact,
+    )
+    from repro.validation.sbc import SBCSpec, run_sbc
+
+    spec = SBCSpec(
+        model=args.model.replace("_", "-"),
+        method=args.method.upper(),
+        prior=_campaign_prior(args),
+        horizon=args.horizon,
+        reliability_window=args.window,
+        replications=args.replications,
+        ranks=args.ranks,
+        min_failures=args.min_failures,
+        seed=args.seed,
+        scale=PAPER_SCALE if args.scale == "paper" else QUICK_SCALE,
+    )
+    timing = time_callable(
+        lambda: run_sbc(spec, workers=_campaign_workers(args))
+    )
+    result = timing.result
+    summary = result.to_dict()
+    artifact = ValidationArtifact(
+        kind="sbc", config=summary["config"],
+        results={k: v for k, v in summary.items() if k != "config"},
+    )
+    out = args.out or default_artifact_path("sbc", spec.model, spec.method)
+    path = save_artifact(artifact, out)
+    lines = [
+        f"SBC: {spec.method} on {spec.model} — "
+        f"{result.used} used / {result.skipped} skipped / "
+        f"{result.failed} failed replications "
+        f"({timing.seconds:.1f}s, workers={args.workers or 'auto'})",
+    ]
+    for quantity, report in result.reports().items():
+        verdict = "ok" if report.calibrated else "MISCALIBRATED"
+        lines.append(
+            f"  {quantity:<12} chi2 p={report.chi_square.p_value:.4f}   "
+            f"ecdf dev {report.ecdf.max_deviation:.4f} "
+            f"(envelope {report.ecdf.envelope:.4f})   {verdict}"
+        )
+    lines.append(f"artifact: {path}")
+    return "\n".join(lines)
+
+
+def _run_validate_coverage(args) -> str:
+    from repro.metrics.coverage import interval_coverage_study
+    from repro.metrics.timing import time_callable
+    from repro.models.registry import make_model
+    from repro.validation.artifacts import (
+        ValidationArtifact,
+        default_artifact_path,
+        save_artifact,
+    )
+    from repro.validation.fitters import coverage_fitters
+
+    labels = [label.strip().upper() for label in args.methods.split(",") if label.strip()]
+    fitters = coverage_fitters(labels)
+    true_model = make_model(
+        "goel-okumoto", omega=args.true_omega, beta=args.true_beta
+    )
+    timing = time_callable(
+        lambda: interval_coverage_study(
+            true_model,
+            _campaign_prior(args),
+            fitters,
+            horizon=args.horizon,
+            level=args.level,
+            replications=args.replications,
+            min_failures=args.min_failures,
+            seed=args.seed,
+            workers=_campaign_workers(args),
+        )
+    )
+    results = timing.result
+    config = {
+        "true_model": {"name": true_model.name, "omega": args.true_omega,
+                       "beta": args.true_beta},
+        "prior": {"omega": {"mean": args.omega_mean, "std": args.omega_std},
+                  "beta": {"mean": args.beta_mean, "std": args.beta_std}},
+        "methods": labels,
+        "level": args.level,
+        "horizon": args.horizon,
+        "replications": args.replications,
+        "min_failures": args.min_failures,
+        "seed": args.seed,
+    }
+    artifact = ValidationArtifact(
+        kind="coverage",
+        config=config,
+        results={label: record.to_dict() for label, record in results.items()},
+    )
+    out = args.out or default_artifact_path("coverage", *labels)
+    path = save_artifact(artifact, out)
+    lines = [
+        f"coverage at nominal {args.level:.0%} "
+        f"({timing.seconds:.1f}s, workers={args.workers or 'auto'})"
+    ]
+    for label, record in results.items():
+        flags = []
+        for param in ("omega", "beta"):
+            mark = "UNDER-COVERS" if record.undercovers(param) else "ok"
+            flags.append(
+                f"{param} {record.coverage(param):.3f} ({mark})"
+            )
+        lines.append(f"  {label:<6} {'   '.join(flags)}")
+    lines.append(f"artifact: {path}")
+    return "\n".join(lines)
+
+
 def _run_simulate(args) -> str:
     from repro.data.io import save_failure_times_csv
     from repro.data.simulation import simulate_failure_times
@@ -232,10 +439,22 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "simulate":
         print(_run_simulate(args))
         return 0
+    if args.command == "validate":
+        try:
+            if args.validate_command == "sbc":
+                print(_run_validate_sbc(args))
+            else:
+                print(_run_validate_coverage(args))
+        except ValueError as exc:
+            # Campaign specs validate their own fields; surface those
+            # messages as clean CLI errors rather than tracebacks.
+            raise SystemExit(f"error: {exc}") from exc
+        return 0
     scale = PAPER_SCALE if args.scale == "paper" else QUICK_SCALE
+    workers = None if args.workers == 0 else args.workers
     names = list(_EXPERIMENTS) if args.command == "all" else [args.command]
     for name in names:
-        print(_run_experiment(name, scale, args.out))
+        print(_run_experiment(name, scale, args.out, workers=workers))
         print()
     return 0
 

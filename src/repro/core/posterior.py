@@ -143,6 +143,9 @@ class VBPosterior(JointPosterior):
     def quantile(self, param: str, q: float) -> float:
         return self.marginal(param).ppf(q)
 
+    def cdf(self, param: str, x: float) -> float:
+        return float(self.marginal(param).cdf(x))
+
     def log_pdf_grid(self, omega: np.ndarray, beta: np.ndarray) -> np.ndarray:
         """``log Pv(ω, β)`` on a tensor grid via log-sum-exp over
         components."""

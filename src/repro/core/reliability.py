@@ -18,8 +18,8 @@ from scipy import special as sc
 
 from repro.bayes.joint import JointPosterior
 
-__all__ = ["ReliabilityIncrement", "reliability_increment", "ReliabilityEstimate",
-           "estimate_reliability"]
+__all__ = ["ReliabilityIncrement", "ResidualSurvival", "reliability_increment",
+           "ReliabilityEstimate", "estimate_reliability"]
 
 
 @dataclass(frozen=True)
@@ -81,6 +81,36 @@ class ReliabilityIncrement:
 def reliability_increment(alpha0: float, te: float, u: float) -> ReliabilityIncrement:
     """Build the ``c(β)`` function for a gamma-type model."""
     return ReliabilityIncrement(alpha0=alpha0, te=te, u=u)
+
+
+@dataclass(frozen=True)
+class ResidualSurvival:
+    """``c(β) = 1 - G(te; α0, β)``: the ``u → ∞`` limit of
+    :class:`ReliabilityIncrement`.
+
+    With this ``c``, ``exp(-ω c(β))`` is the probability that no fault
+    remains latent at ``te``, and ``ω c(β)`` is the expected residual
+    fault count — the derived quantity whose posterior calibration the
+    SBC engine checks. Frozen and hashable so posteriors can cache
+    quadrature tables per instance, like :class:`ReliabilityIncrement`.
+    """
+
+    alpha0: float
+    te: float
+
+    def __post_init__(self) -> None:
+        if self.alpha0 <= 0.0:
+            raise ValueError("alpha0 must be positive")
+        if self.te < 0.0:
+            raise ValueError("te must be non-negative")
+
+    def __call__(self, beta: float | np.ndarray) -> float | np.ndarray:
+        beta = np.asarray(beta, dtype=float)
+        out = sc.gammaincc(self.alpha0, beta * self.te)
+        out = np.clip(out, 0.0, 1.0)
+        if out.ndim == 0:
+            return float(out)
+        return out
 
 
 @dataclass(frozen=True)

@@ -13,7 +13,7 @@ from repro.experiments.config import (
     QUICK_SCALE,
     PAPER_SCALE,
 )
-from repro.experiments.runner import MethodResults, run_all_methods
+from repro.experiments.runner import MethodResults, run_all_methods, run_scenarios
 
 __all__ = [
     "Scenario",
@@ -23,4 +23,5 @@ __all__ = [
     "PAPER_SCALE",
     "MethodResults",
     "run_all_methods",
+    "run_scenarios",
 ]

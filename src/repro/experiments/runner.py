@@ -2,11 +2,18 @@
 
 The fitting order matters: VB2 runs first because the paper derives the
 NINT integration rectangle from VB2 quantiles (Section 6).
+
+Scenarios are independent of one another, so :func:`run_scenarios`
+fans them out over the validation layer's process-pool campaign runner
+when asked; each scenario's output depends only on the scenario and
+the scale, never on its position in the batch or the worker count.
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
+from functools import partial
 
 import numpy as np
 
@@ -21,7 +28,7 @@ from repro.data.failure_data import FailureTimeData
 from repro.experiments.config import ExperimentScale, QUICK_SCALE, Scenario
 from repro.metrics.timing import time_callable
 
-__all__ = ["MethodResults", "run_all_methods", "METHOD_ORDER"]
+__all__ = ["MethodResults", "run_all_methods", "run_scenarios", "METHOD_ORDER"]
 
 METHOD_ORDER = ("NINT", "LAPL", "MCMC", "VB1", "VB2")
 
@@ -135,3 +142,39 @@ def run_all_methods(
     return MethodResults(
         scenario=scenario, posteriors=ordered, seconds=seconds, extra=extra
     )
+
+
+def run_scenarios(
+    scenarios: Sequence[Scenario],
+    scale: ExperimentScale = QUICK_SCALE,
+    methods: tuple[str, ...] = METHOD_ORDER,
+    *,
+    workers: int | None = 1,
+) -> dict[str, MethodResults]:
+    """Fit the requested methods on several scenarios, keyed by name.
+
+    With ``workers > 1`` the scenarios run concurrently on a process
+    pool (:mod:`repro.validation.parallel`); because each scenario is
+    fitted independently, per-scenario results are identical to the
+    serial run and invariant to the order of ``scenarios``.
+    """
+    # Imported here: repro.validation.parallel is dependency-free, but
+    # keeping the runner import-light preserves the layering for
+    # consumers that only ever fit single scenarios.
+    from repro.validation.parallel import parallel_map
+
+    scenarios = list(scenarios)
+    names = [scenario.name for scenario in scenarios]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate scenario names in batch: {names}")
+    results = parallel_map(
+        partial(_run_scenario_task, scale, methods), scenarios, workers=workers
+    )
+    return dict(zip(names, results))
+
+
+def _run_scenario_task(
+    scale: ExperimentScale, methods: tuple[str, ...], scenario: Scenario
+) -> MethodResults:
+    """Module-level task wrapper so scenario batches pickle cleanly."""
+    return run_all_methods(scenario, scale=scale, methods=methods)

@@ -9,7 +9,7 @@ paper's Table 1.
 from __future__ import annotations
 
 from repro.experiments.config import ExperimentScale, QUICK_SCALE, paper_scenarios
-from repro.experiments.runner import MethodResults, run_all_methods
+from repro.experiments.runner import MethodResults, run_scenarios
 from repro.metrics.comparison import deviation_table
 from repro.metrics.tables import render_table
 
@@ -21,15 +21,19 @@ QUANTITIES = ("E[omega]", "E[beta]", "Var(omega)", "Var(beta)", "Cov(omega,beta)
 def run(
     scenario_names: tuple[str, ...] | None = None,
     scale: ExperimentScale = QUICK_SCALE,
+    *,
+    workers: int | None = 1,
 ) -> dict[str, MethodResults]:
-    """Fit all methods on the requested scenarios (all four by default)."""
+    """Fit all methods on the requested scenarios (all four by default);
+    independent scenarios run concurrently when ``workers > 1``."""
     scenarios = paper_scenarios()
     if scenario_names is None:
         scenario_names = tuple(scenarios)
-    return {
-        name: run_all_methods(scenarios[name], scale=scale)
-        for name in scenario_names
-    }
+    return run_scenarios(
+        [scenarios[name] for name in scenario_names],
+        scale=scale,
+        workers=workers,
+    )
 
 
 def render(results: dict[str, MethodResults]) -> str:

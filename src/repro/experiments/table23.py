@@ -8,7 +8,7 @@ deviation of every method's interval endpoints from NINT's.
 from __future__ import annotations
 
 from repro.experiments.config import ExperimentScale, QUICK_SCALE, paper_scenarios
-from repro.experiments.runner import MethodResults, run_all_methods
+from repro.experiments.runner import MethodResults, run_scenarios
 from repro.metrics.comparison import deviation_table
 from repro.metrics.tables import render_table
 
@@ -36,6 +36,8 @@ def interval_summary(result: MethodResults) -> dict[str, dict[str, float]]:
 def run(
     data_view: str,
     scale: ExperimentScale = QUICK_SCALE,
+    *,
+    workers: int | None = 1,
 ) -> dict[str, MethodResults]:
     """Run the interval experiment for one data view.
 
@@ -43,12 +45,17 @@ def run(
     ----------
     data_view:
         "DT" (Table 2) or "DG" (Table 3).
+    workers:
+        Process count for running the view's scenarios concurrently.
     """
     if data_view not in ("DT", "DG"):
         raise ValueError(f"data_view must be 'DT' or 'DG', got {data_view!r}")
     scenarios = paper_scenarios()
-    names = [name for name in scenarios if name.startswith(data_view)]
-    return {name: run_all_methods(scenarios[name], scale=scale) for name in names}
+    selected = [
+        scenario for name, scenario in scenarios.items()
+        if name.startswith(data_view)
+    ]
+    return run_scenarios(selected, scale=scale, workers=workers)
 
 
 def render(results: dict[str, MethodResults], table_number: int) -> str:

@@ -6,6 +6,12 @@ their actual frequentist coverage falls short of the nominal credible
 level. This module runs that experiment for any fitting procedure:
 simulate campaigns from a known model, fit, and count how often the
 nominal intervals contain the truth.
+
+Each replication owns a ``numpy.random.SeedSequence`` child derived
+from ``(seed, index)`` (see :mod:`repro.validation.seeding`), so the
+study parallelises over a process pool (``workers > 1``) with results
+bit-identical to the serial run. Fitters must then be picklable —
+module-level functions such as ``fit_vb2`` / ``fit_vb1`` are.
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ from __future__ import annotations
 import math
 from collections.abc import Callable
 from dataclasses import dataclass, field
+from functools import partial
 
 import numpy as np
 
@@ -20,8 +27,12 @@ from repro.bayes.joint import JointPosterior
 from repro.bayes.priors import ModelPrior
 from repro.data.simulation import simulate_failure_times
 from repro.models.base import NHPPModel
+from repro.validation.parallel import parallel_map
+from repro.validation.seeding import replication_seed
 
 __all__ = ["CoverageResult", "interval_coverage_study"]
+
+_PARAMS = ("omega", "beta")
 
 
 @dataclass
@@ -64,6 +75,53 @@ class CoverageResult:
         se = math.sqrt(self.level * (1.0 - self.level) / self.replications)
         return shortfall > z * se
 
+    def to_dict(self) -> dict:
+        """JSON-ready summary (validation artifacts)."""
+        return {
+            "label": self.label,
+            "level": self.level,
+            "replications": self.replications,
+            "coverage": {p: self.coverage(p) for p in sorted(self.hits)},
+            "mean_width": {p: self.widths[p] for p in sorted(self.widths)},
+            "undercovers": {p: self.undercovers(p) for p in sorted(self.hits)},
+        }
+
+
+def _coverage_replication(
+    true_model: NHPPModel,
+    prior: ModelPrior,
+    fitters: dict[str, Callable[..., JointPosterior]],
+    horizon: float,
+    level: float,
+    min_failures: int,
+    seed: int,
+    index: int,
+) -> dict[str, tuple[dict[str, bool], dict[str, float]]] | None:
+    """Simulate one campaign and evaluate every fitter's intervals.
+
+    Returns ``None`` for skipped (too-few-failures) campaigns, else
+    ``{label: (hit flags, interval widths)}`` per parameter.
+    """
+    rng = np.random.default_rng(replication_seed(seed, index))
+    data = simulate_failure_times(true_model, horizon, rng)
+    if data.count < min_failures:
+        return None
+    truths = {
+        "omega": true_model.omega,
+        "beta": float(true_model.params["beta"]),
+    }
+    out: dict[str, tuple[dict[str, bool], dict[str, float]]] = {}
+    for label, fit in fitters.items():
+        posterior = fit(data, prior)
+        hits = {}
+        widths = {}
+        for param, truth in truths.items():
+            lo, hi = posterior.credible_interval(param, level)
+            hits[param] = bool(lo <= truth <= hi)
+            widths[param] = hi - lo
+        out[label] = (hits, widths)
+    return out
+
 
 def interval_coverage_study(
     true_model: NHPPModel,
@@ -75,6 +133,7 @@ def interval_coverage_study(
     replications: int = 200,
     min_failures: int = 3,
     seed: int = 0,
+    workers: int | None = 1,
 ) -> dict[str, CoverageResult]:
     """Run a coverage study for several fitting procedures on common data.
 
@@ -97,38 +156,48 @@ def interval_coverage_study(
     min_failures:
         Campaigns with fewer observed failures are skipped (no
         meaningful fit); all procedures see the same campaigns.
+    seed:
+        Root seed; campaign ``i`` depends only on ``(seed, i)``.
+    workers:
+        Process count for the campaign runner (``1`` = serial,
+        ``None`` = one per core); the results are identical for any
+        value.
     """
     if replications < 1:
         raise ValueError("replications must be positive")
-    truths = {
-        "omega": true_model.omega,
-        "beta": float(true_model.params["beta"]),
-    }
-    rng = np.random.default_rng(seed)
+    worker = partial(
+        _coverage_replication,
+        true_model,
+        prior,
+        fitters,
+        horizon,
+        level,
+        min_failures,
+        seed,
+    )
+    per_replication = parallel_map(
+        worker, list(range(replications)), workers=workers
+    )
     results = {
         label: CoverageResult(
             label=label,
             level=level,
             replications=0,
-            hits={"omega": 0, "beta": 0},
-            widths={"omega": 0.0, "beta": 0.0},
+            hits={p: 0 for p in _PARAMS},
+            widths={p: 0.0 for p in _PARAMS},
         )
         for label in fitters
     }
     used = 0
-    for _ in range(replications):
-        data = simulate_failure_times(true_model, horizon, rng)
-        if data.count < min_failures:
+    for outcome in per_replication:
+        if outcome is None:
             continue
         used += 1
-        for label, fit in fitters.items():
-            posterior = fit(data, prior)
+        for label, (hits, widths) in outcome.items():
             record = results[label]
-            for param, truth in truths.items():
-                lo, hi = posterior.credible_interval(param, level)
-                if lo <= truth <= hi:
-                    record.hits[param] += 1
-                record.widths[param] += hi - lo
+            for param in _PARAMS:
+                record.hits[param] += int(hits[param])
+                record.widths[param] += widths[param]
     if used == 0:
         raise ValueError(
             "no simulated campaign reached min_failures; increase the "

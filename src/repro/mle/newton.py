@@ -73,7 +73,10 @@ def fit_mle_newton(
         model=model,
         log_likelihood=-float(best.fun),
         iterations=int(rough.nit) + int(getattr(polished, "nit", 0)),
-        converged=bool(best.success or polished.success),
+        # Either stage succeeding means the optimum was located: the
+        # polish can end "ABNORMAL" on a flat line search at the point
+        # Nelder-Mead already converged to (ties pick `polished`).
+        converged=bool(rough.success or polished.success),
         method="newton",
         covariance=covariance,
     )

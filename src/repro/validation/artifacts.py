@@ -1,0 +1,154 @@
+"""Deterministic JSON result artifacts for validation campaigns.
+
+Artifacts live under ``benchmarks/results/`` next to the table outputs
+and serve two purposes:
+
+* a **record**: the full configuration and outcome of an SBC or
+  coverage campaign, reloadable by later analysis;
+* a **regression baseline**: :func:`compare_artifacts` diffs the
+  numeric payload of two artifacts within per-path tolerances, so a
+  perf PR can assert it moved no statistic.
+
+Determinism contract: an artifact is a pure function of the campaign
+specification — no timestamps, wall-clock durations, hostnames or
+worker counts — so a seeded rerun (serial or parallel) produces a
+byte-identical file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "ValidationArtifact",
+    "save_artifact",
+    "load_artifact",
+    "compare_artifacts",
+    "default_artifact_path",
+]
+
+SCHEMA_VERSION = 1
+
+#: Repository-relative directory the CLI writes artifacts to.
+RESULTS_DIR = Path("benchmarks") / "results"
+
+
+@dataclass(frozen=True)
+class ValidationArtifact:
+    """One campaign's persisted outcome.
+
+    Attributes
+    ----------
+    kind:
+        ``"sbc"`` or ``"coverage"``.
+    config:
+        The campaign specification (JSON-ready dict).
+    results:
+        The campaign outcome (JSON-ready dict).
+    schema_version:
+        Artifact format version for forward compatibility.
+    """
+
+    kind: str
+    config: dict = field(default_factory=dict)
+    results: dict = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    def to_json(self) -> str:
+        """Canonical serialisation: sorted keys, fixed indentation,
+        trailing newline — byte-stable across runs and platforms."""
+        payload = {
+            "schema_version": self.schema_version,
+            "kind": self.kind,
+            "config": self.config,
+            "results": self.results,
+        }
+        return json.dumps(payload, sort_keys=True, indent=2,
+                          allow_nan=False) + "\n"
+
+
+def default_artifact_path(kind: str, *tags: str) -> Path:
+    """Conventional artifact location, e.g.
+    ``benchmarks/results/sbc_goel_okumoto_vb2.json``."""
+    slug = "_".join(
+        part.lower().replace("-", "_") for part in (kind, *tags) if part
+    )
+    return RESULTS_DIR / f"{slug}.json"
+
+
+def save_artifact(artifact: ValidationArtifact, path: str | Path) -> Path:
+    """Write the artifact canonically; parent directories are created."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(artifact.to_json(), encoding="utf-8")
+    return path
+
+
+def load_artifact(path: str | Path) -> ValidationArtifact:
+    """Load an artifact written by :func:`save_artifact`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    try:
+        return ValidationArtifact(
+            kind=payload["kind"],
+            config=payload["config"],
+            results=payload["results"],
+            schema_version=payload["schema_version"],
+        )
+    except KeyError as exc:  # pragma: no cover - defensive
+        raise ValueError(f"not a validation artifact: missing {exc}") from exc
+
+
+def _walk_numeric(prefix: str, value) -> dict[str, float]:
+    """Flatten every numeric leaf to ``path -> value``."""
+    out: dict[str, float] = {}
+    if isinstance(value, bool):
+        out[prefix] = float(value)
+    elif isinstance(value, (int, float)):
+        out[prefix] = float(value)
+    elif isinstance(value, dict):
+        for key in value:
+            out.update(_walk_numeric(f"{prefix}.{key}" if prefix else str(key),
+                                     value[key]))
+    elif isinstance(value, (list, tuple)):
+        for idx, item in enumerate(value):
+            out.update(_walk_numeric(f"{prefix}[{idx}]", item))
+    return out
+
+
+def compare_artifacts(
+    current: ValidationArtifact,
+    baseline: ValidationArtifact,
+    *,
+    rtol: float = 1e-9,
+    atol: float = 1e-12,
+) -> list[str]:
+    """Differences between two artifacts' numeric payloads.
+
+    Returns human-readable mismatch descriptions (empty = regression
+    free). Config differences are reported first — comparing campaigns
+    with different specifications is itself a finding.
+    """
+    problems: list[str] = []
+    if current.kind != baseline.kind:
+        return [f"kind mismatch: {current.kind!r} vs {baseline.kind!r}"]
+    cur_cfg = _walk_numeric("config", current.config)
+    base_cfg = _walk_numeric("config", baseline.config)
+    for path in sorted(set(cur_cfg) | set(base_cfg)):
+        if cur_cfg.get(path) != base_cfg.get(path):
+            problems.append(
+                f"{path}: {cur_cfg.get(path)} vs baseline {base_cfg.get(path)}"
+            )
+    cur = _walk_numeric("results", current.results)
+    base = _walk_numeric("results", baseline.results)
+    for path in sorted(set(cur) | set(base)):
+        if path not in cur:
+            problems.append(f"{path}: missing from current artifact")
+        elif path not in base:
+            problems.append(f"{path}: missing from baseline artifact")
+        else:
+            a, b = cur[path], base[path]
+            if abs(a - b) > atol + rtol * abs(b):
+                problems.append(f"{path}: {a!r} vs baseline {b!r}")
+    return problems

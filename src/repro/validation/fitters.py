@@ -1,0 +1,50 @@
+"""Picklable ``fit(data, prior)`` callables for coverage campaigns.
+
+The parallel campaign runner ships fitters to worker processes, so
+they must be module-level functions. The deterministic methods are
+thin aliases; NINT gets a wrapper that first fits VB2 for its
+integration rectangle, as the paper prescribes. MCMC is deliberately
+absent here — its coverage behaviour is already represented by NINT
+(both track the exact posterior), and a per-replication chain would
+dominate the campaign cost; use SBC for MCMC calibration instead.
+"""
+
+from __future__ import annotations
+
+from repro.bayes.joint import JointPosterior
+from repro.bayes.laplace import fit_laplace
+from repro.bayes.nint import fit_nint
+from repro.bayes.priors import ModelPrior
+from repro.core.vb1 import fit_vb1
+from repro.core.vb2 import fit_vb2
+
+__all__ = ["coverage_fitters", "fit_nint_via_vb2"]
+
+
+def fit_nint_via_vb2(data, prior: ModelPrior, alpha0: float = 1.0) -> JointPosterior:
+    """NINT with the paper's VB2-quantile integration limits."""
+    reference = fit_vb2(data, prior, alpha0)
+    return fit_nint(data, prior, alpha0, reference_posterior=reference)
+
+
+_COVERAGE_FITTERS = {
+    "NINT": fit_nint_via_vb2,
+    "LAPL": fit_laplace,
+    "VB1": fit_vb1,
+    "VB2": fit_vb2,
+}
+
+
+def coverage_fitters(labels) -> dict:
+    """``{label: fit}`` for the requested method labels.
+
+    >>> sorted(coverage_fitters(["VB2", "VB1"]))
+    ['VB1', 'VB2']
+    """
+    unknown = [label for label in labels if label not in _COVERAGE_FITTERS]
+    if unknown:
+        raise ValueError(
+            f"no coverage fitter for {unknown}; "
+            f"available: {sorted(_COVERAGE_FITTERS)}"
+        )
+    return {label: _COVERAGE_FITTERS[label] for label in labels}

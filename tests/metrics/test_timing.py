@@ -1,0 +1,47 @@
+"""Unit tests for the wall-clock timing helpers."""
+
+import time
+
+import pytest
+
+from repro.metrics.timing import TimingRecord, time_callable
+
+
+class TestTimeCallable:
+    def test_returns_callable_result(self):
+        record = time_callable(lambda: 42)
+        assert record.result == 42
+        assert record.seconds >= 0.0
+
+    def test_label_carried_through(self):
+        record = time_callable(lambda: None, label="vb2")
+        assert record.label == "vb2"
+
+    def test_measures_elapsed_time(self):
+        record = time_callable(lambda: time.sleep(0.02))
+        assert record.seconds >= 0.015
+
+    def test_repeat_keeps_minimum_and_first_result(self):
+        calls = []
+
+        def fn():
+            calls.append(len(calls))
+            return len(calls)
+
+        record = time_callable(fn, repeat=3)
+        assert calls == [0, 1, 2]
+        assert record.result == 1  # result of the FIRST run
+        assert record.seconds < 1.0
+
+    def test_repeat_validation(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repeat=0)
+
+    def test_record_is_immutable(self):
+        record = TimingRecord(result=1, seconds=0.5)
+        with pytest.raises(AttributeError):
+            record.seconds = 0.0
+
+    def test_exception_propagates(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            time_callable(lambda: (_ for _ in ()).throw(RuntimeError("boom")))

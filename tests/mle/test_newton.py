@@ -1,0 +1,120 @@
+"""Unit tests for the direct quasi-Newton ML estimator."""
+
+import numpy as np
+import pytest
+
+from repro.data.failure_data import FailureTimeData
+from repro.exceptions import EstimationError
+from repro.mle.newton import fit_mle_newton
+
+
+class TestConvergence:
+    def test_converges_on_times_data(self, times_data):
+        result = fit_mle_newton(times_data, information=False)
+        assert result.converged
+        assert result.method == "newton"
+        assert result.omega > times_data.count
+        assert result.beta > 0.0
+
+    def test_score_zero_at_optimum(self, times_data):
+        # The log-likelihood surface is smooth and locally quadratic
+        # around the MLE; a converged fit must sit at a stationary
+        # point (central-difference score ~ 0 in both coordinates).
+        result = fit_mle_newton(times_data, information=False)
+        model = result.model
+        eps_omega = 1e-5 * result.omega
+        eps_beta = 1e-5 * result.beta
+        d_omega = (
+            model.replace(omega=result.omega + eps_omega)
+            .log_likelihood(times_data)
+            - model.replace(omega=result.omega - eps_omega)
+            .log_likelihood(times_data)
+        ) / (2 * eps_omega)
+        d_beta = (
+            model.replace(beta=result.beta + eps_beta)
+            .log_likelihood(times_data)
+            - model.replace(beta=result.beta - eps_beta)
+            .log_likelihood(times_data)
+        ) / (2 * eps_beta)
+        assert d_omega == pytest.approx(0.0, abs=1e-3)
+        assert abs(d_beta * result.beta) < 1e-2
+
+    def test_grouped_data_supported(self, grouped_data):
+        result = fit_mle_newton(grouped_data, information=False)
+        assert result.converged
+        assert result.omega >= grouped_data.total_count
+
+    def test_custom_initial_reaches_same_optimum(self, times_data):
+        default = fit_mle_newton(times_data, information=False)
+        seeded = fit_mle_newton(
+            times_data, information=False,
+            initial=(2.0 * times_data.count, 0.5 / times_data.horizon),
+        )
+        assert seeded.omega == pytest.approx(default.omega, rel=1e-4)
+        assert seeded.beta == pytest.approx(default.beta, rel=1e-4)
+
+    def test_log_likelihood_matches_model(self, times_data):
+        result = fit_mle_newton(times_data, information=False)
+        assert result.log_likelihood == pytest.approx(
+            result.model.log_likelihood(times_data), abs=1e-9
+        )
+
+
+class TestNonConvergingStart:
+    def test_far_start_still_finds_the_optimum_or_reports_failure(
+        self, times_data
+    ):
+        # A start many orders of magnitude off puts Nelder-Mead on a
+        # flat likelihood plateau. The contract: never silently return
+        # garbage — either the optimiser recovers (matching the
+        # default-start optimum) or it flags non-convergence.
+        default = fit_mle_newton(times_data, information=False)
+        result = fit_mle_newton(
+            times_data, information=False, initial=(1e12, 1e-12)
+        )
+        recovered = (
+            abs(result.omega - default.omega) < 1e-3 * default.omega
+            and abs(result.beta - default.beta) < 1e-3 * default.beta
+        )
+        assert recovered or not result.converged
+
+    def test_far_start_never_beats_the_true_optimum(self, times_data):
+        default = fit_mle_newton(times_data, information=False)
+        result = fit_mle_newton(
+            times_data, information=False, initial=(1e12, 1e-12)
+        )
+        assert result.log_likelihood <= default.log_likelihood + 1e-6
+
+
+class TestEdgeCases:
+    def test_zero_failures_rejected(self):
+        with pytest.raises(EstimationError):
+            fit_mle_newton(FailureTimeData([], horizon=100.0))
+
+    def test_unsupported_data_type(self):
+        with pytest.raises(TypeError):
+            fit_mle_newton([1.0, 2.0])
+
+    def test_information_matrix_optional(self, times_data):
+        with_info = fit_mle_newton(times_data, information=True)
+        without = fit_mle_newton(times_data, information=False)
+        assert without.covariance is None
+        assert with_info.covariance is not None
+        assert with_info.covariance[0, 0] > 0.0
+        lo, hi = with_info.confidence_interval("omega", 0.95)
+        assert lo < with_info.omega < hi
+
+    def test_delayed_s_shaped_member(self, times_data):
+        result = fit_mle_newton(times_data, alpha0=2.0, information=False)
+        assert result.converged
+        assert result.omega > times_data.count
+
+    def test_agrees_with_simulation_truth(self, rng):
+        from repro.data.simulation import simulate_failure_times
+        from repro.models.goel_okumoto import GoelOkumoto
+
+        true = GoelOkumoto(omega=500.0, beta=0.15)
+        data = simulate_failure_times(true, 25.0, rng)
+        result = fit_mle_newton(data, information=False)
+        assert result.omega == pytest.approx(500.0, rel=0.15)
+        assert result.beta == pytest.approx(0.15, rel=0.2)

@@ -127,6 +127,76 @@ class TestVB2PropertiesGrouped:
         )
 
 
+class TestValidationProperties:
+    """Invariants of the SBC engine and the parallel campaign runner."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        index=st.integers(min_value=0, max_value=50),
+        n_ranks=st.integers(min_value=1, max_value=127),
+    )
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_sbc_ranks_always_within_bounds(self, seed, index, n_ranks):
+        from repro.validation.sbc import SBCSpec, run_replication
+
+        spec = SBCSpec(method="VB1", seed=seed, ranks=n_ranks)
+        outcome = run_replication(spec, index)
+        if outcome.status == "ok":
+            for rank in outcome.ranks.values():
+                assert 0 <= rank <= n_ranks
+        else:
+            assert outcome.ranks is None
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=5, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_parallel_and_serial_campaigns_bit_identical(self, seed):
+        from repro.validation.sbc import SBCSpec, run_sbc
+
+        spec = SBCSpec(method="VB1", seed=seed, replications=6, ranks=15)
+        serial = run_sbc(spec, workers=1)
+        parallel = run_sbc(spec, workers=2)
+        assert parallel.to_dict() == serial.to_dict()
+
+    @given(order=st.permutations(range(4)))
+    @settings(max_examples=5, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_scenario_order_never_changes_per_scenario_output(self, order):
+        from repro.experiments import run_scenarios
+
+        scenarios = self._scenarios()
+        shuffled = [scenarios[i] for i in order]
+        results = run_scenarios(shuffled, methods=("VB1", "VB2"))
+        baseline = self._baseline_moments()
+        assert {
+            name: result.moments() for name, result in results.items()
+        } == baseline
+
+    # Scenario fits are deterministic but not free; compute the serial
+    # baseline once per test session.
+    _cache: dict = {}
+
+    @classmethod
+    def _scenarios(cls):
+        from repro.experiments import paper_scenarios
+
+        if "scenarios" not in cls._cache:
+            cls._cache["scenarios"] = list(paper_scenarios().values())[:4]
+        return cls._cache["scenarios"]
+
+    @classmethod
+    def _baseline_moments(cls):
+        from repro.experiments import run_scenarios
+
+        if "baseline" not in cls._cache:
+            results = run_scenarios(cls._scenarios(), methods=("VB1", "VB2"))
+            cls._cache["baseline"] = {
+                name: result.moments() for name, result in results.items()
+            }
+        return cls._cache["baseline"]
+
+
 class TestReliabilityProperties:
     @given(
         data=failure_times,

@@ -1,0 +1,99 @@
+"""Unit tests for the deterministic JSON artifact layer."""
+
+import json
+
+import pytest
+
+from repro.validation.artifacts import (
+    ValidationArtifact,
+    compare_artifacts,
+    default_artifact_path,
+    load_artifact,
+    save_artifact,
+)
+
+
+def _artifact(**overrides):
+    base = dict(
+        kind="sbc",
+        config={"seed": 0, "replications": 10},
+        results={"uniformity": {"omega": {"p_value": 0.42}},
+                 "ranks": {"omega": [1, 2, 3]}},
+    )
+    base.update(overrides)
+    return ValidationArtifact(**base)
+
+
+class TestSerialisation:
+    def test_round_trip(self, tmp_path):
+        artifact = _artifact()
+        path = save_artifact(artifact, tmp_path / "a.json")
+        assert load_artifact(path) == artifact
+
+    def test_byte_stable_across_key_insertion_order(self):
+        a = ValidationArtifact(kind="sbc", config={"x": 1, "y": 2},
+                               results={})
+        b = ValidationArtifact(kind="sbc", config={"y": 2, "x": 1},
+                               results={})
+        assert a.to_json() == b.to_json()
+
+    def test_trailing_newline(self):
+        assert _artifact().to_json().endswith("}\n")
+
+    def test_nan_refused(self):
+        artifact = _artifact(results={"bad": float("nan")})
+        with pytest.raises(ValueError):
+            artifact.to_json()
+
+    def test_parent_directories_created(self, tmp_path):
+        path = save_artifact(_artifact(), tmp_path / "deep" / "dir" / "a.json")
+        assert path.exists()
+
+    def test_payload_shape(self, tmp_path):
+        path = save_artifact(_artifact(), tmp_path / "a.json")
+        payload = json.loads(path.read_text())
+        assert set(payload) == {"schema_version", "kind", "config", "results"}
+
+
+class TestDefaultPath:
+    def test_slug_normalisation(self):
+        path = default_artifact_path("sbc", "goel-okumoto", "VB2")
+        assert path.as_posix() == \
+            "benchmarks/results/sbc_goel_okumoto_vb2.json"
+
+    def test_empty_tags_skipped(self):
+        assert default_artifact_path("coverage").name == "coverage.json"
+
+
+class TestCompare:
+    def test_identical_artifacts_clean(self):
+        assert compare_artifacts(_artifact(), _artifact()) == []
+
+    def test_numeric_drift_reported(self):
+        drifted = _artifact(
+            results={"uniformity": {"omega": {"p_value": 0.43}},
+                     "ranks": {"omega": [1, 2, 3]}}
+        )
+        problems = compare_artifacts(drifted, _artifact())
+        assert any("p_value" in p for p in problems)
+
+    def test_drift_within_tolerance_accepted(self):
+        drifted = _artifact(
+            results={"uniformity": {"omega": {"p_value": 0.42 + 1e-13}},
+                     "ranks": {"omega": [1, 2, 3]}}
+        )
+        assert compare_artifacts(drifted, _artifact()) == []
+
+    def test_missing_leaf_reported(self):
+        pruned = _artifact(results={"ranks": {"omega": [1, 2, 3]}})
+        problems = compare_artifacts(pruned, _artifact())
+        assert any("missing from current" in p for p in problems)
+
+    def test_config_mismatch_reported_first(self):
+        other = _artifact(config={"seed": 1, "replications": 10})
+        problems = compare_artifacts(other, _artifact())
+        assert problems and problems[0].startswith("config.seed")
+
+    def test_kind_mismatch_short_circuits(self):
+        problems = compare_artifacts(_artifact(kind="coverage"), _artifact())
+        assert problems == ["kind mismatch: 'coverage' vs 'sbc'"]

@@ -1,0 +1,78 @@
+"""Unit tests for the deterministic parallel campaign runner."""
+
+import warnings
+
+import pytest
+
+from repro.validation.parallel import default_workers, parallel_map
+
+
+def _square(x: int) -> int:
+    # Module-level so the process pool can pickle it.
+    return x * x
+
+
+def _seeded_draw(seed: int) -> float:
+    import numpy as np
+
+    from repro.validation.seeding import replication_seed
+
+    return float(np.random.default_rng(replication_seed(0, seed)).random())
+
+
+class TestSerialPath:
+    def test_maps_in_order(self):
+        assert parallel_map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_empty_items(self):
+        assert parallel_map(_square, []) == []
+
+    def test_single_item_stays_serial(self):
+        assert parallel_map(_square, [7], workers=8) == [49]
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            parallel_map(_square, [1, 2], workers=0)
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+
+class TestParallelPath:
+    def test_matches_serial(self):
+        items = list(range(40))
+        serial = parallel_map(_square, items, workers=1)
+        parallel = parallel_map(_square, items, workers=2)
+        assert parallel == serial
+
+    def test_explicit_chunk_size(self):
+        items = list(range(17))
+        assert parallel_map(_square, items, workers=2, chunk_size=3) == [
+            x * x for x in items
+        ]
+
+    def test_seeded_work_is_order_preserving(self):
+        items = list(range(12))
+        serial = parallel_map(_seeded_draw, items, workers=1)
+        parallel = parallel_map(_seeded_draw, items, workers=3)
+        assert parallel == serial
+
+    def test_workers_capped_at_item_count(self):
+        # More workers than items must not fail or reorder.
+        assert parallel_map(_square, [2, 3], workers=16) == [4, 9]
+
+
+class TestFallback:
+    def test_pool_failure_falls_back_to_serial(self, monkeypatch):
+        import repro.validation.parallel as mod
+
+        class _BrokenPool:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no subprocesses in this sandbox")
+
+        monkeypatch.setattr(mod, "ProcessPoolExecutor", _BrokenPool)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = parallel_map(_square, [1, 2, 3], workers=2)
+        assert result == [1, 4, 9]
+        assert any(issubclass(w.category, RuntimeWarning) for w in caught)

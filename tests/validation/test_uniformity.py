@@ -1,0 +1,119 @@
+"""Unit tests for the SBC rank-uniformity checks."""
+
+import numpy as np
+import pytest
+
+from repro.validation.uniformity import (
+    chi_square_uniformity,
+    default_bins,
+    ecdf_envelope,
+    rank_histogram,
+    uniformity_report,
+)
+
+L = 63
+
+
+@pytest.fixture(scope="module")
+def uniform_ranks():
+    return np.random.default_rng(2024).integers(0, L + 1, size=400)
+
+
+@pytest.fixture(scope="module")
+def degenerate_ranks():
+    # An under-dispersed posterior piles ranks at the extremes.
+    return np.concatenate([np.zeros(200, dtype=int),
+                           np.full(200, L, dtype=int)])
+
+
+class TestRankHistogram:
+    def test_counts_cover_all_samples(self, uniform_ranks):
+        _, counts = rank_histogram(uniform_ranks, L, n_bins=8)
+        assert counts.sum() == uniform_ranks.size
+
+    def test_boundary_ranks_are_counted(self):
+        edges, counts = rank_histogram([0, L], L, n_bins=4)
+        assert counts.sum() == 2
+        assert counts[0] == 1 and counts[-1] == 1
+
+    def test_out_of_range_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            rank_histogram([0, L + 1], L)
+        with pytest.raises(ValueError):
+            rank_histogram([-1], L)
+
+    def test_empty_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            rank_histogram([], L)
+
+    def test_bad_bin_count_rejected(self, uniform_ranks):
+        with pytest.raises(ValueError):
+            rank_histogram(uniform_ranks, L, n_bins=L + 2)
+
+
+class TestDefaultBins:
+    def test_keeps_expected_count_at_least_five(self):
+        for n in (10, 50, 400, 10_000):
+            bins = default_bins(n, L)
+            assert 2 <= bins <= min(L + 1, 32)
+            if n >= 10:
+                assert n / bins >= 5
+
+    def test_never_exceeds_rank_support(self):
+        assert default_bins(10_000, 3) == 4
+
+
+class TestChiSquare:
+    def test_uniform_ranks_pass(self, uniform_ranks):
+        result = chi_square_uniformity(uniform_ranks, L)
+        assert result.p_value > 0.001
+        assert not result.rejects()
+
+    def test_degenerate_ranks_rejected(self, degenerate_ranks):
+        result = chi_square_uniformity(degenerate_ranks, L)
+        assert result.rejects(alpha=1e-6)
+
+    def test_uneven_bins_keep_total_expected_mass(self):
+        # L + 1 = 64 ranks over 7 bins: bins straddle rank boundaries,
+        # but the test must stay exact (statistic 0 for a perfectly
+        # balanced sample replicated over every rank).
+        ranks = np.tile(np.arange(L + 1), 5)
+        result = chi_square_uniformity(ranks, L, n_bins=7)
+        assert result.statistic == pytest.approx(0.0, abs=1e-9)
+        assert result.p_value == pytest.approx(1.0)
+
+
+class TestEcdfEnvelope:
+    def test_uniform_ranks_within_band(self, uniform_ranks):
+        result = ecdf_envelope(uniform_ranks, L)
+        assert result.within
+
+    def test_degenerate_ranks_outside_band(self, degenerate_ranks):
+        result = ecdf_envelope(degenerate_ranks, L)
+        assert not result.within
+
+    def test_envelope_shrinks_with_samples(self):
+        small = ecdf_envelope([1, 2, 3], L).envelope
+        large = ecdf_envelope(list(range(60)), L).envelope
+        assert large < small
+
+    def test_alpha_validated(self, uniform_ranks):
+        with pytest.raises(ValueError):
+            ecdf_envelope(uniform_ranks, L, alpha=0.0)
+
+
+class TestUniformityReport:
+    def test_calibrated_requires_both_checks(self, uniform_ranks,
+                                             degenerate_ranks):
+        assert uniformity_report("omega", uniform_ranks, L).calibrated
+        assert not uniformity_report("omega", degenerate_ranks, L).calibrated
+
+    def test_to_dict_is_json_ready(self, uniform_ranks):
+        import json
+
+        payload = uniformity_report("beta", uniform_ranks, L).to_dict()
+        assert payload["quantity"] == "beta"
+        assert set(payload) == {
+            "quantity", "chi_square", "ecdf", "n_samples", "calibrated"
+        }
+        json.dumps(payload)  # must not raise
