@@ -1,0 +1,175 @@
+"""Benchmark: telemetry overhead of the instrumented solvers.
+
+The obs layer promises *zero overhead when disabled*: every
+instrumentation site is a ``None`` check on the global collector, and
+``obs.span`` returns a shared no-op handle. This benchmark pins that
+promise on the Table 1 workload (one full VB2 fit on DT-Info, the same
+timed unit as ``bench_table1.py``), three ways:
+
+1. **disabled** — the shipped default (no collector installed);
+2. **stubbed** — the obs API monkeypatched to bare ``pass`` lambdas,
+   approximating code with no instrumentation at all. The disabled /
+   stubbed gap *is* the disabled-mode cost, asserted below 5 %.
+3. **enabled** — a ``summary``-level in-memory capture, reported for
+   context (not asserted: enabled-mode cost is a feature, not a bug).
+
+The pytest entry point additionally asserts bit-identity of the fit
+under all three configurations — telemetry must never change a result.
+
+As a script:
+
+    PYTHONPATH=src python benchmarks/bench_trace_overhead.py --repeat 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+# Script-mode bootstrap: pytest injects these roots via benchmarks/
+# conftest.py, a bare `python benchmarks/bench_trace_overhead.py`
+# does not.
+_HERE = Path(__file__).resolve().parent
+for _root in (_HERE, _HERE.parent / "src"):
+    if str(_root) not in sys.path:
+        sys.path.insert(0, str(_root))
+
+from conftest import RESULTS_DIR, write_result
+from repro import obs
+from repro.bayes.priors import ModelPrior
+from repro.core.vb2 import fit_vb2
+from repro.data.datasets import system17_failure_times
+
+#: Acceptance bound on the disabled-mode overhead (fractional).
+MAX_DISABLED_OVERHEAD = 0.05
+
+_STUB_NAMES = ("enabled", "counter_add", "observe", "event", "timing_sample")
+
+
+class _StubbedObs:
+    """Temporarily strip the obs API down to bare no-ops.
+
+    The solver modules resolve ``obs.<fn>`` at call time, so patching
+    the module attributes reaches every instrumentation site. This is
+    the closest measurable stand-in for "the code before it was
+    instrumented".
+    """
+
+    def __enter__(self):
+        self._saved = {name: getattr(obs, name) for name in _STUB_NAMES}
+        self._saved["span"] = obs.span
+        obs.enabled = lambda: False
+        obs.counter_add = lambda *a, **k: None
+        obs.observe = lambda *a, **k: None
+        obs.event = lambda *a, **k: None
+        obs.timing_sample = lambda *a, **k: None
+        from repro.obs.core import _NOOP_SPAN
+
+        obs.span = lambda *a, **k: _NOOP_SPAN
+        return self
+
+    def __exit__(self, *exc_info):
+        for name, fn in self._saved.items():
+            setattr(obs, name, fn)
+        return False
+
+
+def _workload():
+    data = system17_failure_times()
+    prior = ModelPrior.informative(50.0, 15.8, 1.0e-5, 3.2e-6)
+    return lambda: fit_vb2(data, prior)
+
+
+def _best_of(fn, repeat: int) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure(repeat: int = 7) -> dict[str, float]:
+    fit = _workload()
+    fit()  # warm caches before any timing
+    with _StubbedObs():
+        stubbed = _best_of(fit, repeat)
+    disabled = _best_of(fit, repeat)
+
+    def traced():
+        with obs.capture(level="summary"):
+            fit()
+
+    enabled = _best_of(traced, repeat)
+    return {
+        "stubbed_s": stubbed,
+        "disabled_s": disabled,
+        "enabled_s": enabled,
+        "disabled_overhead": disabled / stubbed - 1.0,
+        "enabled_overhead": enabled / stubbed - 1.0,
+    }
+
+
+def render(stats: dict[str, float], repeat: int) -> str:
+    lines = [
+        f"telemetry overhead on one VB2 fit (DT-Info, best of {repeat})",
+        f"  stubbed   {stats['stubbed_s'] * 1e3:8.3f} ms   (no instrumentation)",
+        f"  disabled  {stats['disabled_s'] * 1e3:8.3f} ms   "
+        f"({stats['disabled_overhead']:+.2%} vs stubbed)",
+        f"  enabled   {stats['enabled_s'] * 1e3:8.3f} ms   "
+        f"({stats['enabled_overhead']:+.2%} vs stubbed, summary capture)",
+        f"  acceptance: disabled overhead < {MAX_DISABLED_OVERHEAD:.0%}",
+    ]
+    return "\n".join(lines)
+
+
+# -- pytest entry points ----------------------------------------------
+
+
+def test_telemetry_never_changes_results():
+    fit = _workload()
+    plain = fit()
+    with _StubbedObs():
+        stubbed = fit()
+    with obs.capture(level="debug"):
+        traced = fit()
+    import numpy as np
+
+    for other in (stubbed, traced):
+        np.testing.assert_array_equal(plain.weights, other.weights)
+        np.testing.assert_array_equal(plain.n_values, other.n_values)
+        assert plain.mean("omega") == other.mean("omega")
+        assert plain.mean("beta") == other.mean("beta")
+
+
+def test_disabled_overhead_within_bound(benchmark, results_dir):
+    repeat = 7
+    stats = measure(repeat=repeat)
+    write_result(results_dir / "trace_overhead.txt", render(stats, repeat))
+    benchmark(_workload())
+    assert stats["disabled_overhead"] < MAX_DISABLED_OVERHEAD
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeat", type=int, default=7)
+    args = parser.parse_args(argv)
+    stats = measure(repeat=args.repeat)
+    text = render(stats, args.repeat)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write_result(RESULTS_DIR / "trace_overhead.txt", text)
+    if stats["disabled_overhead"] >= MAX_DISABLED_OVERHEAD:
+        print(
+            f"FAIL: disabled-mode overhead "
+            f"{stats['disabled_overhead']:.2%} >= {MAX_DISABLED_OVERHEAD:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    print("disabled-mode overhead within bound")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,6 +16,12 @@ Quick start
 True
 """
 
+import logging as _logging
+
+# Library convention: never configure handlers on import; applications
+# opt in (the CLI does via --verbose / repro.obs.configure_verbosity).
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
+
 from repro.core import (
     VBConfig,
     VBPosterior,

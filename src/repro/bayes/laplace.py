@@ -13,6 +13,7 @@ import math
 import numpy as np
 from scipy import optimize
 
+from repro import obs
 from repro.bayes.normal_posterior import NormalPosterior
 from repro.bayes.priors import ModelPrior
 from repro.data.failure_data import FailureTimeData, GroupedData
@@ -74,7 +75,15 @@ def find_map(
                                  options={"xatol": 1e-13, "fatol": 1e-13,
                                           "maxiter": 20_000})
     best = polished if polished.fun <= result.fun else result
+    if obs.enabled():
+        obs.observe("laplace.map_iterations", int(result.nit) + int(polished.nit))
+        obs.observe("laplace.map_evaluations", int(result.nfev) + int(polished.nfev))
+        if polished.fun > result.fun:
+            obs.counter_add("laplace.polish_rejected")
     if not np.all(np.isfinite(best.x)):
+        if obs.enabled():
+            obs.counter_add("laplace.failures")
+            obs.event("laplace.map_failure", evaluations=int(best.nfev))
         raise EstimationError("MAP search diverged")
     omega_hat, beta_hat = float(np.exp(best.x[0])), float(np.exp(best.x[1]))
     return omega_hat, beta_hat
@@ -120,29 +129,40 @@ def fit_laplace(
         If the negative Hessian at the MAP is not positive definite
         (the posterior is too flat or the MAP search failed).
     """
-    log_post = log_posterior_fn(data, prior, alpha0)
-    omega_hat, beta_hat = find_map(data, prior, alpha0, initial=initial)
-    hess = _hessian(log_post, omega_hat, beta_hat)
-    neg_hess = -hess
-    try:
-        cov = np.linalg.inv(neg_hess)
-    except np.linalg.LinAlgError as exc:
-        raise EstimationError(f"singular Hessian at the MAP: {exc}") from exc
-    if cov[0, 0] <= 0.0 or cov[1, 1] <= 0.0:
-        raise EstimationError(
-            "negative Hessian at the MAP is not positive definite; the "
-            "Laplace approximation is undefined for this posterior"
-        )
+    with obs.span("laplace.fit", collect=True, data=type(data).__name__) as sp:
+        log_post = log_posterior_fn(data, prior, alpha0)
+        omega_hat, beta_hat = find_map(data, prior, alpha0, initial=initial)
+        hess = _hessian(log_post, omega_hat, beta_hat)
+        neg_hess = -hess
+        try:
+            cov = np.linalg.inv(neg_hess)
+        except np.linalg.LinAlgError as exc:
+            if obs.enabled():
+                obs.counter_add("laplace.failures")
+                obs.event("laplace.hessian_failure", kind="singular")
+            raise EstimationError(f"singular Hessian at the MAP: {exc}") from exc
+        if cov[0, 0] <= 0.0 or cov[1, 1] <= 0.0:
+            if obs.enabled():
+                obs.counter_add("laplace.failures")
+                obs.event("laplace.hessian_failure", kind="not_positive_definite")
+            raise EstimationError(
+                "negative Hessian at the MAP is not positive definite; the "
+                "Laplace approximation is undefined for this posterior"
+            )
 
-    posterior = NormalPosterior(
-        mean=np.array([omega_hat, beta_hat]),
-        cov=cov,
-    )
-    posterior.diagnostics = {
-        "map": (omega_hat, beta_hat),
-        "log_posterior_at_map": log_post(omega_hat, beta_hat),
-        "alpha0": alpha0,
-        "data_kind": type(data).__name__,
-        "horizon": data.horizon,
-    }
-    return posterior
+        posterior = NormalPosterior(
+            mean=np.array([omega_hat, beta_hat]),
+            cov=cov,
+        )
+        posterior.diagnostics = {
+            "map": (omega_hat, beta_hat),
+            "log_posterior_at_map": log_post(omega_hat, beta_hat),
+            "alpha0": alpha0,
+            "data_kind": type(data).__name__,
+            "horizon": data.horizon,
+        }
+        if obs.enabled():
+            obs.counter_add("laplace.fits")
+            if sp.collecting:
+                posterior.diagnostics["telemetry"] = sp.telemetry()
+        return posterior

@@ -6,9 +6,34 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
+from repro.bayes.mcmc.diagnostics import effective_sample_size
 from repro.bayes.sample_posterior import EmpiricalPosterior
 
-__all__ = ["ChainSettings", "MCMCResult"]
+__all__ = ["ChainSettings", "MCMCResult", "record_sampler_telemetry"]
+
+
+def record_sampler_telemetry(
+    sampler: str, samples: np.ndarray, variate_count: int, **extra_metrics: float
+) -> None:
+    """Report the common per-chain cost and mixing metrics to the
+    telemetry layer (:mod:`repro.obs`).
+
+    Records the variate count (the paper's Table 6 cost metric), the
+    number of kept draws, and the per-parameter effective sample size
+    (FFT-based, cheap relative to the sampling itself). ``extra_metrics``
+    lets a sampler add its own scalars under ``mcmc.<key>``.
+    """
+    if not obs.enabled():
+        return
+    obs.counter_add("mcmc.chains")
+    obs.counter_add("mcmc.variates", variate_count)
+    obs.observe("mcmc.samples_kept", samples.shape[0])
+    if samples.shape[0] >= 4:
+        obs.observe("mcmc.ess_omega", effective_sample_size(samples[:, 0]))
+        obs.observe("mcmc.ess_beta", effective_sample_size(samples[:, 1]))
+    for key, value in extra_metrics.items():
+        obs.observe(f"mcmc.{key}", float(value))
 
 
 @dataclass(frozen=True)

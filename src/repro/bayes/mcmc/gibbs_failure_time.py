@@ -20,7 +20,12 @@ from __future__ import annotations
 import numpy as np
 from scipy import special as sc
 
-from repro.bayes.mcmc.chains import ChainSettings, MCMCResult
+from repro import obs
+from repro.bayes.mcmc.chains import (
+    ChainSettings,
+    MCMCResult,
+    record_sampler_telemetry,
+)
 from repro.bayes.priors import ModelPrior
 from repro.data.failure_data import FailureTimeData
 from repro.stats.truncated import sample_censored_gamma
@@ -53,6 +58,18 @@ def gibbs_failure_time(
     settings = settings or ChainSettings()
     if rng is None:
         rng = np.random.default_rng(settings.seed)
+    with obs.span("mcmc.gibbs_failure_time", collect=True) as sp:
+        return _gibbs_failure_time(data, prior, alpha0, settings, rng, sp)
+
+
+def _gibbs_failure_time(
+    data: FailureTimeData,
+    prior: ModelPrior,
+    alpha0: float,
+    settings: ChainSettings,
+    rng: np.random.Generator,
+    sp,
+) -> MCMCResult:
     me = data.count
     horizon = data.horizon
     sum_times = data.total_time
@@ -101,14 +118,18 @@ def gibbs_failure_time(
             samples[kept, 1] = beta
             residual_trace[kept] = residual
             kept += 1
+    extra = {
+        "sampler": "gibbs-kuo-yang",
+        "alpha0": alpha0,
+        "collapsed_tail": collapsed,
+        "residual_trace": residual_trace[:kept],
+    }
+    record_sampler_telemetry("gibbs-kuo-yang", samples[:kept], variates)
+    if sp.collecting:
+        extra["telemetry"] = sp.telemetry()
     return MCMCResult(
         samples=samples[:kept],
         settings=settings,
         variate_count=variates,
-        extra={
-            "sampler": "gibbs-kuo-yang",
-            "alpha0": alpha0,
-            "collapsed_tail": collapsed,
-            "residual_trace": residual_trace[:kept],
-        },
+        extra=extra,
     )

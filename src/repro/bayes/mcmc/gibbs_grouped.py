@@ -21,7 +21,12 @@ from __future__ import annotations
 import numpy as np
 from scipy import special as sc
 
-from repro.bayes.mcmc.chains import ChainSettings, MCMCResult
+from repro import obs
+from repro.bayes.mcmc.chains import (
+    ChainSettings,
+    MCMCResult,
+    record_sampler_telemetry,
+)
 from repro.bayes.priors import ModelPrior
 from repro.data.failure_data import GroupedData
 from repro.stats.truncated import sample_censored_gamma, sample_truncated_gamma
@@ -40,6 +45,18 @@ def gibbs_grouped(
     settings = settings or ChainSettings()
     if rng is None:
         rng = np.random.default_rng(settings.seed)
+    with obs.span("mcmc.gibbs_grouped", collect=True) as sp:
+        return _gibbs_grouped(data, prior, alpha0, settings, rng, sp)
+
+
+def _gibbs_grouped(
+    data: GroupedData,
+    prior: ModelPrior,
+    alpha0: float,
+    settings: ChainSettings,
+    rng: np.random.Generator,
+    sp,
+) -> MCMCResult:
     intervals = [item for item in data.intervals() if item[2] > 0]
     total = data.total_count
     horizon = data.horizon
@@ -93,14 +110,18 @@ def gibbs_grouped(
             samples[kept, 1] = beta
             residual_trace[kept] = residual
             kept += 1
+    extra = {
+        "sampler": "gibbs-data-augmentation",
+        "alpha0": alpha0,
+        "collapsed_tail": collapsed,
+        "residual_trace": residual_trace[:kept],
+    }
+    record_sampler_telemetry("gibbs-data-augmentation", samples[:kept], variates)
+    if sp.collecting:
+        extra["telemetry"] = sp.telemetry()
     return MCMCResult(
         samples=samples[:kept],
         settings=settings,
         variate_count=variates,
-        extra={
-            "sampler": "gibbs-data-augmentation",
-            "alpha0": alpha0,
-            "collapsed_tail": collapsed,
-            "residual_trace": residual_trace[:kept],
-        },
+        extra=extra,
     )

@@ -13,8 +13,13 @@ import math
 
 import numpy as np
 
+from repro import obs
 from repro.bayes.laplace import log_posterior_fn
-from repro.bayes.mcmc.chains import ChainSettings, MCMCResult
+from repro.bayes.mcmc.chains import (
+    ChainSettings,
+    MCMCResult,
+    record_sampler_telemetry,
+)
 from repro.bayes.priors import ModelPrior
 from repro.data.failure_data import FailureTimeData, GroupedData
 
@@ -46,6 +51,24 @@ def random_walk_metropolis(
     settings = settings or ChainSettings()
     if rng is None:
         rng = np.random.default_rng(settings.seed)
+    with obs.span("mcmc.metropolis", collect=True) as sp:
+        return _random_walk_metropolis(
+            data, prior, alpha0, settings, rng, initial, step,
+            target_acceptance, sp,
+        )
+
+
+def _random_walk_metropolis(
+    data: FailureTimeData | GroupedData,
+    prior: ModelPrior,
+    alpha0: float,
+    settings: ChainSettings,
+    rng: np.random.Generator,
+    initial: tuple[float, float] | None,
+    step: float,
+    target_acceptance: float,
+    sp,
+) -> MCMCResult:
     log_post = log_posterior_fn(data, prior, alpha0)
 
     if initial is None:
@@ -88,15 +111,22 @@ def random_walk_metropolis(
             samples[kept] = np.exp(state)
             kept += 1
     acceptance = accepted / proposed if proposed else float("nan")
+    extra = {
+        "sampler": "random-walk-metropolis",
+        "alpha0": alpha0,
+        "acceptance_rate": acceptance,
+        "final_scale": scale,
+        "method_name": "MH",
+    }
+    record_sampler_telemetry(
+        "random-walk-metropolis", samples[:kept], variates,
+        acceptance_rate=acceptance, proposal_scale=scale,
+    )
+    if sp.collecting:
+        extra["telemetry"] = sp.telemetry()
     return MCMCResult(
         samples=samples[:kept],
         settings=settings,
         variate_count=variates,
-        extra={
-            "sampler": "random-walk-metropolis",
-            "alpha0": alpha0,
-            "acceptance_rate": acceptance,
-            "final_scale": scale,
-            "method_name": "MH",
-        },
+        extra=extra,
     )

@@ -19,6 +19,7 @@ import math
 import numpy as np
 from scipy import special as sc
 
+from repro import obs
 from repro.bayes.grid_posterior import GridPosterior
 from repro.bayes.joint import JointPosterior
 from repro.bayes.priors import ModelPrior
@@ -145,10 +146,24 @@ def fit_nint(
     if not (0.0 < beta_range[0] < beta_range[1]):
         raise ValueError(f"invalid beta limits {beta_range}")
 
-    grid = TensorGrid.simpson(omega_range, beta_range, n_omega, n_beta)
-    log_post = log_posterior_matrix(data, prior, alpha0, grid.x, grid.y)
+    with obs.span("nint.fit", collect=True, data=type(data).__name__) as sp:
+        grid = TensorGrid.simpson(omega_range, beta_range, n_omega, n_beta)
+        log_post = log_posterior_matrix(data, prior, alpha0, grid.x, grid.y)
 
-    def log_pdf_fn(omega_nodes: np.ndarray, beta_nodes: np.ndarray) -> np.ndarray:
-        return log_posterior_matrix(data, prior, alpha0, omega_nodes, beta_nodes)
+        def log_pdf_fn(
+            omega_nodes: np.ndarray, beta_nodes: np.ndarray
+        ) -> np.ndarray:
+            return log_posterior_matrix(
+                data, prior, alpha0, omega_nodes, beta_nodes
+            )
 
-    return GridPosterior(grid, log_post, log_pdf_fn=log_pdf_fn)
+        posterior = GridPosterior(grid, log_post, log_pdf_fn=log_pdf_fn)
+        if obs.enabled():
+            obs.counter_add("nint.fits")
+            obs.counter_add("nint.grid_evaluations", grid.x.size * grid.y.size)
+            obs.observe("nint.nodes_omega", grid.x.size)
+            obs.observe("nint.nodes_beta", grid.y.size)
+            obs.observe("nint.log_normaliser", posterior.log_normaliser)
+            if sp.collecting:
+                posterior.diagnostics = {"telemetry": sp.telemetry()}
+        return posterior

@@ -21,16 +21,24 @@ Two families of commands:
           --replications 200 --workers 4
       python -m repro validate coverage --methods VB1,VB2 \
           --replications 200 --level 0.9 --workers 4
+
+``fit``, ``simulate`` and the ``validate`` campaigns accept
+``--trace PATH`` (with ``--trace-level summary|timing|debug``) to write
+a JSONL telemetry trace of the run; ``repro report trace.jsonl``
+renders it as per-method cost/convergence tables. ``-v`` / ``-vv``
+turn on INFO / DEBUG logging.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
 
 from repro.experiments import PAPER_SCALE, QUICK_SCALE
+from repro.obs import TRACE_LEVELS
 
 __all__ = ["main", "build_parser"]
 
@@ -51,7 +59,23 @@ def build_parser() -> argparse.ArgumentParser:
             "the estimators on your own failure data."
         ),
     )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="log progress to stderr (-v = INFO, -vv = DEBUG)",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_trace_options(sub) -> None:
+        sub.add_argument(
+            "--trace", default=None, metavar="PATH",
+            help="write a JSONL telemetry trace of this run to PATH",
+        )
+        sub.add_argument(
+            "--trace-level", choices=list(TRACE_LEVELS), default="summary",
+            help="trace verbosity: 'summary' is deterministic (no "
+            "wall-clock), 'timing' adds durations, 'debug' adds "
+            "per-iteration spans",
+        )
 
     for name in (*_EXPERIMENTS, "all"):
         sub = subparsers.add_parser(name, help=f"regenerate {name}")
@@ -101,6 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
     fit.add_argument("--predict", type=float, default=None, metavar="U",
                      help="also report reliability and the predictive "
                      "failure-count distribution for the window (te, te+U]")
+    add_trace_options(fit)
 
     simulate = subparsers.add_parser(
         "simulate", help="simulate failure data from a model"
@@ -113,6 +138,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument("--out", default=None,
                           help="write the failure times to this CSV")
+    add_trace_options(simulate)
 
     validate = subparsers.add_parser(
         "validate",
@@ -146,6 +172,7 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--omega-std", type=float, default=12.0)
         sub.add_argument("--beta-mean", type=float, default=0.1)
         sub.add_argument("--beta-std", type=float, default=0.04)
+        add_trace_options(sub)
 
     sbc = validate_kind.add_parser(
         "sbc", help="simulation-based calibration (rank uniformity)"
@@ -176,6 +203,14 @@ def build_parser() -> argparse.ArgumentParser:
     coverage.add_argument("--true-beta", type=float, default=0.1,
                           help="data-generating beta")
     add_campaign_options(coverage)
+
+    report = subparsers.add_parser(
+        "report",
+        help="render a JSONL telemetry trace as per-method "
+        "cost/convergence tables",
+    )
+    report.add_argument("trace_file",
+                        help="trace written by a --trace run")
     return parser
 
 
@@ -430,9 +465,21 @@ def _run_simulate(args) -> str:
     return "\n".join(lines)
 
 
-def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+def _run_report(args) -> str:
+    from repro.exceptions import TelemetryError
+    from repro.obs import load_validated_trace, render_report
+
+    try:
+        events = load_validated_trace(args.trace_file)
+    except FileNotFoundError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    except TelemetryError as exc:
+        raise SystemExit(f"error: invalid trace: {exc}") from exc
+    return render_report(events)
+
+
+def _dispatch(args) -> int:
+    """Run the selected command (inside the trace context, if any)."""
     if args.command == "fit":
         print(_run_fit(args))
         return 0
@@ -457,6 +504,34 @@ def main(argv: list[str] | None = None) -> int:
         print(_run_experiment(name, scale, args.out, workers=workers))
         print()
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    from repro import obs
+
+    args = build_parser().parse_args(argv)
+    obs.configure_verbosity(args.verbose)
+    if args.command == "report":
+        try:
+            print(_run_report(args))
+        except BrokenPipeError:
+            # Reader (e.g. `| head`) closed the pipe early — not an
+            # error. Detach stdout so interpreter shutdown doesn't
+            # complain about the unflushable buffer.
+            devnull = os.open(os.devnull, os.O_WRONLY)
+            os.dup2(devnull, sys.stdout.fileno())
+        return 0
+    trace_path = getattr(args, "trace", None)
+    if trace_path is None:
+        return _dispatch(args)
+    command = args.command
+    if command == "validate":
+        command = f"validate {args.validate_command}"
+    with obs.tracing(trace_path, level=args.trace_level, command=command):
+        code = _dispatch(args)
+    print(f"trace written to {trace_path}", file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":

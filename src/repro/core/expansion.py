@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 from scipy import stats as st
 
+from repro import obs
 from repro.bayes.joint import JointPosterior
 
 __all__ = ["CornishFisherInterval", "cornish_fisher_quantile", "expansion_interval"]
@@ -121,12 +122,19 @@ def expansion_interval(
     if not 0.0 < level < 1.0:
         raise ValueError("level must be in (0, 1)")
     tail = 0.5 * (1.0 - level)
-    _, _, skew, kurt = _standardised_cumulants(posterior, param)
-    return CornishFisherInterval(
-        lower=cornish_fisher_quantile(posterior, param, tail, order=order),
-        upper=cornish_fisher_quantile(posterior, param, 1.0 - tail, order=order),
-        level=level,
-        order=order,
-        skewness=skew,
-        excess_kurtosis=kurt,
-    )
+    with obs.span("expansion.interval", param=param, order=order):
+        _, _, skew, kurt = _standardised_cumulants(posterior, param)
+        if obs.enabled():
+            obs.counter_add("expansion.intervals")
+            obs.observe("expansion.skewness", skew)
+            obs.observe("expansion.excess_kurtosis", kurt)
+        return CornishFisherInterval(
+            lower=cornish_fisher_quantile(posterior, param, tail, order=order),
+            upper=cornish_fisher_quantile(
+                posterior, param, 1.0 - tail, order=order
+            ),
+            level=level,
+            order=order,
+            skewness=skew,
+            excess_kurtosis=kurt,
+        )

@@ -7,16 +7,27 @@ global-convergence property of that scheme for variational updates
 (Attias 1999) and that a faster method would make the cost linear in
 ``nmax``. We provide plain substitution plus optional Aitken Δ²
 acceleration, which delivers the speed-up without derivatives.
+
+Every solve reports its iteration count and final residual to the
+telemetry layer (:mod:`repro.obs`) when a collector is active, and a
+failed solve attaches the tail of its residual trajectory to the
+raised :class:`~repro.exceptions.ConvergenceError` so diverging fits
+are diagnosable from a trace alone.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from collections.abc import Callable
 from dataclasses import dataclass
 
+from repro import obs
 from repro.exceptions import ConvergenceError
 
-__all__ = ["FixedPointResult", "solve_fixed_point"]
+__all__ = ["FixedPointResult", "solve_fixed_point", "RESIDUAL_HISTORY_LEN"]
+
+#: How many trailing residuals a failed solve attaches to its error.
+RESIDUAL_HISTORY_LEN = 8
 
 
 @dataclass(frozen=True)
@@ -39,6 +50,39 @@ class FixedPointResult:
     iterations: int
     converged: bool
     residual: float
+
+
+def _success(value: float, evaluations: int, residual: float,
+             aitken_steps: int) -> FixedPointResult:
+    if obs.enabled():
+        obs.counter_add("fixed_point.solves")
+        obs.observe("fixed_point.iterations", evaluations)
+        obs.observe("fixed_point.residual", residual)
+        if aitken_steps:
+            obs.counter_add("fixed_point.aitken_accepted", aitken_steps)
+    return FixedPointResult(
+        value=value, iterations=evaluations, converged=True, residual=residual
+    )
+
+
+def _diverged(message: str, evaluations: int, residual: float,
+              history: deque) -> ConvergenceError:
+    """Build the divergence error, emitting the telemetry event."""
+    trajectory = tuple(history)
+    if obs.enabled():
+        obs.counter_add("fixed_point.failures")
+        obs.event(
+            "fixed_point.divergence",
+            evaluations=evaluations,
+            residual=residual,
+            residuals=list(trajectory),
+        )
+    return ConvergenceError(
+        message,
+        iterations=evaluations,
+        residual=residual,
+        residual_history=trajectory,
+    )
 
 
 def solve_fixed_point(
@@ -70,52 +114,55 @@ def solve_fixed_point(
     ------
     ConvergenceError
         If the iteration budget is exhausted, or the iterates leave the
-        positive half line.
+        positive half line. The error carries ``iterations``, the last
+        ``residual``, and ``residual_history`` — the final
+        :data:`RESIDUAL_HISTORY_LEN` relative steps.
     """
     if x0 <= 0.0:
         raise ValueError(f"x0 must be positive, got {x0}")
     x = x0
     evaluations = 0
     residual = float("inf")
+    aitken_steps = 0
+    history: deque[float] = deque(maxlen=RESIDUAL_HISTORY_LEN)
     while evaluations < max_iter:
         x1 = f(x)
         evaluations += 1
         if not x1 > 0.0:
-            raise ConvergenceError(
+            raise _diverged(
                 f"fixed-point iterate left the positive domain: {x1}",
-                iterations=evaluations,
-                residual=residual,
+                evaluations, residual, history,
             )
         residual = abs(x1 - x) / x1
+        history.append(residual)
         if residual <= rtol:
-            return FixedPointResult(
-                value=x1, iterations=evaluations, converged=True, residual=residual
-            )
+            return _success(x1, evaluations, residual, aitken_steps)
         if use_aitken and evaluations + 1 <= max_iter:
             x2 = f(x1)
             evaluations += 1
             if not x2 > 0.0:
-                raise ConvergenceError(
+                raise _diverged(
                     f"fixed-point iterate left the positive domain: {x2}",
-                    iterations=evaluations,
-                    residual=residual,
+                    evaluations, residual, history,
                 )
             residual = abs(x2 - x1) / x2
+            history.append(residual)
             if residual <= rtol:
-                return FixedPointResult(
-                    value=x2, iterations=evaluations, converged=True, residual=residual
-                )
+                return _success(x2, evaluations, residual, aitken_steps)
             denom = x2 - 2.0 * x1 + x
             if denom != 0.0:
                 accelerated = x - (x1 - x) ** 2 / denom
-                x = accelerated if accelerated > 0.0 else x2
+                if accelerated > 0.0:
+                    x = accelerated
+                    aitken_steps += 1
+                else:
+                    x = x2
             else:
                 x = x2
         else:
             x = x1
-    raise ConvergenceError(
+    raise _diverged(
         f"fixed point did not converge within {max_iter} evaluations "
         f"(last relative step {residual:.3e})",
-        iterations=evaluations,
-        residual=residual,
+        evaluations, residual, history,
     )

@@ -30,6 +30,7 @@ import math
 
 import numpy as np
 
+from repro import obs
 from repro.bayes.priors import ModelPrior
 from repro.core.config import VBConfig
 from repro.core.posterior import VBPosterior
@@ -57,11 +58,23 @@ def fit_vb1(
 
     Returns a one-component :class:`VBPosterior` (product of gammas)
     with ``method_name = "VB1"`` and diagnostics ``{"expected_n",
-    "lambda_star", "iterations"}``.
+    "lambda_star", "iterations"}`` (plus a ``telemetry`` summary when
+    an obs collector is active).
     """
     if alpha0 <= 0.0:
         raise ValueError(f"alpha0 must be positive, got {alpha0}")
     config = config or VBConfig()
+    with obs.span("vb1.fit", collect=True, data=type(data).__name__) as sp:
+        return _fit_vb1(data, prior, alpha0, config, sp)
+
+
+def _fit_vb1(
+    data: FailureTimeData | GroupedData,
+    prior: ModelPrior,
+    alpha0: float,
+    config: VBConfig,
+    sp,
+) -> VBPosterior:
 
     if isinstance(data, FailureTimeData):
         observed = data.count
@@ -94,6 +107,8 @@ def fit_vb1(
     lam = max(0.1 * observed, 1.0)
     xi = None
     lam_history: list[float] = []
+    inner_iterations = 0
+    aitken_accepted = 0
     for iteration in range(1, config.fixed_point_max_iter + 1):
         expected_n = observed + lam
         a_omega = m_omega + expected_n
@@ -104,6 +119,7 @@ def fit_vb1(
         for _ in range(config.fixed_point_max_iter):
             zeta = zeta_of(xi_inner, lam)
             xi_new = a_beta / (phi_beta + zeta)
+            inner_iterations += 1
             if abs(xi_new - xi_inner) <= config.fixed_point_rtol * xi_new:
                 xi_inner = xi_new
                 break
@@ -139,8 +155,16 @@ def fit_vb1(
                 accelerated = l0 - step0**2 / denom
                 if accelerated > 0.0 and math.isfinite(accelerated):
                     lam = accelerated
+                    aitken_accepted += 1
             lam_history.clear()
     else:
+        if obs.enabled():
+            obs.counter_add("vb1.failures")
+            obs.event(
+                "vb1.divergence",
+                outer_iterations=config.fixed_point_max_iter,
+                lambda_star=lam,
+            )
         raise ConvergenceError(
             f"VB1 did not converge within {config.fixed_point_max_iter} outer "
             f"iterations (last lambda* = {lam:.6g})",
@@ -162,6 +186,21 @@ def fit_vb1(
             data, prior, alpha0, q_omega, q_beta, xi, lam, observed, cut
         )
 
+    diagnostics = {
+        "expected_n": expected_n,
+        "lambda_star": lam,
+        "iterations": iteration,
+        "alpha0": alpha0,
+        "data_kind": type(data).__name__,
+    }
+    if obs.enabled():
+        obs.observe("vb1.outer_iterations", iteration)
+        obs.observe("vb1.inner_iterations", inner_iterations)
+        obs.observe("vb1.lambda_star", lam)
+        if aitken_accepted:
+            obs.counter_add("vb1.aitken_accepted", aitken_accepted)
+        if sp.collecting:
+            diagnostics["telemetry"] = sp.telemetry()
     return VBPosterior(
         n_values=[expected_n],
         weights=[1.0],
@@ -169,13 +208,7 @@ def fit_vb1(
         beta_components=[q_beta],
         method_name="VB1",
         elbo=elbo,
-        diagnostics={
-            "expected_n": expected_n,
-            "lambda_star": lam,
-            "iterations": iteration,
-            "alpha0": alpha0,
-            "data_kind": type(data).__name__,
-        },
+        diagnostics=diagnostics,
     )
 
 

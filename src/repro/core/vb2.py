@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 from scipy import special as sc
 
+from repro import obs
 from repro.bayes.priors import ModelPrior
 from repro.core.config import VBConfig
 from repro.core.gamma_updates import (
@@ -71,7 +72,18 @@ def fit_vb2(
     if alpha0 <= 0.0:
         raise ValueError(f"alpha0 must be positive, got {alpha0}")
     config = config or VBConfig()
+    with obs.span("vb2.fit", collect=True, data=type(data).__name__) as sp:
+        return _fit_vb2(data, prior, alpha0, config, nmax, sp)
 
+
+def _fit_vb2(
+    data: FailureTimeData | GroupedData,
+    prior: ModelPrior,
+    alpha0: float,
+    config: VBConfig,
+    nmax: int | None,
+    sp,
+) -> VBPosterior:
     if isinstance(data, FailureTimeData):
         stats = TimesStats.from_data(data)
         observed = stats.me
@@ -117,7 +129,8 @@ def fit_vb2(
                 )
         else:
             for n in range(start_n, bound + 1):
-                solution = solve(n, xi_warm)
+                with obs.span("vb2.solve_n", level="debug", n=n):
+                    solution = solve(n, xi_warm)
                 xi_warm = solution.xi
                 solutions.append(solution)
         if nmax is not None or clamped:
@@ -126,6 +139,10 @@ def fit_vb2(
         tail = float(np.exp(log_w[-1] - sc.logsumexp(log_w)))
         if tail < config.tail_tolerance:
             break
+        obs.event(
+            "vb2.grow", level="debug",
+            round=growth_rounds + 1, bound=bound, tail_mass=tail,
+        )
         growth_rounds += 1
         increment = bound - observed
         bound = observed + max(
@@ -138,6 +155,12 @@ def fit_vb2(
                 if bound <= solutions[-1].n:
                     break
                 continue
+            if obs.enabled():
+                obs.counter_add("vb2.truncation_failures")
+                obs.event(
+                    "vb2.truncation_failure",
+                    bound=bound, ceiling=config.nmax_ceiling, tail_mass=tail,
+                )
             raise TruncationError(
                 f"nmax exceeded the ceiling {config.nmax_ceiling} with tail "
                 f"mass {tail:.3e} still above tolerance "
@@ -152,6 +175,28 @@ def fit_vb2(
     else:
         elbo = None  # improper priors: bound defined only up to a constant
 
+    diagnostics = {
+        "nmax": solutions[-1].n,
+        "truncation_clamped": clamped,
+        "tail_mass": float(weights[-1]),
+        "fixed_point_iterations": int(sum(s.iterations for s in solutions)),
+        "n_growth_rounds": growth_rounds,
+        "alpha0": alpha0,
+        "data_kind": type(data).__name__,
+    }
+    if obs.enabled():
+        obs.counter_add("vb2.solves", len(solutions))
+        obs.observe("vb2.nmax", solutions[-1].n)
+        obs.observe("vb2.tail_mass", float(weights[-1]))
+        obs.observe("vb2.growth_rounds", growth_rounds)
+        obs.observe(
+            "vb2.fixed_point_iterations",
+            int(sum(s.iterations for s in solutions)),
+        )
+        if clamped:
+            obs.counter_add("vb2.truncation_clamped")
+        if sp.collecting:
+            diagnostics["telemetry"] = sp.telemetry()
     posterior = VBPosterior(
         n_values=[s.n for s in solutions],
         weights=weights,
@@ -161,14 +206,6 @@ def fit_vb2(
         beta_components=[GammaDistribution(s.a_beta, s.b_beta) for s in solutions],
         method_name="VB2",
         elbo=elbo,
-        diagnostics={
-            "nmax": solutions[-1].n,
-            "truncation_clamped": clamped,
-            "tail_mass": float(weights[-1]),
-            "fixed_point_iterations": int(sum(s.iterations for s in solutions)),
-            "n_growth_rounds": growth_rounds,
-            "alpha0": alpha0,
-            "data_kind": type(data).__name__,
-        },
+        diagnostics=diagnostics,
     )
     return posterior

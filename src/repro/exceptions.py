@@ -23,15 +23,21 @@ class DataValidationError(ReproError, ValueError):
 class ConvergenceError(ReproError, RuntimeError):
     """Raised when an iterative algorithm fails to converge.
 
-    Carries the number of iterations performed and the last residual so
-    callers can report or retry with looser settings.
+    Carries the number of iterations performed, the last residual, and
+    (for solvers that track it) the tail of the residual trajectory, so
+    callers can report the failure, feed it into a telemetry trace, or
+    retry with looser settings.
     """
 
     def __init__(self, message: str, *, iterations: int | None = None,
-                 residual: float | None = None) -> None:
+                 residual: float | None = None,
+                 residual_history: tuple[float, ...] | None = None) -> None:
         super().__init__(message)
         self.iterations = iterations
         self.residual = residual
+        self.residual_history = (
+            tuple(residual_history) if residual_history is not None else None
+        )
 
 
 class TruncationError(ReproError, RuntimeError):
@@ -50,3 +56,8 @@ class ModelSpecificationError(ReproError, ValueError):
 class EstimationError(ReproError, RuntimeError):
     """Raised when an estimator cannot produce a usable result
     (e.g. a degenerate likelihood or a singular information matrix)."""
+
+
+class TelemetryError(ReproError, ValueError):
+    """Raised when a telemetry trace violates the event schema
+    (unknown kind, missing field, malformed name, non-scalar attr)."""

@@ -19,6 +19,7 @@ Run with::
 
 from __future__ import annotations
 
+import logging
 import math
 from pathlib import Path
 
@@ -28,6 +29,8 @@ from repro.experiments.runner import MethodResults
 from repro.metrics.comparison import deviation_table
 
 __all__ = ["build_report", "main", "PAPER_TABLE1_DEVIATIONS"]
+
+_logger = logging.getLogger(__name__)
 
 # ----------------------------------------------------------------------
 # Reference values transcribed from the paper (relative deviations from
@@ -328,10 +331,11 @@ def build_report(
 def main() -> None:
     """Write EXPERIMENTS.md at the repository root (source checkouts:
     three levels above this file's package directory)."""
+    logging.basicConfig(level=logging.INFO, format="%(message)s")
     target = Path(__file__).resolve().parents[3] / "EXPERIMENTS.md"
     text = build_report()
     target.write_text(text)
-    print(f"written {target} ({len(text.splitlines())} lines)")
+    _logger.info("written %s (%d lines)", target, len(text.splitlines()))
 
 
 if __name__ == "__main__":

@@ -90,7 +90,10 @@ def run_all_methods(
     extra: dict[str, dict] = {}
 
     vb_config = scenario.vb_config
-    vb2_timing = time_callable(lambda: fit_vb2(data, prior, alpha0, vb_config))
+    vb2_timing = time_callable(
+        lambda: fit_vb2(data, prior, alpha0, vb_config),
+        label=f"VB2 {scenario.name}",
+    )
     vb2 = vb2_timing.result
 
     if "NINT" in methods:
@@ -102,12 +105,16 @@ def run_all_methods(
                 reference_posterior=vb2,
                 n_omega=scale.nint_resolution,
                 n_beta=scale.nint_resolution,
-            )
+            ),
+            label=f"NINT {scenario.name}",
         )
         posteriors["NINT"] = timing.result
         seconds["NINT"] = timing.seconds
     if "LAPL" in methods:
-        timing = time_callable(lambda: fit_laplace(data, prior, alpha0))
+        timing = time_callable(
+            lambda: fit_laplace(data, prior, alpha0),
+            label=f"LAPL {scenario.name}",
+        )
         posteriors["LAPL"] = timing.result
         seconds["LAPL"] = timing.seconds
     if "MCMC" in methods:
@@ -117,7 +124,8 @@ def run_all_methods(
             sampler = gibbs_grouped
         rng = np.random.default_rng(scale.mcmc.seed)
         timing = time_callable(
-            lambda: sampler(data, prior, alpha0, settings=scale.mcmc, rng=rng)
+            lambda: sampler(data, prior, alpha0, settings=scale.mcmc, rng=rng),
+            label=f"MCMC {scenario.name}",
         )
         result = timing.result
         posteriors["MCMC"] = result.posterior()
@@ -127,7 +135,10 @@ def run_all_methods(
             "sampler": result.extra.get("sampler"),
         }
     if "VB1" in methods:
-        timing = time_callable(lambda: fit_vb1(data, prior, alpha0, vb_config))
+        timing = time_callable(
+            lambda: fit_vb1(data, prior, alpha0, vb_config),
+            label=f"VB1 {scenario.name}",
+        )
         posteriors["VB1"] = timing.result
         seconds["VB1"] = timing.seconds
     if "VB2" in methods:

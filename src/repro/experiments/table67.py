@@ -60,7 +60,8 @@ def run_table6(scale: ExperimentScale = PAPER_SCALE) -> list[Table6Row]:
         )
         rng = np.random.default_rng(scale.mcmc.seed)
         timing = time_callable(
-            lambda: sampler(data, prior, scenario.alpha0, settings=scale.mcmc, rng=rng)
+            lambda: sampler(data, prior, scenario.alpha0, settings=scale.mcmc, rng=rng),
+            label=f"table6 MCMC {name}",
         )
         rows.append(
             Table6Row(
@@ -84,7 +85,8 @@ def run_table7(
         prior = scenario.prior()
         for nmax in nmax_values:
             timing = time_callable(
-                lambda: fit_vb2(data, prior, scenario.alpha0, nmax=nmax)
+                lambda: fit_vb2(data, prior, scenario.alpha0, nmax=nmax),
+                label=f"table7 VB2 {name} nmax={nmax}",
             )
             rows.append(
                 Table7Row(

@@ -23,6 +23,7 @@ from functools import partial
 
 import numpy as np
 
+from repro import obs
 from repro.bayes.joint import JointPosterior
 from repro.bayes.priors import ModelPrior
 from repro.data.simulation import simulate_failure_times
@@ -175,9 +176,28 @@ def interval_coverage_study(
         min_failures,
         seed,
     )
-    per_replication = parallel_map(
-        worker, list(range(replications)), workers=workers
-    )
+    indices = list(range(replications))
+    col = obs.active()
+    if col is None:
+        per_replication = parallel_map(worker, indices, workers=workers)
+    else:
+        # Same capture-and-merge path serially and on a process pool:
+        # the merged trace is byte-identical for any worker count.
+        pairs = parallel_map(
+            partial(obs.traced_task, worker, col.level),
+            indices,
+            workers=workers,
+        )
+        per_replication = []
+        for index, (outcome, payload) in zip(indices, pairs):
+            col.merge(payload, rep=index)
+            per_replication.append(outcome)
+        obs.event(
+            "coverage.campaign",
+            replications=replications,
+            used=sum(1 for o in per_replication if o is not None),
+            confidence=level,
+        )
     results = {
         label: CoverageResult(
             label=label,

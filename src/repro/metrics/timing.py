@@ -2,36 +2,70 @@
 
 from __future__ import annotations
 
+import math
 import time
 from collections.abc import Callable
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+from repro import obs
 
 __all__ = ["TimingRecord", "time_callable"]
 
 
 @dataclass(frozen=True)
 class TimingRecord:
-    """One timed run: the result and the elapsed wall-clock seconds."""
+    """One timed run: the result, summary statistics over the repeats,
+    and every per-repeat sample.
+
+    ``seconds`` is the *minimum* over the repeats (the standard
+    noise-robust point estimate); ``mean`` and ``std`` expose the
+    spread so cost tables can report run-to-run variability too.
+    """
 
     result: object
     seconds: float
     label: str = ""
+    samples: tuple[float, ...] = field(default=())
+
+    @property
+    def mean(self) -> float:
+        """Mean elapsed seconds over the repeats."""
+        if not self.samples:
+            return self.seconds
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation of the per-repeat times."""
+        if len(self.samples) < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(
+            sum((s - mu) ** 2 for s in self.samples) / len(self.samples)
+        )
 
 
 def time_callable(fn: Callable[[], object], *, label: str = "",
                   repeat: int = 1) -> TimingRecord:
     """Time ``fn`` with ``perf_counter``; with ``repeat > 1``, keeps the
     *minimum* elapsed time (the standard noise-robust choice) and the
-    result of the first run."""
+    result of the first run. All per-repeat samples are recorded on the
+    returned :class:`TimingRecord`, and a ``timing`` event is emitted
+    through :mod:`repro.obs` when a collector at the ``timing`` level or
+    above is active."""
     if repeat < 1:
         raise ValueError("repeat must be at least 1")
-    best = float("inf")
     result = None
+    samples: list[float] = []
     for i in range(repeat):
         start = time.perf_counter()
         value = fn()
         elapsed = time.perf_counter() - start
         if i == 0:
             result = value
-        best = min(best, elapsed)
-    return TimingRecord(result=result, seconds=best, label=label)
+        samples.append(elapsed)
+    obs.timing_sample(label or "anonymous", samples)
+    return TimingRecord(
+        result=result, seconds=min(samples), label=label,
+        samples=tuple(samples),
+    )

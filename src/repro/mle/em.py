@@ -18,10 +18,12 @@ a property the test suite asserts.
 
 from __future__ import annotations
 
+import logging
 import math
 
 import numpy as np
 
+from repro import obs
 from repro.data.failure_data import FailureTimeData, GroupedData
 from repro.exceptions import ConvergenceError
 from repro.mle.fisher import observed_information
@@ -31,6 +33,8 @@ from repro.stats.special import log_gamma_sf
 from repro.stats.truncated import censored_gamma_mean, truncated_gamma_mean
 
 __all__ = ["fit_mle_em"]
+
+_logger = logging.getLogger(__name__)
 
 
 def _expected_statistics(
@@ -113,6 +117,23 @@ def fit_mle_em(
     if observed == 0:
         raise ConvergenceError("cannot fit an NHPP model to zero failures")
 
+    with obs.span("mle.em.fit", data=type(data).__name__):
+        return _fit_mle_em(
+            data, alpha0, initial, tol, max_iter, information, accelerate,
+            observed,
+        )
+
+
+def _fit_mle_em(
+    data: FailureTimeData | GroupedData,
+    alpha0: float,
+    initial: tuple[float, float] | None,
+    tol: float,
+    max_iter: int,
+    information: bool,
+    accelerate: bool,
+    observed: int,
+) -> MLEResult:
     if initial is None:
         omega, beta = 1.2 * observed, alpha0 / data.horizon
     else:
@@ -122,6 +143,7 @@ def fit_mle_em(
     history = [loglik]
     converged = False
     iteration = 0
+    squarem_accepted = 0
     for iteration in range(1, max_iter + 1):
         if accelerate:
             theta0 = np.array([omega, beta])
@@ -147,6 +169,7 @@ def fit_mle_em(
                     )
                     if trial.log_likelihood(data) >= reference.log_likelihood(data):
                         candidate = stabilised
+                        squarem_accepted += 1
             omega, beta = float(candidate[0]), float(candidate[1])
         else:
             omega, beta = _em_step(data, omega, beta, alpha0)
@@ -159,10 +182,22 @@ def fit_mle_em(
             break
         loglik = new_loglik
     if not converged:
+        if obs.enabled():
+            obs.counter_add("mle.em.failures")
+            obs.event(
+                "mle.em.divergence",
+                iterations=max_iter,
+                log_likelihood=float(loglik),
+            )
         raise ConvergenceError(
             f"EM did not converge within {max_iter} iterations",
             iterations=max_iter,
         )
+    if obs.enabled():
+        obs.counter_add("mle.em.fits")
+        obs.observe("mle.em.iterations", iteration)
+        if squarem_accepted:
+            obs.counter_add("mle.em.squarem_accepted", squarem_accepted)
 
     covariance = None
     if information:
@@ -170,6 +205,10 @@ def fit_mle_em(
         try:
             covariance = np.linalg.inv(info)
         except np.linalg.LinAlgError:
+            _logger.warning(
+                "observed information matrix is singular at the EM MLE; "
+                "covariance unavailable"
+            )
             covariance = None
     return MLEResult(
         model=model,

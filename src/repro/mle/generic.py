@@ -8,6 +8,7 @@ optimisation over ``(log ω, log β)``.
 
 from __future__ import annotations
 
+import logging
 import math
 from collections.abc import Callable
 
@@ -21,6 +22,8 @@ from repro.mle.results import MLEResult
 from repro.models.base import NHPPModel
 
 __all__ = ["fit_mle_generic"]
+
+_logger = logging.getLogger(__name__)
 
 
 def fit_mle_generic(
@@ -87,6 +90,10 @@ def fit_mle_generic(
         try:
             covariance = np.linalg.inv(info)
         except np.linalg.LinAlgError:
+            _logger.warning(
+                "observed information matrix is singular at the generic "
+                "MLE; covariance unavailable"
+            )
             covariance = None
     return MLEResult(
         model=model,

@@ -8,11 +8,13 @@ the test suite asserts it agrees with the EM fixed point.
 
 from __future__ import annotations
 
+import logging
 import math
 
 import numpy as np
 from scipy import optimize
 
+from repro import obs
 from repro.data.failure_data import FailureTimeData, GroupedData
 from repro.exceptions import EstimationError
 from repro.mle.fisher import observed_information
@@ -20,6 +22,8 @@ from repro.mle.results import MLEResult
 from repro.models.gamma_srm import GammaSRM
 
 __all__ = ["fit_mle_newton"]
+
+_logger = logging.getLogger(__name__)
 
 
 def fit_mle_newton(
@@ -54,12 +58,28 @@ def fit_mle_newton(
         return -model.log_likelihood(data)
 
     x0 = np.log(np.asarray(initial, dtype=float))
-    rough = optimize.minimize(
-        negative, x0, method="Nelder-Mead",
-        options={"xatol": 1e-10, "fatol": 1e-12, "maxiter": 10_000},
-    )
-    polished = optimize.minimize(negative, rough.x, method="L-BFGS-B")
+    with obs.span("mle.newton.fit", data=type(data).__name__):
+        rough = optimize.minimize(
+            negative, x0, method="Nelder-Mead",
+            options={"xatol": 1e-10, "fatol": 1e-12, "maxiter": 10_000},
+        )
+        polished = optimize.minimize(negative, rough.x, method="L-BFGS-B")
     best = polished if polished.fun <= rough.fun else rough
+    if obs.enabled():
+        obs.counter_add("mle.newton.fits")
+        obs.observe(
+            "mle.newton.iterations",
+            int(rough.nit) + int(getattr(polished, "nit", 0)),
+        )
+        obs.observe(
+            "mle.newton.evaluations",
+            int(rough.nfev) + int(getattr(polished, "nfev", 0)),
+        )
+        if polished.fun > rough.fun:
+            obs.counter_add("mle.newton.polish_rejected")
+        if not (rough.success or polished.success):
+            obs.counter_add("mle.newton.failures")
+            obs.event("mle.newton.failed", evaluations=int(rough.nfev))
     omega_hat, beta_hat = float(np.exp(best.x[0])), float(np.exp(best.x[1]))
     model = GammaSRM(omega=omega_hat, beta=beta_hat, alpha0=alpha0)
     covariance = None
@@ -68,6 +88,10 @@ def fit_mle_newton(
         try:
             covariance = np.linalg.inv(info)
         except np.linalg.LinAlgError:
+            _logger.warning(
+                "observed information matrix is singular at the Newton "
+                "MLE; covariance unavailable"
+            )
             covariance = None
     return MLEResult(
         model=model,

@@ -1,0 +1,57 @@
+"""Observability layer: structured tracing, metrics, and run reports.
+
+See :mod:`repro.obs.core` for the collector design, :mod:`repro.obs.
+events` for the event schema, and ``docs/OBSERVABILITY.md`` for the
+span/metric taxonomy and how to read a trace.
+"""
+
+from repro.obs.core import (
+    TRACE_LEVELS,
+    Collector,
+    Histogram,
+    active,
+    capture,
+    counter_add,
+    enabled,
+    event,
+    observe,
+    span,
+    timing_sample,
+    traced_task,
+    tracing,
+)
+from repro.obs.events import (
+    SCHEMA_VERSION,
+    sanitise_value,
+    validate_event,
+    validate_trace,
+)
+from repro.obs.logcfg import configure_verbosity, package_logger
+from repro.obs.report import render_report
+from repro.obs.sink import JsonlSink, load_validated_trace, read_trace
+
+__all__ = [
+    "TRACE_LEVELS",
+    "SCHEMA_VERSION",
+    "Collector",
+    "Histogram",
+    "JsonlSink",
+    "active",
+    "capture",
+    "configure_verbosity",
+    "counter_add",
+    "enabled",
+    "event",
+    "load_validated_trace",
+    "observe",
+    "package_logger",
+    "read_trace",
+    "render_report",
+    "sanitise_value",
+    "span",
+    "timing_sample",
+    "traced_task",
+    "tracing",
+    "validate_event",
+    "validate_trace",
+]

@@ -1,0 +1,49 @@
+"""Stdlib-logging integration for the repro package.
+
+The package follows library convention: ``repro`` has a
+``NullHandler`` attached at import (see :mod:`repro`), so embedding
+applications control their own handlers. The CLI's ``--verbose`` flag
+calls :func:`configure_verbosity` to attach a stderr handler — once
+for INFO, twice for DEBUG (which also mirrors every telemetry event,
+since the obs collector logs emitted events at DEBUG).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["package_logger", "configure_verbosity"]
+
+_HANDLER_NAME = "repro-cli"
+
+
+def package_logger() -> logging.Logger:
+    """The root logger of the package."""
+    return logging.getLogger("repro")
+
+
+def configure_verbosity(verbosity: int, stream=None) -> None:
+    """Attach a stream handler to the package logger.
+
+    ``verbosity`` counts ``-v`` flags: 0 leaves logging untouched,
+    1 enables INFO, 2 or more enables DEBUG (including the obs event
+    mirror). Idempotent — repeated calls reconfigure the same handler
+    rather than stacking duplicates.
+    """
+    if verbosity <= 0:
+        return
+    logger = package_logger()
+    level = logging.INFO if verbosity == 1 else logging.DEBUG
+    handler = next(
+        (h for h in logger.handlers if h.get_name() == _HANDLER_NAME), None
+    )
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.set_name(_HANDLER_NAME)
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        logger.addHandler(handler)
+    handler.setLevel(level)
+    logger.setLevel(level)

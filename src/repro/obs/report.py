@@ -1,0 +1,186 @@
+"""Render cost/convergence tables from a telemetry trace.
+
+``repro report <trace.jsonl>`` turns the machine-readable trace into
+the human-readable companion of the paper's computation-cost tables:
+per-method fit counts, failure counts, and wall-clock (when the trace
+was recorded at the ``timing`` level or above), plus the solver
+convergence histograms (fixed-point iterations, VB2 ``nmax``, MCMC
+acceptance, ...) and raw counters.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+__all__ = ["render_report", "method_of"]
+
+#: Span/metric name prefixes attributed to each posterior method, in
+#: the paper's method order; everything else lands under its own
+#: top-level prefix (e.g. ``fixed_point``, ``sbc``).
+_METHOD_PREFIXES = {
+    "nint": "NINT",
+    "laplace": "LAPL",
+    "mcmc": "MCMC",
+    "vb1": "VB1",
+    "vb2": "VB2",
+    "mle": "MLE",
+}
+
+
+def method_of(name: str) -> str:
+    """Method label for a dotted span/metric name."""
+    prefix = name.split(".", 1)[0]
+    return _METHOD_PREFIXES.get(prefix, prefix)
+
+
+def _format_table(headers: list[str], rows: list[list[str]]) -> list[str]:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip(),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i])
+                      for i, cell in enumerate(row)).rstrip()
+        )
+    return lines
+
+
+def _num(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.6g}"
+    return f"{int(value)}"
+
+
+def render_report(events: list[dict]) -> str:
+    """Build the full text report from a list of trace events."""
+    meta = events[0] if events and events[0].get("kind") == "meta" else {}
+    summaries = [e for e in events if e.get("kind") == "summary"]
+    summary = summaries[-1] if summaries else {
+        "counters": {}, "histograms": {}, "spans": {}
+    }
+    spans = [e for e in events if e.get("kind") == "span"]
+    points = [e for e in events if e.get("kind") == "point"]
+    timings = [e for e in events if e.get("kind") == "timing"]
+    reps = {e["rep"] for e in events if "rep" in e}
+
+    lines = []
+    level = meta.get("level", "?")
+    header = f"telemetry report — {len(events)} events, level {level}"
+    if meta.get("command"):
+        header += f", command {meta['command']}"
+    lines.append(header)
+    if reps:
+        lines.append(
+            f"replications merged: {len(reps)} "
+            f"(spawn keys {min(reps)}..{max(reps)})"
+        )
+    lines.append("")
+
+    # Per-method cost table from the aggregated span stats.
+    span_stats = summary.get("spans", {})
+    if span_stats:
+        by_method: dict[str, dict] = defaultdict(
+            lambda: {"count": 0, "errors": 0, "wall_s": 0.0, "timed": False}
+        )
+        for name, stats in span_stats.items():
+            agg = by_method[method_of(name)]
+            agg["count"] += stats.get("count", 0)
+            agg["errors"] += stats.get("errors", 0)
+            if "wall_s" in stats:
+                agg["wall_s"] += stats["wall_s"]
+                agg["timed"] = True
+        rows = []
+        order = list(_METHOD_PREFIXES.values())
+        for method in sorted(
+            by_method,
+            key=lambda m: (order.index(m) if m in order else len(order), m),
+        ):
+            agg = by_method[method]
+            wall = f"{agg['wall_s']:.4f}" if agg["timed"] else "-"
+            mean = (
+                f"{agg['wall_s'] / agg['count']:.4f}"
+                if agg["timed"] and agg["count"]
+                else "-"
+            )
+            rows.append(
+                [method, str(agg["count"]), str(agg["errors"]), wall, mean]
+            )
+        lines.append("## cost per method (spans)")
+        lines += _format_table(
+            ["method", "spans", "errors", "total s", "mean s"], rows
+        )
+        lines.append("")
+
+    # Convergence table from histograms.
+    histograms = summary.get("histograms", {})
+    if histograms:
+        rows = [
+            [
+                name,
+                str(hist["count"]),
+                _num(hist["mean"]),
+                _num(hist["std"]),
+                _num(hist["min"]),
+                _num(hist["max"]),
+            ]
+            for name, hist in sorted(histograms.items())
+        ]
+        lines.append("## convergence metrics (histograms)")
+        lines += _format_table(
+            ["metric", "count", "mean", "std", "min", "max"], rows
+        )
+        lines.append("")
+
+    counters = summary.get("counters", {})
+    if counters:
+        rows = [[name, _num(value)] for name, value in sorted(counters.items())]
+        lines.append("## counters")
+        lines += _format_table(["counter", "value"], rows)
+        lines.append("")
+
+    if timings:
+        rows = [
+            [
+                t.get("label") or "(unlabelled)",
+                str(t["repeat"]),
+                f"{t['min_s']:.4f}",
+                f"{t['mean_s']:.4f}",
+                f"{t['std_s']:.4f}",
+            ]
+            for t in timings
+        ]
+        lines.append("## wall-clock timings")
+        lines += _format_table(
+            ["label", "repeat", "min s", "mean s", "std s"], rows
+        )
+        lines.append("")
+
+    failures = [
+        p for p in points
+        if p.get("name", "").endswith((".divergence", ".failure", ".failed"))
+    ]
+    if failures:
+        lines.append("## failure events")
+        for p in failures:
+            attrs = {
+                k: v for k, v in p.items()
+                if k not in ("kind", "seq", "name")
+            }
+            lines.append(f"  {p['name']}  {attrs}")
+        lines.append("")
+    error_spans = [s for s in spans if s.get("status", "ok") != "ok"]
+    if error_spans:
+        lines.append("## failed spans")
+        for s in error_spans:
+            rep = f" rep={s['rep']}" if "rep" in s else ""
+            lines.append(f"  {s['name']}  {s['status']}{rep}")
+        lines.append("")
+
+    if len(lines) <= 2:
+        lines.append("(no telemetry recorded)")
+    return "\n".join(lines).rstrip() + "\n"

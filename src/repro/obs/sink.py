@@ -1,0 +1,76 @@
+"""JSONL trace sink and reader.
+
+Serialisation is canonical — sorted keys, no whitespace — so two runs
+that emit the same events produce byte-identical files. That is the
+property the campaign runners rely on for the serial-vs-parallel trace
+identity guarantee.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.exceptions import TelemetryError
+from repro.obs.events import validate_trace
+
+__all__ = ["JsonlSink", "read_trace", "load_validated_trace"]
+
+
+def encode_event(event: dict) -> str:
+    """Canonical single-line JSON encoding of one event."""
+    return json.dumps(event, sort_keys=True, separators=(",", ":"))
+
+
+class JsonlSink:
+    """Append-only JSON-Lines event writer.
+
+    Events are written (and flushed) as they arrive, so a trace is
+    readable up to the last completed event even after a crash.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        if self.path.parent and not self.path.parent.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "w", encoding="utf-8")
+
+    def write(self, event: dict) -> None:
+        self._fh.write(encode_event(event))
+        self._fh.write("\n")
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
+
+
+def read_trace(path) -> list[dict]:
+    """Read a JSONL trace back into a list of event dicts."""
+    events = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise TelemetryError(
+                    f"{path}:{lineno}: not valid JSON: {exc}"
+                ) from exc
+    return events
+
+
+def load_validated_trace(path) -> list[dict]:
+    """Read a trace and validate every event against the schema."""
+    events = read_trace(path)
+    validate_trace(events)
+    return events

@@ -20,6 +20,7 @@ bit. The property suite enforces this for the SBC engine.
 
 from __future__ import annotations
 
+import logging
 import os
 import warnings
 from collections.abc import Callable, Sequence
@@ -27,6 +28,8 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import TypeVar
 
 __all__ = ["parallel_map", "default_workers"]
+
+_logger = logging.getLogger(__name__)
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -80,12 +83,20 @@ def parallel_map(
         return [fn(item) for item in items]
     if chunk_size is None:
         chunk_size = _chunk_size(len(items), workers)
+    _logger.debug(
+        "dispatching %d items to %d workers (chunk_size=%d)",
+        len(items), workers, chunk_size,
+    )
     try:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(fn, items, chunksize=chunk_size))
     except (OSError, PermissionError) as exc:
         # Sandboxes without fork/spawn support land here before any
         # work item ran; the serial path gives the identical result.
+        _logger.warning(
+            "process pool unavailable (%s); falling back to serial "
+            "execution", exc,
+        )
         warnings.warn(
             f"process pool unavailable ({exc}); falling back to serial "
             "execution",

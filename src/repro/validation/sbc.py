@@ -28,12 +28,14 @@ process pool with bit-identical results.
 
 from __future__ import annotations
 
+import logging
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 from functools import partial
 
 import numpy as np
 
+from repro import obs
 from repro.bayes.joint import JointPosterior
 from repro.bayes.laplace import fit_laplace
 from repro.bayes.mcmc.gibbs_failure_time import gibbs_failure_time
@@ -70,6 +72,8 @@ SBC_QUANTITIES = ("omega", "beta", "residual", "reliability")
 SBC_METHODS = ("NINT", "LAPL", "MCMC", "VB1", "VB2")
 
 _DEFAULT_PRIOR = ModelPrior.informative(40.0, 12.0, 0.1, 0.04)
+
+_logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -270,6 +274,13 @@ def run_replication(spec: SBCSpec, index: int) -> ReplicationOutcome:
         posterior = _fit(spec, data, fit_seed)
         pit = _pit_values(spec, posterior, omega, beta)
     except ReproError as exc:
+        _logger.info("SBC replication %d failed: %s: %s",
+                     index, type(exc).__name__, exc)
+        obs.event(
+            "sbc.replication_failed",
+            index=index,
+            error=type(exc).__name__,
+        )
         return ReplicationOutcome(
             index=index,
             status="failed",
@@ -375,13 +386,40 @@ def run_sbc(
     indices:
         Replication indices to run; defaults to ``range(replications)``.
         Useful for resuming or spot-checking single replications.
+
+    When a telemetry collector is active (:func:`repro.obs.active`),
+    each replication is run under its own capture and the exported
+    payloads are merged into the ambient collector in spawn-key
+    (replication-index) order — the identical code path serially and on
+    a process pool, so the merged trace is byte-identical either way.
     """
     if indices is None:
         indices = range(spec.replications)
-    outcomes = parallel_map(
-        partial(run_replication, spec),
-        list(indices),
-        workers=workers,
-        chunk_size=chunk_size,
-    )
+    indices = list(indices)
+    task = partial(run_replication, spec)
+    col = obs.active()
+    if col is None:
+        outcomes = parallel_map(
+            task, indices, workers=workers, chunk_size=chunk_size
+        )
+    else:
+        pairs = parallel_map(
+            partial(obs.traced_task, task, col.level),
+            indices,
+            workers=workers,
+            chunk_size=chunk_size,
+        )
+        outcomes = []
+        for index, (outcome, payload) in zip(indices, pairs):
+            col.merge(payload, rep=index)
+            outcomes.append(outcome)
+        obs.event(
+            "sbc.campaign",
+            method=spec.method,
+            model=spec.model,
+            replications=len(indices),
+            ok=sum(1 for o in outcomes if o.status == "ok"),
+            skipped=sum(1 for o in outcomes if o.status == "skipped"),
+            failed=sum(1 for o in outcomes if o.status == "failed"),
+        )
     return SBCResult(spec=spec, outcomes=tuple(outcomes))

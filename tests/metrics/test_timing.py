@@ -45,3 +45,53 @@ class TestTimeCallable:
     def test_exception_propagates(self):
         with pytest.raises(RuntimeError, match="boom"):
             time_callable(lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+
+    def test_all_samples_recorded(self):
+        record = time_callable(lambda: None, repeat=4)
+        assert len(record.samples) == 4
+        assert record.seconds == min(record.samples)
+        assert all(s >= 0.0 for s in record.samples)
+
+    def test_mean_and_std_from_samples(self):
+        record = TimingRecord(
+            result=None, seconds=0.1, samples=(0.1, 0.2, 0.3)
+        )
+        assert record.mean == pytest.approx(0.2)
+        assert record.std == pytest.approx((0.02 / 3) ** 0.5)
+
+    def test_mean_falls_back_to_seconds_without_samples(self):
+        record = TimingRecord(result=None, seconds=0.5)
+        assert record.mean == 0.5
+        assert record.std == 0.0
+
+    def test_single_sample_has_zero_std(self):
+        record = time_callable(lambda: None)
+        assert len(record.samples) == 1
+        assert record.std == 0.0
+
+
+class TestTimingTelemetry:
+    def test_timing_event_emitted_when_tracing(self):
+        from repro import obs
+
+        with obs.capture(level="timing") as col:
+            time_callable(lambda: None, label="bench", repeat=3)
+        (ev,) = [e for e in col.events if e["kind"] == "timing"]
+        assert ev["label"] == "bench"
+        assert ev["repeat"] == 3
+        assert ev["min_s"] <= ev["mean_s"]
+
+    def test_unlabelled_timing_uses_placeholder(self):
+        from repro import obs
+
+        with obs.capture(level="timing") as col:
+            time_callable(lambda: None)
+        (ev,) = [e for e in col.events if e["kind"] == "timing"]
+        assert ev["label"] == "anonymous"
+
+    def test_no_event_at_summary_level(self):
+        from repro import obs
+
+        with obs.capture(level="summary") as col:
+            time_callable(lambda: None, label="bench")
+        assert col.events == []

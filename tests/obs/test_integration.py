@@ -1,0 +1,147 @@
+"""Telemetry integration tests: instrumented solvers, campaign traces.
+
+The two load-bearing guarantees checked here:
+
+1. **No-op bit-identity** — enabling telemetry must not change a single
+   bit of any numerical result.
+2. **Serial/parallel trace byte-identity** — an SBC campaign traced at
+   the default ``summary`` level produces the same canonical event
+   stream whether replications run in-process or on a worker pool.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.bayes.laplace import fit_laplace
+from repro.bayes.nint import fit_nint
+from repro.core.vb1 import fit_vb1
+from repro.core.vb2 import fit_vb2
+from repro.mle.em import fit_mle_em
+from repro.obs.sink import encode_event
+from repro.validation.sbc import SBCSpec, run_sbc
+
+_SMOKE = dict(replications=6, ranks=7, seed=17)
+
+
+class TestTelemetryOnResults:
+    def test_vb2_attaches_telemetry(self, times_data, info_prior_times):
+        with obs.capture():
+            post = fit_vb2(times_data, info_prior_times, alpha0=1.0)
+        telemetry = post.diagnostics["telemetry"]
+        assert telemetry["counters"]["vb2.solves"] >= 1
+        assert telemetry["histograms"]["vb2.nmax"]["count"] == 1
+        assert telemetry["histograms"]["vb2.nmax"]["max"] == pytest.approx(
+            post.diagnostics["nmax"]
+        )
+
+    def test_vb1_attaches_telemetry(self, times_data, info_prior_times):
+        with obs.capture():
+            post = fit_vb1(times_data, info_prior_times, alpha0=1.0)
+        telemetry = post.diagnostics["telemetry"]
+        hist = telemetry["histograms"]["vb1.outer_iterations"]
+        assert hist["count"] == 1
+        assert hist["max"] == post.diagnostics["iterations"]
+
+    def test_nint_attaches_telemetry(self, times_data, info_prior_times,
+                                     vb2_times):
+        with obs.capture():
+            post = fit_nint(
+                times_data, info_prior_times, 1.0,
+                reference_posterior=vb2_times, n_omega=41, n_beta=41,
+            )
+        telemetry = post.diagnostics["telemetry"]
+        assert telemetry["counters"]["nint.grid_evaluations"] == 41 * 41
+
+    def test_laplace_attaches_telemetry(self, times_data, info_prior_times):
+        with obs.capture():
+            post = fit_laplace(times_data, info_prior_times, alpha0=1.0)
+        telemetry = post.diagnostics["telemetry"]
+        assert telemetry["counters"]["laplace.fits"] == 1
+
+    def test_no_telemetry_key_when_disabled(self, times_data,
+                                            info_prior_times):
+        post = fit_vb2(times_data, info_prior_times, alpha0=1.0)
+        assert "telemetry" not in post.diagnostics
+
+
+class TestNoOpBitIdentity:
+    def test_vb2_results_identical(self, times_data, info_prior_times):
+        plain = fit_vb2(times_data, info_prior_times, alpha0=1.0)
+        with obs.capture(level="debug"):
+            traced = fit_vb2(times_data, info_prior_times, alpha0=1.0)
+        np.testing.assert_array_equal(plain.weights, traced.weights)
+        np.testing.assert_array_equal(plain.n_values, traced.n_values)
+        for param in ("omega", "beta"):
+            assert plain.mean(param) == traced.mean(param)
+            assert plain.variance(param) == traced.variance(param)
+        assert plain.diagnostics["nmax"] == traced.diagnostics["nmax"]
+        assert plain.elbo == traced.elbo
+
+    def test_em_results_identical(self, times_data):
+        plain = fit_mle_em(times_data, information=False)
+        with obs.capture(level="debug"):
+            traced = fit_mle_em(times_data, information=False)
+        assert plain.model.omega == traced.model.omega
+        assert plain.model.beta == traced.model.beta
+        assert plain.log_likelihood == traced.log_likelihood
+        assert plain.iterations == traced.iterations
+
+    def test_sbc_ranks_identical(self):
+        from repro.validation.sbc import SBC_QUANTITIES
+
+        plain = run_sbc(SBCSpec(method="VB2", **_SMOKE))
+        with obs.capture():
+            traced = run_sbc(SBCSpec(method="VB2", **_SMOKE))
+        for quantity in SBC_QUANTITIES:
+            np.testing.assert_array_equal(
+                plain.ranks(quantity), traced.ranks(quantity)
+            )
+
+
+def _campaign_events(workers):
+    """Run the smoke SBC campaign traced; return its canonical lines."""
+    with obs.capture(level="summary") as col:
+        col.emit("meta", schema=1, level="summary")
+        run_sbc(SBCSpec(method="VB2", **_SMOKE), workers=workers)
+        col.emit_summary()
+    return [encode_event(ev) for ev in col.events]
+
+
+class TestCampaignTraces:
+    def test_serial_repeat_is_byte_identical(self):
+        assert _campaign_events(1) == _campaign_events(1)
+
+    def test_parallel_matches_serial_byte_for_byte(self):
+        # The pool may fall back to serial in restricted sandboxes
+        # (parallel_map warns and degrades) — the guarantee under test
+        # is unchanged either way: one canonical event stream.
+        import warnings
+
+        serial = _campaign_events(1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            parallel = _campaign_events(2)
+        assert serial == parallel
+
+    def test_campaign_event_emitted(self):
+        with obs.capture() as col:
+            run_sbc(SBCSpec(method="VB2", **_SMOKE))
+        (ev,) = [e for e in col.events if e.get("name") == "sbc.campaign"]
+        assert ev["replications"] == _SMOKE["replications"]
+        assert ev["method"] == "VB2"
+        assert ev["ok"] + ev["skipped"] + ev["failed"] == ev["replications"]
+
+    def test_replication_spans_tagged_with_rep(self):
+        with obs.capture() as col:
+            run_sbc(SBCSpec(method="VB2", **_SMOKE))
+        spans = [e for e in col.events if e["kind"] == "span"]
+        assert spans, "campaign should merge replication spans"
+        reps = {e["rep"] for e in spans}
+        assert reps <= set(range(_SMOKE["replications"]))
+
+    def test_histograms_aggregate_across_replications(self):
+        with obs.capture() as col:
+            result = run_sbc(SBCSpec(method="VB2", **_SMOKE))
+        assert col.counters["vb2.solves"] > 0
+        assert col.histograms["vb2.nmax"].count == result.used

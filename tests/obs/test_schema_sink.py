@@ -1,0 +1,208 @@
+"""Schema validation, JSONL round-trip, and canonical encoding tests."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.exceptions import TelemetryError
+from repro.obs.events import sanitise_value, validate_event, validate_trace
+from repro.obs.sink import (
+    JsonlSink,
+    encode_event,
+    load_validated_trace,
+    read_trace,
+)
+
+
+class TestSanitiseValue:
+    def test_scalars_pass_through(self):
+        for value in (None, True, 3, 2.5, "s"):
+            assert sanitise_value(value) is value
+
+    def test_numpy_scalars_become_python(self):
+        out = sanitise_value(np.float64(1.5))
+        assert type(out) is float and out == 1.5
+        out = sanitise_value(np.int64(7))
+        assert type(out) is int and out == 7
+
+    def test_numpy_array_becomes_list(self):
+        assert sanitise_value(np.array([1.0, 2.0])) == [1.0, 2.0]
+
+    def test_nested_structures(self):
+        out = sanitise_value({"a": (np.int32(1), [np.float32(2.0)])})
+        assert out == {"a": [1, [2.0]]}
+
+    def test_unknown_objects_stringified(self):
+        class Weird:
+            def __repr__(self):
+                return "<weird>"
+
+        assert sanitise_value(Weird()) == "<weird>"
+
+
+class TestValidateEvent:
+    def test_valid_span(self):
+        validate_event(
+            {"kind": "span", "seq": 1, "name": "vb2.fit", "depth": 0,
+             "status": "ok"}
+        )
+
+    def test_unknown_kind(self):
+        with pytest.raises(TelemetryError, match="kind"):
+            validate_event({"kind": "bogus", "seq": 0})
+
+    def test_missing_required_field(self):
+        with pytest.raises(TelemetryError, match="status"):
+            validate_event(
+                {"kind": "span", "seq": 0, "name": "a", "depth": 0}
+            )
+
+    def test_bad_span_name(self):
+        with pytest.raises(TelemetryError, match="dotted identifier"):
+            validate_event(
+                {"kind": "span", "seq": 0, "name": "Bad Name", "depth": 0,
+                 "status": "ok"}
+            )
+
+    def test_bad_status(self):
+        with pytest.raises(TelemetryError, match="status"):
+            validate_event(
+                {"kind": "span", "seq": 0, "name": "a.b", "depth": 0,
+                 "status": "crashed"}
+            )
+
+    def test_error_status_accepted(self):
+        validate_event(
+            {"kind": "span", "seq": 0, "name": "a.b", "depth": 0,
+             "status": "error:ConvergenceError"}
+        )
+
+    def test_meta_level_checked(self):
+        with pytest.raises(TelemetryError, match="level"):
+            validate_event(
+                {"kind": "meta", "seq": 0, "schema": 1, "level": "loud"}
+            )
+
+    def test_nested_attribute_rejected(self):
+        with pytest.raises(TelemetryError, match="flat list"):
+            validate_event(
+                {"kind": "point", "seq": 0, "name": "x", "bad": {"a": 1}}
+            )
+
+    def test_flat_list_attribute_accepted(self):
+        validate_event(
+            {"kind": "point", "seq": 0, "name": "fixed_point.divergence",
+             "residuals": [1.0, 0.5, 0.25]}
+        )
+
+    def test_timing_fields(self):
+        with pytest.raises(TelemetryError, match="repeat"):
+            validate_event(
+                {"kind": "timing", "seq": 0, "label": "x", "repeat": 0,
+                 "min_s": 0.1, "mean_s": 0.1, "std_s": 0.0}
+            )
+
+    def test_summary_histogram_shape(self):
+        with pytest.raises(TelemetryError, match="histogram"):
+            validate_event(
+                {"kind": "summary", "seq": 0, "counters": {},
+                 "histograms": {"m": {"count": 1}}, "spans": {}}
+            )
+
+    def test_rep_must_be_int(self):
+        with pytest.raises(TelemetryError, match="rep"):
+            validate_event(
+                {"kind": "point", "seq": 0, "name": "x", "rep": "3"}
+            )
+
+
+class TestValidateTrace:
+    def test_must_start_with_meta(self):
+        with pytest.raises(TelemetryError, match="meta"):
+            validate_trace([{"kind": "point", "seq": 0, "name": "x"}])
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(TelemetryError, match="empty"):
+            validate_trace([])
+
+    def test_seq_must_increase(self):
+        events = [
+            {"kind": "meta", "seq": 0, "schema": 1, "level": "summary"},
+            {"kind": "point", "seq": 0, "name": "x"},
+        ]
+        with pytest.raises(TelemetryError, match="strictly increasing"):
+            validate_trace(events)
+
+    def test_counts_events(self):
+        events = [
+            {"kind": "meta", "seq": 0, "schema": 1, "level": "summary"},
+            {"kind": "point", "seq": 1, "name": "x"},
+        ]
+        assert validate_trace(events) == 2
+
+
+class TestJsonlRoundTrip:
+    def test_write_and_read_back(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        events = [
+            {"kind": "meta", "seq": 0, "schema": 1, "level": "summary"},
+            {"kind": "point", "seq": 1, "name": "x", "value": 2.5},
+        ]
+        with JsonlSink(path) as sink:
+            for ev in events:
+                sink.write(ev)
+        assert read_trace(path) == events
+        assert load_validated_trace(path) == events
+
+    def test_encoding_is_canonical(self):
+        ev = {"seq": 0, "kind": "meta", "schema": 1, "level": "summary"}
+        line = encode_event(ev)
+        assert line == '{"kind":"meta","level":"summary","schema":1,"seq":0}'
+        # Key order in the dict must not matter.
+        assert line == encode_event(dict(reversed(list(ev.items()))))
+
+    def test_corrupt_line_raises_telemetry_error(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"kind":"meta","seq":0}\nnot json\n')
+        with pytest.raises(TelemetryError, match="not valid JSON"):
+            read_trace(path)
+
+    def test_invalid_event_caught_on_load(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"kind":"mystery","seq":0}\n')
+        with pytest.raises(TelemetryError, match="kind"):
+            load_validated_trace(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"kind":"meta","seq":0,"schema":1,"level":"summary"}\n\n')
+        assert len(read_trace(path)) == 1
+
+    def test_sink_creates_parent_directory(self, tmp_path):
+        path = tmp_path / "deep" / "dir" / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            sink.write({"kind": "meta", "seq": 0})
+        assert path.exists()
+
+
+class TestTracingContext:
+    def test_full_trace_is_valid(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with obs.tracing(path, level="summary", command="test"):
+            with obs.span("vb2.fit"):
+                obs.counter_add("vb2.solves", 2)
+        events = load_validated_trace(path)
+        assert events[0]["kind"] == "meta"
+        assert events[0]["command"] == "test"
+        assert events[-1]["kind"] == "summary"
+        assert events[-1]["counters"] == {"vb2.solves": 2}
+
+    def test_file_closed_on_error(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with pytest.raises(RuntimeError):
+            with obs.tracing(path):
+                raise RuntimeError
+        # Partial trace is still readable (meta event was flushed).
+        events = read_trace(path)
+        assert events and events[0]["kind"] == "meta"
+        assert not obs.enabled()
