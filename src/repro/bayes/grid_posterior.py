@@ -109,32 +109,39 @@ class GridPosterior(JointPosterior):
     # ------------------------------------------------------------------
     # Quantiles
     # ------------------------------------------------------------------
+    def _cdf_table(self, param: str) -> tuple[np.ndarray, np.ndarray]:
+        """``(nodes, cdf)`` of the trapezoid CDF, monotone by
+        construction: quadrature masses converted back to density
+        values and cumulated over the node spacing."""
+        nodes, masses = self._axis(param)
+        grid_w = self._grid.wx if param == "omega" else self._grid.wy
+        density = np.where(grid_w > 0.0, masses / grid_w, 0.0)
+        cdf = np.concatenate(
+            ([0.0], np.cumsum(0.5 * (density[1:] + density[:-1]) * np.diff(nodes)))
+        )
+        cdf /= cdf[-1]
+        return nodes, cdf
+
     def quantile(self, param: str, q: float) -> float:
         """Marginal quantile by inverting the piecewise-linear CDF built
         with trapezoid masses (monotone by construction)."""
         if not 0.0 < q < 1.0:
             raise ValueError("quantile level must be in (0, 1)")
-        nodes, masses = self._axis(param)
-        # Convert quadrature masses back to density values, then build a
-        # trapezoid CDF, which is monotone and interpolation-friendly.
-        grid_w = self._grid.wx if param == "omega" else self._grid.wy
-        density = np.where(grid_w > 0.0, masses / grid_w, 0.0)
-        cdf = np.concatenate(
-            ([0.0], np.cumsum(0.5 * (density[1:] + density[:-1]) * np.diff(nodes)))
-        )
-        cdf /= cdf[-1]
+        nodes, cdf = self._cdf_table(param)
         return float(np.interp(q, cdf, nodes))
+
+    def quantile_batch(self, param: str, q: np.ndarray) -> np.ndarray:
+        """All levels from one CDF-table build and one interpolation."""
+        levels = np.atleast_1d(np.asarray(q, dtype=float))
+        if levels.size and not np.all((levels > 0.0) & (levels < 1.0)):
+            raise ValueError("quantile levels must be in (0, 1)")
+        nodes, cdf = self._cdf_table(param)
+        return np.interp(levels, cdf, nodes)
 
     def cdf(self, param: str, x: float) -> float:
         """Marginal CDF from the same trapezoid construction as
         :meth:`quantile`."""
-        nodes, masses = self._axis(param)
-        grid_w = self._grid.wx if param == "omega" else self._grid.wy
-        density = np.where(grid_w > 0.0, masses / grid_w, 0.0)
-        cdf = np.concatenate(
-            ([0.0], np.cumsum(0.5 * (density[1:] + density[:-1]) * np.diff(nodes)))
-        )
-        cdf /= cdf[-1]
+        nodes, cdf = self._cdf_table(param)
         return float(np.interp(x, nodes, cdf, left=0.0, right=1.0))
 
     # ------------------------------------------------------------------

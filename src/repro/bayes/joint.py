@@ -91,12 +91,26 @@ class JointPosterior(abc.ABC):
     def quantile(self, param: str, q: float) -> float:
         """Marginal posterior quantile of ``param`` at level ``q``."""
 
+    def quantile_batch(self, param: str, q: np.ndarray) -> np.ndarray:
+        """Marginal posterior quantiles of ``param`` at many levels.
+
+        The default loops over :meth:`quantile`; posteriors with a
+        vectorized quantile path (VB mixtures, grid and sample
+        posteriors) override it so the whole batch costs one
+        simultaneous inversion. Interval consumers — central credible
+        intervals, the HPD search in :mod:`repro.core.hpd`, coverage
+        campaigns — should prefer this entry point.
+        """
+        levels = np.atleast_1d(np.asarray(q, dtype=float))
+        return np.array([self.quantile(param, float(level)) for level in levels])
+
     def credible_interval(self, param: str, level: float) -> tuple[float, float]:
         """Central two-sided credible interval (paper uses level 0.99)."""
         if not 0.0 < level < 1.0:
             raise ValueError("level must be in (0, 1)")
         tail = 0.5 * (1.0 - level)
-        return self.quantile(param, tail), self.quantile(param, 1.0 - tail)
+        lower, upper = self.quantile_batch(param, np.array([tail, 1.0 - tail]))
+        return float(lower), float(upper)
 
     def cdf(self, param: str, x: float) -> float:
         """Marginal posterior CDF of ``param`` at ``x``.

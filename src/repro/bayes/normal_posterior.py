@@ -93,6 +93,17 @@ class NormalPosterior(JointPosterior):
             st.norm.ppf(q, loc=self._mean[idx], scale=math.sqrt(self._cov[idx, idx]))
         )
 
+    def quantile_batch(self, param: str, q: np.ndarray) -> np.ndarray:
+        """All levels through one vectorized normal ppf call."""
+        idx = _PARAM_INDEX[self._check_param(param)]
+        levels = np.atleast_1d(np.asarray(q, dtype=float))
+        return np.asarray(
+            st.norm.ppf(
+                levels, loc=self._mean[idx], scale=math.sqrt(self._cov[idx, idx])
+            ),
+            dtype=float,
+        )
+
     def log_pdf_grid(self, omega: np.ndarray, beta: np.ndarray) -> np.ndarray:
         omega = np.asarray(omega, dtype=float)
         beta = np.asarray(beta, dtype=float)

@@ -87,6 +87,16 @@ class EmpiricalPosterior(JointPosterior):
         rank = min(max(int(round(q * ordered.size)), 1), ordered.size)
         return float(ordered[rank - 1])
 
+    def quantile_batch(self, param: str, q: np.ndarray) -> np.ndarray:
+        """All levels by one vectorized rank lookup into the sorted
+        samples (same banker's rounding as :meth:`quantile`)."""
+        levels = np.atleast_1d(np.asarray(q, dtype=float))
+        if levels.size and not np.all((levels > 0.0) & (levels < 1.0)):
+            raise ValueError("quantile levels must be in (0, 1)")
+        ordered = self._sorted[self._check_param(param)]
+        ranks = np.clip(np.rint(levels * ordered.size).astype(int), 1, ordered.size)
+        return ordered[ranks - 1].astype(float)
+
     def cdf(self, param: str, x: float) -> float:
         """Empirical CDF: fraction of samples at or below ``x``."""
         ordered = self._sorted[self._check_param(param)]

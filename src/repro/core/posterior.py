@@ -143,6 +143,12 @@ class VBPosterior(JointPosterior):
     def quantile(self, param: str, q: float) -> float:
         return self.marginal(param).ppf(q)
 
+    def quantile_batch(self, param: str, q: np.ndarray) -> np.ndarray:
+        """All levels in one simultaneous vectorized bisection on the
+        gamma-mixture CDF (see :meth:`MixtureDistribution.ppf`)."""
+        levels = np.atleast_1d(np.asarray(q, dtype=float))
+        return np.asarray(self.marginal(param).ppf(levels))
+
     def cdf(self, param: str, x: float) -> float:
         return float(self.marginal(param).cdf(x))
 
@@ -174,31 +180,44 @@ class VBPosterior(JointPosterior):
     # ------------------------------------------------------------------
     # Software reliability R = exp(-omega * c(beta))
     # ------------------------------------------------------------------
-    def _reliability_tables(self, c: Callable[[np.ndarray], np.ndarray]):
+    def reliability_tables(self, c: Callable[[np.ndarray], np.ndarray]):
         """Precompute per-component Gauss–Legendre tables for the β
-        integral; cached per hashable ``c``."""
+        integral; cached per hashable ``c``.
+
+        Returns ``(quad_w, c_values, a_omega, b_omega)`` — the
+        quadrature weights, window increments at the β nodes, and the
+        per-component ω gamma parameters — shaped for broadcasting
+        over the kept components. The whole construction (node
+        placement from the component β quantiles, densities at the
+        nodes) is a handful of array broadcasts over the component
+        parameter vectors; the posterior-predictive quadrature in
+        :mod:`repro.core.prediction` consumes the same tables.
+        """
         key = c if getattr(c, "__hash__", None) else None
         if key is not None and key in self._reliability_cache:
             return self._reliability_cache[key]
         nodes_x, nodes_w = np.polynomial.legendre.leggauss(_RELIABILITY_NODES)
         keep = self._weights > _COMPONENT_WEIGHT_FLOOR * self._weights.max()
         idxs = np.nonzero(keep)[0]
-        n_keep = idxs.size
-        beta_nodes = np.empty((n_keep, _RELIABILITY_NODES))
-        quad_w = np.empty((n_keep, _RELIABILITY_NODES))
-        a_omega = np.empty((n_keep, 1))
-        b_omega = np.empty((n_keep, 1))
-        for row, idx in enumerate(idxs):
-            dist = self._beta_components[idx]
-            lo = float(dist.ppf(1e-10))
-            hi = float(dist.ppf(1.0 - 1e-10))
-            mid, half = 0.5 * (lo + hi), 0.5 * (hi - lo)
-            beta_nodes[row] = mid + half * nodes_x
-            quad_w[row] = (
-                self._weights[idx] * half * nodes_w * dist.pdf(beta_nodes[row])
-            )
-            a_omega[row, 0] = self._omega_components[idx].shape
-            b_omega[row, 0] = self._omega_components[idx].rate
+        a_beta = np.array([self._beta_components[i].shape for i in idxs])
+        b_beta = np.array([self._beta_components[i].rate for i in idxs])
+        a_omega = np.array([[self._omega_components[i].shape] for i in idxs])
+        b_omega = np.array([[self._omega_components[i].rate] for i in idxs])
+        lo = sc.gammaincinv(a_beta, 1e-10) / b_beta
+        hi = sc.gammaincinv(a_beta, 1.0 - 1e-10) / b_beta
+        mid, half = 0.5 * (lo + hi), 0.5 * (hi - lo)
+        beta_nodes = mid[:, None] + half[:, None] * nodes_x[None, :]
+        log_beta_pdf = (
+            a_beta[:, None] * np.log(b_beta)[:, None]
+            + (a_beta[:, None] - 1.0) * np.log(beta_nodes)
+            - b_beta[:, None] * beta_nodes
+            - sc.gammaln(a_beta)[:, None]
+        )
+        quad_w = (
+            (self._weights[idxs] * half)[:, None]
+            * nodes_w[None, :]
+            * np.exp(log_beta_pdf)
+        )
         # Renormalise: the clipped quantile range and dropped components
         # remove a ~1e-10 sliver of mass; keep the reliability CDF exact
         # at r = 1.
@@ -211,7 +230,7 @@ class VBPosterior(JointPosterior):
 
     def reliability_point(self, c: Callable[[np.ndarray], np.ndarray]) -> float:
         """``E[exp(-ω c(β))]``: gamma MGF in ``ω``, quadrature in ``β``."""
-        quad_w, c_values, a_omega, b_omega = self._reliability_tables(c)
+        quad_w, c_values, a_omega, b_omega = self.reliability_tables(c)
         factors = np.exp(a_omega * (np.log(b_omega) - np.log(b_omega + c_values)))
         # The quadrature-weight renormalisation can overshoot 1 by a few
         # ulps when c(beta) ~ 0 everywhere; clip to the valid range.
@@ -223,7 +242,7 @@ class VBPosterior(JointPosterior):
             return 0.0
         if r >= 1.0:
             return 1.0
-        quad_w, c_values, a_omega, b_omega = self._reliability_tables(c)
+        quad_w, c_values, a_omega, b_omega = self.reliability_tables(c)
         threshold = -math.log(r)
         with np.errstate(divide="ignore"):
             omega_cut = np.where(c_values > 0.0, threshold / c_values, np.inf)

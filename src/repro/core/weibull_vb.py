@@ -148,6 +148,14 @@ class WeibullVBPosterior(JointPosterior):
         # Monotone transform: quantiles map exactly.
         return self._inner.quantile("beta", q) ** (1.0 / self._shape)
 
+    def quantile_batch(self, param: str, q: np.ndarray) -> np.ndarray:
+        """Batched quantiles through the inner mixture's vectorized
+        path; the monotone power transform maps β levels exactly."""
+        self._check_param(param)
+        if param == "omega":
+            return self._inner.quantile_batch("omega", q)
+        return self._inner.quantile_batch("beta", q) ** (1.0 / self._shape)
+
     def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
         draws = self._inner.sample(size, rng)
         draws[:, 1] = draws[:, 1] ** (1.0 / self._shape)

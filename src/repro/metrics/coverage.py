@@ -27,6 +27,7 @@ from repro import obs
 from repro.bayes.joint import JointPosterior
 from repro.bayes.priors import ModelPrior
 from repro.data.simulation import simulate_failure_times
+from repro.exceptions import ReproError
 from repro.models.base import NHPPModel
 from repro.validation.parallel import parallel_map
 from repro.validation.seeding import replication_seed
@@ -100,7 +101,10 @@ def _coverage_replication(
 ) -> dict[str, tuple[dict[str, bool], dict[str, float]]] | None:
     """Simulate one campaign and evaluate every fitter's intervals.
 
-    Returns ``None`` for skipped (too-few-failures) campaigns, else
+    Returns ``None`` for skipped campaigns — too few failures, or any
+    fitter raising a library error (non-convergence now *raises*
+    rather than silently returning an unconverged quantile; skipping
+    keeps every procedure scored on the same campaigns) — else
     ``{label: (hit flags, interval widths)}`` per parameter.
     """
     rng = np.random.default_rng(replication_seed(seed, index))
@@ -111,15 +115,28 @@ def _coverage_replication(
         "omega": true_model.omega,
         "beta": float(true_model.params["beta"]),
     }
+    tail = 0.5 * (1.0 - level)
+    levels = np.array([tail, 1.0 - tail])
     out: dict[str, tuple[dict[str, bool], dict[str, float]]] = {}
     for label, fit in fitters.items():
-        posterior = fit(data, prior)
-        hits = {}
-        widths = {}
-        for param, truth in truths.items():
-            lo, hi = posterior.credible_interval(param, level)
-            hits[param] = bool(lo <= truth <= hi)
-            widths[param] = hi - lo
+        try:
+            posterior = fit(data, prior)
+            hits = {}
+            widths = {}
+            for param, truth in truths.items():
+                # Both endpoints through the batched quantile path: one
+                # simultaneous inversion per parameter.
+                lo, hi = posterior.quantile_batch(param, levels)
+                hits[param] = bool(lo <= truth <= hi)
+                widths[param] = float(hi - lo)
+        except ReproError as exc:
+            obs.event(
+                "coverage.replication_failed",
+                index=index,
+                label=label,
+                error=type(exc).__name__,
+            )
+            return None
         out[label] = (hits, widths)
     return out
 

@@ -97,12 +97,21 @@ class GammaDistribution:
         return math.exp(log_m)
 
     def central_moment(self, k: int) -> float:
-        """Central moment ``E[(X - E[X])^k]`` via binomial expansion."""
-        mu = self.mean
-        total = 0.0
-        for j in range(k + 1):
-            total += math.comb(k, j) * self.moment(j) * (-mu) ** (k - j)
-        return total
+        """Central moment ``E[(X - E[X])^k]`` via the exact recurrence
+        ``µ_(n+1) = (n/rate) (µ_n + mean µ_(n-1))``.
+
+        The binomial expansion of raw moments cancels catastrophically
+        for large shapes (relative width ``1/√shape``); the recurrence
+        has no subtractions and stays exact.
+        """
+        if k < 0:
+            raise ValueError(f"central moment order must be >= 0, got {k}")
+        if k == 0:
+            return 1.0
+        prev, cur = 1.0, 0.0  # µ_0, µ_1
+        for n in range(1, k):
+            prev, cur = cur, (n / self.rate) * (cur + self.mean * prev)
+        return cur
 
     @classmethod
     def from_mean_std(cls, mean: float, std: float) -> "GammaDistribution":

@@ -2,8 +2,18 @@
 
 The paper inverts the posterior CDF of software reliability with the
 bisection method (Section 6, around Eq. 32). We provide a robust
-monotone bisection plus a geometric bracketing helper for quantile
+monotone bisection, a batched variant that drives many independent
+bisections simultaneously on vectorized functions (the interval-
+estimation hot path), and a geometric bracketing helper for quantile
 problems whose support is the positive half line.
+
+Failure semantics: exhausting the iteration budget raises
+:class:`~repro.exceptions.ConvergenceError` carrying the final bracket
+width, and emits a ``rootfind.divergence`` telemetry event when a
+collector is active (mirroring :mod:`repro.core.fixed_point`). A
+silent midpoint fallback would mask exactly the non-convergence that
+matters for the frequentist-validity claims the validation layer
+calibrates against.
 """
 
 from __future__ import annotations
@@ -11,9 +21,30 @@ from __future__ import annotations
 import math
 from collections.abc import Callable
 
+import numpy as np
+
+from repro import obs
 from repro.exceptions import ConvergenceError
 
-__all__ = ["bisect_increasing", "bracket_quantile"]
+__all__ = ["bisect_increasing", "bisect_increasing_batch", "bracket_quantile"]
+
+#: Tolerance under which a sign violation at a bracket edge is treated
+#: as the root sitting (numerically) on that edge.
+_EDGE_TOL = 1e-9
+
+
+def _divergence_error(message: str, *, iterations: int, width: float,
+                      lanes: int = 1) -> ConvergenceError:
+    """Build the budget-exhaustion error, emitting the telemetry event."""
+    if obs.enabled():
+        obs.counter_add("rootfind.failures")
+        obs.event(
+            "rootfind.divergence",
+            iterations=iterations,
+            bracket_width=width,
+            lanes=lanes,
+        )
+    return ConvergenceError(message, iterations=iterations, residual=width)
 
 
 def bisect_increasing(
@@ -34,20 +65,21 @@ def bisect_increasing(
     ------
     ConvergenceError
         If the bracket is invalid or the iteration budget is exhausted
-        before the interval shrinks below tolerance.
+        before the interval shrinks below tolerance. The error carries
+        ``iterations`` and ``residual`` (the final bracket width).
     """
     if not lo < hi:
         raise ValueError(f"invalid bracket: lo={lo}, hi={hi}")
     f_lo = f(lo)
     f_hi = f(hi)
     if f_lo > 0.0:
-        if f_lo < 1e-9:  # root sits at or below the bracket edge
+        if f_lo < _EDGE_TOL:  # root sits at or below the bracket edge
             return lo
         raise ConvergenceError(
             f"bisect_increasing: f(lo)={f_lo:.3g} > 0 at lo={lo:.6g}"
         )
     if f_hi < 0.0:
-        if f_hi > -1e-9:
+        if f_hi > -_EDGE_TOL:
             return hi
         raise ConvergenceError(
             f"bisect_increasing: f(hi)={f_hi:.3g} < 0 at hi={hi:.6g}"
@@ -61,7 +93,108 @@ def bisect_increasing(
             lo = mid
         else:
             hi = mid
-    return 0.5 * (lo + hi)
+    raise _divergence_error(
+        f"bisect_increasing did not converge within {max_iter} iterations "
+        f"(final bracket width {hi - lo:.3e} on [{lo:.6g}, {hi:.6g}])",
+        iterations=max_iter,
+        width=hi - lo,
+    )
+
+
+def bisect_increasing_batch(
+    f: Callable[[np.ndarray], np.ndarray],
+    lo: np.ndarray,
+    hi: np.ndarray,
+    *,
+    xtol: float = 1e-12,
+    rtol: float = 1e-10,
+    max_iter: int = 200,
+) -> np.ndarray:
+    """Solve many independent monotone root problems simultaneously.
+
+    ``f`` must be vectorized: given the current midpoints (one per
+    lane) it returns the lane-wise function values, so one call per
+    bisection step serves every lane at once. Lane ``i`` follows the
+    exact update/stopping rule of :func:`bisect_increasing` on
+    ``[lo[i], hi[i]]`` — a converged lane freezes while the rest keep
+    bisecting, which keeps the per-lane results interchangeable with
+    the scalar routine. Degenerate brackets (``lo[i] == hi[i]``) pin
+    the root at the shared endpoint.
+
+    Raises
+    ------
+    ConvergenceError
+        If any lane violates the sign condition beyond tolerance, or
+        any lane exhausts the budget; the error carries the widest
+        unconverged bracket as ``residual``.
+    """
+    lo = np.array(lo, dtype=float)
+    hi = np.array(hi, dtype=float)
+    if lo.shape != hi.shape or lo.ndim != 1:
+        raise ValueError(
+            f"lo/hi must be matching 1-D arrays, got {lo.shape} and {hi.shape}"
+        )
+    if np.any(hi < lo):
+        bad = int(np.argmax(hi < lo))
+        raise ValueError(f"invalid bracket in lane {bad}: lo={lo[bad]}, hi={hi[bad]}")
+    out = np.empty_like(lo)
+    out.fill(np.nan)
+    frozen = lo == hi
+    out[frozen] = lo[frozen]
+    if frozen.all():
+        return out
+    f_lo = np.asarray(f(lo), dtype=float)
+    f_hi = np.asarray(f(hi), dtype=float)
+    bad_lo = ~frozen & (f_lo > 0.0)
+    if np.any(bad_lo):
+        pinned = bad_lo & (f_lo < _EDGE_TOL)
+        out[pinned] = lo[pinned]
+        frozen |= pinned
+        hard = bad_lo & ~pinned
+        if np.any(hard):
+            lane = int(np.argmax(hard))
+            raise ConvergenceError(
+                f"bisect_increasing_batch: f(lo)={f_lo[lane]:.3g} > 0 "
+                f"at lo={lo[lane]:.6g} (lane {lane})"
+            )
+    bad_hi = ~frozen & (f_hi < 0.0)
+    if np.any(bad_hi):
+        pinned = bad_hi & (f_hi > -_EDGE_TOL)
+        out[pinned] = hi[pinned]
+        frozen |= pinned
+        hard = bad_hi & ~pinned
+        if np.any(hard):
+            lane = int(np.argmax(hard))
+            raise ConvergenceError(
+                f"bisect_increasing_batch: f(hi)={f_hi[lane]:.3g} < 0 "
+                f"at hi={hi[lane]:.6g} (lane {lane})"
+            )
+    for _ in range(max_iter):
+        if frozen.all():
+            return out
+        mid = 0.5 * (lo + hi)
+        done = ~frozen & ((hi - lo) <= xtol + rtol * np.abs(mid))
+        out[done] = mid[done]
+        frozen |= done
+        if frozen.all():
+            return out
+        f_mid = np.asarray(f(mid), dtype=float)
+        below = ~frozen & (f_mid < 0.0)
+        above = ~frozen & ~below
+        lo[below] = mid[below]
+        hi[above] = mid[above]
+    open_lanes = ~frozen
+    if np.any(open_lanes):
+        width = float(np.max(hi[open_lanes] - lo[open_lanes]))
+        raise _divergence_error(
+            f"bisect_increasing_batch: {int(open_lanes.sum())} of "
+            f"{lo.size} lanes did not converge within {max_iter} "
+            f"iterations (widest remaining bracket {width:.3e})",
+            iterations=max_iter,
+            width=width,
+            lanes=int(open_lanes.sum()),
+        )
+    return out
 
 
 def bracket_quantile(

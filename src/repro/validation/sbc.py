@@ -233,7 +233,16 @@ def _fit(spec: SBCSpec, data, fit_seed: np.random.SeedSequence) -> JointPosterio
 def _pit_values(
     spec: SBCSpec, posterior: JointPosterior, omega: float, beta: float
 ) -> dict[str, float]:
-    """Posterior CDF at the truth, per checked quantity."""
+    """Posterior CDF at the truth, per checked quantity.
+
+    The parameter PITs go through the posterior's marginal CDF — for
+    VB posteriors one vectorized gamma-mixture broadcast — and the
+    derived-quantity PITs through the reliability CDF quadrature.
+    Quantile/root non-convergence anywhere in this evaluation raises
+    :class:`~repro.exceptions.ConvergenceError` (never a silent
+    unconverged midpoint), which :func:`run_replication` records as a
+    ``"failed"`` outcome — itself a calibration finding.
+    """
     survival = ResidualSurvival(alpha0=spec.alpha0, te=spec.horizon)
     window = ReliabilityIncrement(alpha0=spec.alpha0, te=spec.horizon, u=spec.window)
     residual_truth = omega * float(survival(beta))

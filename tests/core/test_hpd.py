@@ -74,6 +74,83 @@ class TestHPD:
         with pytest.raises(ValueError):
             hpd_interval(vb2_times, "omega", 0.0)
 
+    def test_degenerate_grid_sizes_rejected(self, vb2_times):
+        # grid_size=1 used to hit ZeroDivisionError in the grid spacing;
+        # both it and 0 must be rejected up front.
+        for bad in (1, 0, -3):
+            with pytest.raises(ValueError, match="grid_size"):
+                hpd_interval(vb2_times, "omega", 0.9, grid_size=bad)
+
+    def test_negative_refinement_rejected(self, vb2_times):
+        with pytest.raises(ValueError, match="refine_iterations"):
+            hpd_interval(vb2_times, "omega", 0.9, refine_iterations=-1)
+
+    def test_coarse_minimum_at_left_edge(self):
+        # Exponential marginal (gamma shape 1): the width q(t+L) - q(t)
+        # is strictly increasing in t, so the coarse minimum lands on
+        # index 0 and the refinement bracket degenerates to the first
+        # two grid points. The HPD interval must still pin the left
+        # tail at (numerically) zero mass.
+        posterior = VBPosterior(
+            n_values=[1.0],
+            weights=[1.0],
+            omega_components=[GammaDistribution(1.0, 0.1)],
+            beta_components=[GammaDistribution(38.0, 4e6)],
+        )
+        hpd = hpd_interval(posterior, "omega", 0.9)
+        marginal = posterior.marginal("omega")
+        mass = marginal.cdf(hpd.upper) - marginal.cdf(hpd.lower)
+        assert mass == pytest.approx(0.9, abs=1e-6)
+        assert hpd.left_tail < 1e-3
+        assert hpd.width < 0.9 * (
+            posterior.credible_interval("omega", 0.9)[1]
+            - posterior.credible_interval("omega", 0.9)[0]
+        )
+
+    def test_coarse_minimum_at_left_edge_small_grid(self):
+        # Same degenerate-bracket regression with the smallest legal
+        # grid: best=0, so the bracket is [candidates[0], candidates[1]]
+        # — the full admissible range — and refinement must still find
+        # the left-pinned optimum.
+        posterior = VBPosterior(
+            n_values=[1.0],
+            weights=[1.0],
+            omega_components=[GammaDistribution(1.0, 0.1)],
+            beta_components=[GammaDistribution(38.0, 4e6)],
+        )
+        hpd = hpd_interval(
+            posterior, "omega", 0.9, grid_size=2, refine_iterations=60
+        )
+        marginal = posterior.marginal("omega")
+        mass = marginal.cdf(hpd.upper) - marginal.cdf(hpd.lower)
+        assert mass == pytest.approx(0.9, abs=1e-6)
+        assert hpd.left_tail < 1e-2
+
+    def test_coarse_minimum_at_right_edge(self):
+        # Force the minimum onto the last grid point by searching a
+        # 2-point grid on a left-skewed width profile: with grid_size=2
+        # and a concentrated near-symmetric posterior, both candidates
+        # may tie numerically — the bracket [best-1, best+1] must clamp
+        # at grid_size-1 without stepping out of range.
+        posterior = VBPosterior(
+            n_values=[1.0],
+            weights=[1.0],
+            omega_components=[GammaDistribution(40_000.0, 1000.0)],
+            beta_components=[GammaDistribution(38.0, 4e6)],
+        )
+        hpd = hpd_interval(
+            posterior, "omega", 0.95, grid_size=2, refine_iterations=60
+        )
+        marginal = posterior.marginal("omega")
+        mass = marginal.cdf(hpd.upper) - marginal.cdf(hpd.lower)
+        assert mass == pytest.approx(0.95, abs=1e-6)
+
+    def test_zero_refinement_uses_coarse_grid(self, vb2_times):
+        hpd = hpd_interval(vb2_times, "omega", 0.9, refine_iterations=0)
+        marginal = vb2_times.marginal("omega")
+        mass = float(marginal.cdf(hpd.upper) - marginal.cdf(hpd.lower))
+        assert mass == pytest.approx(0.9, abs=1e-6)
+
     def test_works_on_grid_posterior(self, nint_times):
         hpd = hpd_interval(nint_times, "omega", 0.95)
         central = nint_times.credible_interval("omega", 0.95)

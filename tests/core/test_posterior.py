@@ -169,6 +169,6 @@ class TestReliabilityPrimitives:
 
     def test_tables_cached_per_increment(self, vb2_times, times_data):
         c = reliability_increment(1.0, times_data.horizon, 1000.0)
-        first = vb2_times._reliability_tables(c)
-        second = vb2_times._reliability_tables(c)
+        first = vb2_times.reliability_tables(c)
+        second = vb2_times.reliability_tables(c)
         assert first is second

@@ -121,6 +121,139 @@ class TestDistributionFunctions:
         assert mix.cdf(mix.ppf(q)) == pytest.approx(q, abs=1e-7)
 
 
+class _OpaqueGamma:
+    """Gamma component hidden behind a generic interface, to exercise the
+    non-vectorized fallback path against the gamma fast path."""
+
+    def __init__(self, shape, rate):
+        self._g = GammaDistribution(shape, rate)
+
+    @property
+    def mean(self):
+        return self._g.mean
+
+    @property
+    def variance(self):
+        return self._g.variance
+
+    def pdf(self, x):
+        return self._g.pdf(x)
+
+    def cdf(self, x):
+        return self._g.cdf(x)
+
+    def ppf(self, q):
+        return self._g.ppf(q)
+
+    def moment(self, k):
+        return self._g.moment(k)
+
+    def central_moment(self, k):
+        return self._g.central_moment(k)
+
+    def sample(self, size, rng):
+        return self._g.sample(size, rng)
+
+
+class TestBatchedQuantiles:
+    def test_gamma_fast_path_detected(self):
+        assert two_component().is_gamma_mixture
+        generic = MixtureDistribution(
+            [_OpaqueGamma(2.0, 1.0), _OpaqueGamma(10.0, 2.0)], [0.3, 0.7]
+        )
+        assert not generic.is_gamma_mixture
+
+    def test_batched_ppf_matches_scalar_exactly(self):
+        mix = two_component()
+        levels = np.array([0.005, 0.1, 0.5, 0.9, 0.995])
+        batch = mix.ppf(levels)
+        scalars = np.array([mix.ppf(float(q)) for q in levels])
+        assert np.array_equal(batch, scalars)
+
+    def test_generic_path_agrees_with_fast_path(self):
+        fast = two_component()
+        generic = MixtureDistribution(
+            [_OpaqueGamma(2.0, 1.0), _OpaqueGamma(10.0, 2.0)], [0.3, 0.7]
+        )
+        levels = np.array([0.01, 0.5, 0.99])
+        assert generic.ppf(levels) == pytest.approx(fast.ppf(levels), abs=1e-8)
+        x = np.linspace(0.1, 20.0, 7)
+        assert generic.cdf(x) == pytest.approx(fast.cdf(x), abs=1e-12)
+        assert generic.pdf(x) == pytest.approx(fast.pdf(x), abs=1e-12)
+
+    def test_empty_level_array(self):
+        out = two_component().ppf(np.empty(0))
+        assert out.shape == (0,)
+
+    def test_batched_rejects_out_of_range_level(self):
+        mix = two_component()
+        with pytest.raises(ValueError):
+            mix.ppf(np.array([0.5, 1.0]))
+
+    def test_interval_batch_matches_interval(self):
+        mix = two_component()
+        confs = np.array([0.9, 0.95, 0.99])
+        batch = mix.interval_batch(confs)
+        assert batch.shape == (3, 2)
+        for row, conf in zip(batch, confs):
+            lo, hi = mix.interval(float(conf))
+            assert row[0] == lo
+            assert row[1] == hi
+
+    def test_interval_batch_rejects_bad_confidence(self):
+        with pytest.raises(ValueError):
+            two_component().interval_batch([0.9, 1.0])
+
+    def test_extreme_levels(self):
+        mix = two_component()
+        levels = np.array([1e-6, 1.0 - 1e-6])
+        batch = mix.ppf(levels)
+        assert np.all(np.isfinite(batch))
+        assert mix.cdf(batch[0]) == pytest.approx(1e-6, abs=1e-9)
+        assert mix.cdf(batch[1]) == pytest.approx(1.0 - 1e-6, abs=1e-9)
+
+    def test_single_component_degenerate_bracket(self):
+        # One component: the bracket collapses (lo == hi) and the batch
+        # bisection pins the root at the exact component quantile.
+        base = GammaDistribution(3.0, 2.0)
+        mix = MixtureDistribution([base], [1.0])
+        levels = np.array([1e-6, 0.25, 0.5, 0.75, 1.0 - 1e-6])
+        batch = mix.ppf(levels)
+        expected = np.array([base.ppf(float(q)) for q in levels])
+        assert batch == pytest.approx(expected, rel=1e-12)
+
+
+class TestMomentStability:
+    def test_variance_of_concentrated_mixture_stays_positive(self):
+        # Large-N VB2 posteriors: components centred near 50 with
+        # relative width ~1e-4. The raw-moment form E[X²]-E[X]² loses
+        # ~8 digits to cancellation here; the shifted form keeps full
+        # precision.
+        shapes = np.linspace(0.999e8, 1.001e8, 21)
+        comps = [GammaDistribution(float(s), float(s) / 50.0) for s in shapes]
+        mix = MixtureDistribution(comps, np.full(21, 1.0 / 21))
+        var = mix.variance
+        assert var > 0.0
+        within = sum(w * c.variance for w, c in zip(mix.weights, comps))
+        between = sum(
+            w * (c.mean - mix.mean) ** 2 for w, c in zip(mix.weights, comps)
+        )
+        assert var == pytest.approx(within + between, rel=1e-12)
+        assert mix.central_moment(2) == pytest.approx(var, rel=1e-10)
+
+    def test_central_moment_odd_symmetry(self):
+        # Two mirrored components about the mean: odd central moments of
+        # the between-component part cancel.
+        mix = MixtureDistribution(
+            [GammaDistribution(400.0, 10.0), GammaDistribution(400.0, 10.0)],
+            [0.5, 0.5],
+        )
+        single = GammaDistribution(400.0, 10.0)
+        assert mix.central_moment(3) == pytest.approx(
+            single.central_moment(3), rel=1e-9
+        )
+
+
 class TestSampling:
     def test_sample_moments(self, rng):
         mix = two_component()

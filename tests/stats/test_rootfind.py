@@ -2,12 +2,18 @@
 
 import math
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro import obs
 from repro.exceptions import ConvergenceError
-from repro.stats.rootfind import bisect_increasing, bracket_quantile
+from repro.stats.rootfind import (
+    bisect_increasing,
+    bisect_increasing_batch,
+    bracket_quantile,
+)
 
 
 class TestBisect:
@@ -36,6 +42,94 @@ class TestBisect:
         cdf = lambda x: 1.0 - math.exp(-x)
         root = bisect_increasing(lambda x: cdf(x) - target, 0.0, 100.0)
         assert cdf(root) == pytest.approx(target, abs=1e-8)
+
+
+class TestBisectExhaustion:
+    def test_exhaustion_raises_convergence_error(self):
+        # A one-iteration budget on a wide bracket cannot converge.
+        with pytest.raises(ConvergenceError) as excinfo:
+            bisect_increasing(lambda x: x - 2.5, 0.0, 10.0, max_iter=1)
+        err = excinfo.value
+        assert err.iterations == 1
+        # The residual carries the final bracket width.
+        assert err.residual is not None
+        assert 0.0 < err.residual <= 10.0
+        assert "bracket width" in str(err)
+
+    def test_exhaustion_emits_divergence_telemetry(self):
+        with obs.capture() as col:
+            with pytest.raises(ConvergenceError):
+                bisect_increasing(lambda x: x - 2.5, 0.0, 10.0, max_iter=1)
+        events = [e for e in col.events if e["name"] == "rootfind.divergence"]
+        assert len(events) == 1
+        assert events[0]["iterations"] == 1
+        assert events[0]["bracket_width"] > 0.0
+        assert events[0]["lanes"] == 1
+        assert col.counters["rootfind.failures"] == 1
+
+
+class TestBisectBatch:
+    def test_matches_scalar_per_lane(self):
+        f = lambda x: np.tanh(x) - np.array([0.1, 0.5, 0.9])
+        lo = np.zeros(3)
+        hi = np.full(3, 5.0)
+        roots = bisect_increasing_batch(f, lo, hi)
+        for i, target in enumerate((0.1, 0.5, 0.9)):
+            scalar = bisect_increasing(
+                lambda x: math.tanh(x) - target, 0.0, 5.0
+            )
+            assert roots[i] == scalar
+
+    def test_degenerate_lane_pinned(self):
+        # lo == hi lanes return the pinned point without evaluating f there.
+        f = lambda x: x - np.array([2.0, 3.0])
+        roots = bisect_increasing_batch(
+            f, np.array([0.0, 3.0]), np.array([10.0, 3.0])
+        )
+        assert roots[0] == pytest.approx(2.0, abs=1e-9)
+        assert roots[1] == 3.0
+
+    def test_sign_violation_raises(self):
+        f = lambda x: x + 10.0
+        with pytest.raises(ConvergenceError):
+            bisect_increasing_batch(f, np.array([1.0]), np.array([2.0]))
+
+    def test_root_near_edge_pinned_within_tolerance(self):
+        # f(lo) slightly positive within the edge tolerance: pin to lo.
+        f = lambda x: x + 1e-10
+        roots = bisect_increasing_batch(f, np.array([0.0]), np.array([1.0]))
+        assert roots[0] == 0.0
+
+    def test_invalid_bracket_raises(self):
+        with pytest.raises(ValueError):
+            bisect_increasing_batch(
+                lambda x: x, np.array([2.0]), np.array([1.0])
+            )
+        with pytest.raises(ValueError):
+            bisect_increasing_batch(
+                lambda x: x, np.array([0.0, 1.0]), np.array([2.0])
+            )
+
+    def test_exhaustion_raises_with_lane_count(self):
+        f = lambda x: x - np.array([2.5, 7.5])
+        with pytest.raises(ConvergenceError) as excinfo:
+            bisect_increasing_batch(
+                f, np.zeros(2), np.full(2, 10.0), max_iter=1
+            )
+        assert excinfo.value.iterations == 1
+        assert excinfo.value.residual > 0.0
+
+    @given(target=st.floats(min_value=0.01, max_value=0.99))
+    @settings(max_examples=50)
+    def test_batch_of_one_equals_scalar(self, target):
+        cdf = lambda x: 1.0 - np.exp(-x)
+        batch = bisect_increasing_batch(
+            lambda x: cdf(x) - target, np.array([0.0]), np.array([100.0])
+        )
+        scalar = bisect_increasing(
+            lambda x: 1.0 - math.exp(-x) - target, 0.0, 100.0
+        )
+        assert batch[0] == scalar
 
 
 class TestBracketQuantile:
