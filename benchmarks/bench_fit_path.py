@@ -1,0 +1,476 @@
+"""Benchmark: scalar vs batched (lane-parallel) fit path.
+
+The batched fit engine replaces the per-``N`` Python fixed-point loop of
+a VB2 fit with one :func:`repro.stats.rootfind.solve_fixed_point_batch`
+call whose lanes are the latent counts of the whole ``[me, nmax]``
+range, and the NINT grouped grid fill with a single incomplete-gamma
+broadcast over the ``(beta, edge)`` mesh. This benchmark times the
+paper's fit workloads both ways and emits
+``benchmarks/results/BENCH_fit.json``:
+
+* **vb2_grouped** — DG-Info / DG-NoInfo Goel–Okumoto fits (the hot
+  path of every grouped campaign; ≥5x acceptance target);
+* **vb2_alpha2** — the delayed S-shaped member (``α0 = 2``) on both
+  data views, where even failure-time data needs the fixed point;
+* **vb1_zeta_kernel** — the VB1 expected-lifetime evaluation: one
+  broadcast truncated-mean call versus the per-interval scalar loop;
+* **nint_grid** — the grouped NINT log-posterior matrix (≥3x target).
+
+The *scalar* reference for the VB2 workloads is the production code
+itself with ``VBConfig(batched_solver=False)`` — the per-``N`` loop is
+kept as a first-class fallback precisely so the equality ``batched ==
+scalar`` is checkable forever; the agreement block records the max
+absolute difference across posterior weights, component parameters and
+ELBO (acceptance: exactly 0.0). The NINT and VB1 legacy twins
+reimplement the pre-vectorization loops in this file.
+
+As a script:
+
+    PYTHONPATH=src python benchmarks/bench_fit_path.py            # full + quick
+    PYTHONPATH=src python benchmarks/bench_fit_path.py --quick    # CI mode
+    PYTHONPATH=src python benchmarks/bench_fit_path.py --quick \\
+        --out /tmp/BENCH_fit.json \\
+        --baseline benchmarks/results/BENCH_fit.json
+
+With ``--baseline`` the run fails (exit 1) if any workload's speedup
+regresses below 80% of the committed baseline's — speedup ratios, not
+wall-clock, so the check is machine-independent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+from scipy import special as sc
+
+# Script-mode bootstrap: pytest injects these roots via benchmarks/
+# conftest.py, a bare `python benchmarks/bench_fit_path.py` does not.
+_HERE = Path(__file__).resolve().parent
+for _root in (_HERE, _HERE.parent / "src"):
+    if str(_root) not in sys.path:
+        sys.path.insert(0, str(_root))
+
+from conftest import RESULTS_DIR
+from repro.bayes.nint import log_posterior_matrix
+from repro.core.vb2 import fit_vb2
+from repro.experiments.config import paper_scenarios
+from repro.stats.truncated import truncated_gamma_mean
+
+GROUPED_VB2_SPEEDUP_TARGET = 5.0
+NINT_SPEEDUP_TARGET = 3.0
+REGRESSION_FRACTION = 0.8
+
+_MODE_SETTINGS = {
+    # full: the paper's adaptive configurations end to end; quick: fixed
+    # truncation bounds and a coarser NINT grid, for CI wall-clock.
+    "full": {"repeat": 3, "nint_nodes": 321, "fixed_nmax_extra": None},
+    "quick": {"repeat": 2, "nint_nodes": 201, "fixed_nmax_extra": 50},
+}
+
+#: NINT integration rectangle for DG-Info (VB2-quantile heuristic
+#: evaluated once and frozen, so the benchmark grid is stable).
+NINT_LIMITS = {"omega": (20.0, 90.0), "beta": (0.008, 0.12)}
+
+
+# -- legacy (pre-vectorization) references ------------------------------
+
+
+def _legacy_nint_grouped_matrix(data, prior, alpha0, omega_nodes, beta_nodes):
+    """Seed-era grouped grid fill: one Python loop pass per beta node."""
+    edges = data.interval_edges()
+    observed = data.total_count
+    beta_part = np.zeros(beta_nodes.size)
+    for j, beta in enumerate(beta_nodes):
+        cdf_vals = sc.gammainc(alpha0, beta * edges)
+        increments = np.diff(cdf_vals)
+        with np.errstate(divide="ignore"):
+            log_inc = np.log(increments)
+        mask = data.counts > 0
+        if np.any(increments[mask] <= 0.0):
+            beta_part[j] = -np.inf
+            continue
+        beta_part[j] = float(np.dot(data.counts[mask], log_inc[mask]))
+    beta_part -= float(np.sum(sc.gammaln(np.asarray(data.counts) + 1.0)))
+    tail_g = sc.gammainc(alpha0, beta_nodes * data.horizon)
+    log_prior_omega = np.asarray(prior.omega.log_pdf(omega_nodes))
+    log_prior_beta = np.asarray(prior.beta.log_pdf(beta_nodes))
+    omega_part = observed * np.log(omega_nodes) + log_prior_omega
+    return (
+        omega_part[:, None]
+        + (beta_part + log_prior_beta)[None, :]
+        - np.outer(omega_nodes, tail_g)
+    )
+
+
+def _legacy_vb1_zeta(intervals, alpha0, xi):
+    """Seed-era VB1 zeta: one scalar truncated-mean call per interval."""
+    total = 0.0
+    for lo, hi, count in intervals:
+        total += count * truncated_gamma_mean(float(lo), float(hi), alpha0, xi)
+    return total
+
+
+def _batched_vb1_zeta(int_lo, int_hi, int_count, alpha0, xi):
+    """Production VB1 kernel: one broadcast, interval-ordered summation."""
+    total = 0.0
+    terms = int_count * truncated_gamma_mean(int_lo, int_hi, alpha0, xi)
+    for term in terms:
+        total += term
+    return total
+
+
+# -- measurement -------------------------------------------------------
+
+
+def _best_of(fn, repeat: int) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _posterior_max_abs_diff(a, b) -> float:
+    """Max absolute difference over every number a VB2 posterior carries."""
+    diffs = [
+        float(np.max(np.abs(np.asarray(a.weights) - np.asarray(b.weights)))),
+        float(np.max(np.abs(
+            np.asarray(a.n_values, dtype=float)
+            - np.asarray(b.n_values, dtype=float)
+        ))),
+    ]
+    for da, db in zip(a._omega_components, b._omega_components):
+        diffs.append(abs(da.shape - db.shape))
+        diffs.append(abs(da.rate - db.rate))
+    for da, db in zip(a._beta_components, b._beta_components):
+        diffs.append(abs(da.shape - db.shape))
+        diffs.append(abs(da.rate - db.rate))
+    if a.elbo is not None and b.elbo is not None:
+        diffs.append(abs(a.elbo - b.elbo))
+    return max(diffs)
+
+
+def _vb2_configs(scenario):
+    """The scenario's config with the batched solver on and off."""
+    batched = dataclasses.replace(scenario.vb_config, batched_solver=True)
+    scalar = dataclasses.replace(scenario.vb_config, batched_solver=False)
+    return batched, scalar
+
+
+def _measure_vb2(data, prior, alpha0, batched_cfg, scalar_cfg, nmax, repeat):
+    batched_s = _best_of(
+        lambda: fit_vb2(data, prior, alpha0=alpha0, config=batched_cfg,
+                        nmax=nmax),
+        repeat,
+    )
+    scalar_s = _best_of(
+        lambda: fit_vb2(data, prior, alpha0=alpha0, config=scalar_cfg,
+                        nmax=nmax),
+        max(1, repeat - 1),
+    )
+    return {
+        "legacy_s": scalar_s,
+        "batched_s": batched_s,
+        "speedup": scalar_s / batched_s,
+    }
+
+
+def _measure_mode(mode: str) -> dict:
+    settings = _MODE_SETTINGS[mode]
+    repeat = settings["repeat"]
+    extra = settings["fixed_nmax_extra"]
+    scenarios = paper_scenarios()
+    workloads: dict[str, dict] = {}
+
+    # Grouped Goel-Okumoto fits: the acceptance workload.
+    for name in ("DG-Info", "DG-NoInfo"):
+        scenario = scenarios[name]
+        data = scenario.load_data()
+        nmax = None if extra is None else data.total_count + extra
+        batched_cfg, scalar_cfg = _vb2_configs(scenario)
+        workloads[f"{name}/vb2_grouped"] = _measure_vb2(
+            data, scenario.prior(), 1.0, batched_cfg, scalar_cfg,
+            nmax, repeat,
+        )
+
+    # Delayed S-shaped member on both data views.
+    for name in ("DG-Info", "DT-Info"):
+        scenario = scenarios[name]
+        data = scenario.load_data()
+        observed = (
+            data.total_count if scenario.is_grouped else data.count
+        )
+        nmax = None if extra is None else observed + extra
+        batched_cfg, scalar_cfg = _vb2_configs(scenario)
+        workloads[f"{name}/vb2_alpha2"] = _measure_vb2(
+            data, scenario.prior(), 2.0, batched_cfg, scalar_cfg,
+            nmax, repeat,
+        )
+
+    # VB1 zeta kernel on the grouped view.
+    grouped = scenarios["DG-Info"].load_data()
+    intervals = [item for item in grouped.intervals() if item[2] > 0]
+    int_lo = np.array([lo for lo, _, _ in intervals])
+    int_hi = np.array([hi for _, hi, _ in intervals])
+    int_count = np.array([count for _, _, count in intervals])
+    xi_values = np.linspace(0.01, 0.1, 50)
+    legacy_s = _best_of(
+        lambda: [_legacy_vb1_zeta(intervals, 1.0, xi) for xi in xi_values],
+        repeat,
+    )
+    batched_s = _best_of(
+        lambda: [
+            _batched_vb1_zeta(int_lo, int_hi, int_count, 1.0, xi)
+            for xi in xi_values
+        ],
+        repeat,
+    )
+    workloads["DG-Info/vb1_zeta_kernel"] = {
+        "legacy_s": legacy_s,
+        "batched_s": batched_s,
+        "speedup": legacy_s / batched_s,
+        "evaluations": int(xi_values.size),
+    }
+
+    # NINT grid fill on the grouped view. The workload is only a few
+    # milliseconds, so best-of a larger repeat keeps the speedup ratio
+    # stable enough for the regression gate.
+    nodes = settings["nint_nodes"]
+    nint_repeat = max(repeat, 7)
+    prior = scenarios["DG-Info"].prior()
+    omega_nodes = np.linspace(*NINT_LIMITS["omega"], nodes)
+    beta_nodes = np.linspace(*NINT_LIMITS["beta"], nodes)
+    legacy_s = _best_of(
+        lambda: _legacy_nint_grouped_matrix(
+            grouped, prior, 1.0, omega_nodes, beta_nodes
+        ),
+        nint_repeat,
+    )
+    batched_s = _best_of(
+        lambda: log_posterior_matrix(
+            grouped, prior, 1.0, omega_nodes, beta_nodes
+        ),
+        nint_repeat,
+    )
+    workloads["DG-Info/nint_grid"] = {
+        "legacy_s": legacy_s,
+        "batched_s": batched_s,
+        "speedup": legacy_s / batched_s,
+        "nodes": nodes,
+    }
+    return {"repeat": repeat, "workloads": workloads}
+
+
+def _agreement(quick: bool) -> dict:
+    """Exact-agreement block: batched vs scalar fits, vectorized vs
+    legacy NINT grid, on the paper's System 17 configurations."""
+    scenarios = paper_scenarios()
+    vb2_max = 0.0
+    cases = []
+    for name, alpha0 in (("DG-Info", 1.0), ("DG-NoInfo", 1.0),
+                         ("DG-Info", 2.0), ("DT-Info", 2.0)):
+        scenario = scenarios[name]
+        data = scenario.load_data()
+        observed = (
+            data.total_count if scenario.is_grouped else data.count
+        )
+        # Quick mode pins nmax so the scalar NoInfo fit stays cheap; the
+        # committed full-mode baseline runs the paper's adaptive config.
+        nmax = observed + 50 if quick else None
+        if name == "DG-NoInfo" and not quick:
+            nmax = None  # adaptive, clamped at the paper's ceiling
+        batched_cfg, scalar_cfg = _vb2_configs(scenario)
+        batched = fit_vb2(data, scenario.prior(), alpha0=alpha0,
+                          config=batched_cfg, nmax=nmax)
+        scalar = fit_vb2(data, scenario.prior(), alpha0=alpha0,
+                         config=scalar_cfg, nmax=nmax)
+        diff = _posterior_max_abs_diff(batched, scalar)
+        vb2_max = max(vb2_max, diff)
+        cases.append({"scenario": name, "alpha0": alpha0, "max_abs_diff": diff})
+
+    grouped = scenarios["DG-Info"].load_data()
+    prior = scenarios["DG-Info"].prior()
+    omega_nodes = np.linspace(*NINT_LIMITS["omega"], 61)
+    beta_nodes = np.linspace(*NINT_LIMITS["beta"], 61)
+    vectorized = log_posterior_matrix(
+        grouped, prior, 1.0, omega_nodes, beta_nodes
+    )
+    legacy = _legacy_nint_grouped_matrix(
+        grouped, prior, 1.0, omega_nodes, beta_nodes
+    )
+    nint_diff = float(np.max(np.abs(vectorized - legacy)))
+    return {
+        "vb2_max_abs_diff": vb2_max,
+        "vb2_cases": cases,
+        "nint_max_abs_diff_vs_legacy": nint_diff,
+    }
+
+
+def measure(modes: tuple[str, ...]) -> dict:
+    result = {
+        "schema": 1,
+        "generated_by": "benchmarks/bench_fit_path.py",
+        "acceptance": {
+            "grouped_vb2_speedup_target": GROUPED_VB2_SPEEDUP_TARGET,
+            "nint_speedup_target": NINT_SPEEDUP_TARGET,
+        },
+        "agreement": _agreement(quick="full" not in modes),
+        "modes": {mode: _measure_mode(mode) for mode in modes},
+    }
+    grouped_speedups = [
+        w["speedup"]
+        for mode in result["modes"].values()
+        for key, w in mode["workloads"].items()
+        if key.endswith("vb2_grouped")
+    ]
+    nint_speedups = [
+        w["speedup"]
+        for mode in result["modes"].values()
+        for key, w in mode["workloads"].items()
+        if key.endswith("nint_grid")
+    ]
+    result["acceptance"]["grouped_vb2_speedup_measured_min"] = min(
+        grouped_speedups
+    )
+    result["acceptance"]["nint_speedup_measured_min"] = min(nint_speedups)
+    return result
+
+
+# -- reporting and regression gate -------------------------------------
+
+
+def render(result: dict) -> str:
+    lines = ["fit path: scalar per-N loop vs batched lanes (best-of timings)"]
+    for mode, payload in result["modes"].items():
+        lines.append(f"  [{mode}] repeat {payload['repeat']}")
+        for key, w in payload["workloads"].items():
+            lines.append(
+                f"    {key:<28} scalar {w['legacy_s'] * 1e3:10.2f} ms"
+                f"   batched {w['batched_s'] * 1e3:9.2f} ms"
+                f"   {w['speedup']:6.1f}x"
+            )
+    agreement = result["agreement"]
+    lines.append(
+        "  agreement: vb2 batched vs scalar max |diff| "
+        f"{agreement['vb2_max_abs_diff']:.1e} (acceptance: exactly 0),"
+        " nint vectorized vs legacy "
+        f"{agreement['nint_max_abs_diff_vs_legacy']:.1e}"
+    )
+    lines.append(
+        "  acceptance: grouped vb2 min speedup "
+        f"{result['acceptance']['grouped_vb2_speedup_measured_min']:.1f}x"
+        f" (target >= {GROUPED_VB2_SPEEDUP_TARGET:.0f}x), nint "
+        f"{result['acceptance']['nint_speedup_measured_min']:.1f}x"
+        f" (target >= {NINT_SPEEDUP_TARGET:.0f}x)"
+    )
+    return "\n".join(lines)
+
+
+def check_regression(result: dict, baseline: dict) -> list[str]:
+    """Speedup-ratio gate against a committed baseline (machine-free)."""
+    failures = []
+    for mode, payload in result["modes"].items():
+        base_mode = baseline.get("modes", {}).get(mode)
+        if base_mode is None:
+            continue
+        for key, w in payload["workloads"].items():
+            base_w = base_mode["workloads"].get(key)
+            if base_w is None or w["speedup"] is None or base_w["speedup"] is None:
+                continue
+            floor = REGRESSION_FRACTION * base_w["speedup"]
+            if w["speedup"] < floor:
+                failures.append(
+                    f"{mode}/{key}: speedup {w['speedup']:.1f}x fell below "
+                    f"{floor:.1f}x (= {REGRESSION_FRACTION:.0%} of baseline "
+                    f"{base_w['speedup']:.1f}x)"
+                )
+    return failures
+
+
+# -- pytest entry point ------------------------------------------------
+
+
+def test_batched_fit_path_quick(results_dir):
+    result = measure(modes=("quick",))
+    print("\n" + render(result))
+    assert result["agreement"]["vb2_max_abs_diff"] == 0.0
+    assert result["agreement"]["nint_max_abs_diff_vs_legacy"] <= 1e-10
+    # Conservative floors for noisy CI hosts; the committed full-mode
+    # baseline documents the >= 5x / >= 3x acceptance numbers.
+    assert result["acceptance"]["grouped_vb2_speedup_measured_min"] >= 3.0
+    assert result["acceptance"]["nint_speedup_measured_min"] >= 1.5
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="measure only the quick (fixed-nmax, coarse-grid) mode, for CI",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=RESULTS_DIR / "BENCH_fit.json",
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="committed BENCH_fit.json to gate speedup regressions against",
+    )
+    args = parser.parse_args(argv)
+    modes = ("quick",) if args.quick else ("full", "quick")
+    result = measure(modes=modes)
+    text = render(result)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(result, indent=2) + "\n")
+    print(text)
+    print(f"[written to {args.out}]")
+    status = 0
+    if result["agreement"]["vb2_max_abs_diff"] != 0.0:
+        print(
+            "FAIL: batched/scalar VB2 fits disagree (max |diff| "
+            f"{result['agreement']['vb2_max_abs_diff']:.3e}, expected 0)",
+            file=sys.stderr,
+        )
+        status = 1
+    if "full" in result["modes"]:
+        grouped = result["acceptance"]["grouped_vb2_speedup_measured_min"]
+        nint = result["acceptance"]["nint_speedup_measured_min"]
+        if grouped < GROUPED_VB2_SPEEDUP_TARGET:
+            print(
+                f"FAIL: grouped vb2 speedup {grouped:.1f}x < "
+                f"{GROUPED_VB2_SPEEDUP_TARGET:.0f}x target",
+                file=sys.stderr,
+            )
+            status = 1
+        if nint < NINT_SPEEDUP_TARGET:
+            print(
+                f"FAIL: nint speedup {nint:.1f}x < "
+                f"{NINT_SPEEDUP_TARGET:.0f}x target",
+                file=sys.stderr,
+            )
+            status = 1
+    if args.baseline is not None:
+        baseline = json.loads(args.baseline.read_text())
+        failures = check_regression(result, baseline)
+        for message in failures:
+            print(f"FAIL: {message}", file=sys.stderr)
+        if failures:
+            status = 1
+        else:
+            print("speedups within the regression gate vs baseline")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

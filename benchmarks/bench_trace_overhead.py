@@ -3,8 +3,10 @@
 The obs layer promises *zero overhead when disabled*: every
 instrumentation site is a ``None`` check on the global collector, and
 ``obs.span`` returns a shared no-op handle. This benchmark pins that
-promise on the Table 1 workload (one full VB2 fit on DT-Info, the same
-timed unit as ``bench_table1.py``), three ways:
+promise on two fit workloads — the Table 1 unit (one full VB2 fit on
+DT-Info, the same timed unit as ``bench_table1.py``) and a DG-Info
+grouped fit (the batched fixed-point path, whose per-``N`` debug spans
+are hoisted behind one ``obs.enabled()`` check) — three ways:
 
 1. **disabled** — the shipped default (no collector installed);
 2. **stubbed** — the obs API monkeypatched to bare ``pass`` lambdas,
@@ -40,7 +42,7 @@ from conftest import RESULTS_DIR, write_result
 from repro import obs
 from repro.bayes.priors import ModelPrior
 from repro.core.vb2 import fit_vb2
-from repro.data.datasets import system17_failure_times
+from repro.data.datasets import system17_failure_times, system17_grouped
 
 #: Acceptance bound on the disabled-mode overhead (fractional).
 MAX_DISABLED_OVERHEAD = 0.05
@@ -82,6 +84,12 @@ def _workload():
     return lambda: fit_vb2(data, prior)
 
 
+def _grouped_workload():
+    data = system17_grouped()
+    prior = ModelPrior.informative(50.0, 15.8, 3.3e-2, 1.1e-2)
+    return lambda: fit_vb2(data, prior)
+
+
 def _best_of(fn, repeat: int) -> float:
     best = float("inf")
     for _ in range(repeat):
@@ -91,8 +99,7 @@ def _best_of(fn, repeat: int) -> float:
     return best
 
 
-def measure(repeat: int = 7) -> dict[str, float]:
-    fit = _workload()
+def _measure_fit(fit, repeat: int) -> dict[str, float]:
     fit()  # warm caches before any timing
     with _StubbedObs():
         stubbed = _best_of(fit, repeat)
@@ -112,16 +119,26 @@ def measure(repeat: int = 7) -> dict[str, float]:
     }
 
 
-def render(stats: dict[str, float], repeat: int) -> str:
-    lines = [
-        f"telemetry overhead on one VB2 fit (DT-Info, best of {repeat})",
-        f"  stubbed   {stats['stubbed_s'] * 1e3:8.3f} ms   (no instrumentation)",
-        f"  disabled  {stats['disabled_s'] * 1e3:8.3f} ms   "
-        f"({stats['disabled_overhead']:+.2%} vs stubbed)",
-        f"  enabled   {stats['enabled_s'] * 1e3:8.3f} ms   "
-        f"({stats['enabled_overhead']:+.2%} vs stubbed, summary capture)",
-        f"  acceptance: disabled overhead < {MAX_DISABLED_OVERHEAD:.0%}",
-    ]
+def measure(repeat: int = 7) -> dict[str, dict[str, float]]:
+    return {
+        "DT-Info": _measure_fit(_workload(), repeat),
+        "DG-Info": _measure_fit(_grouped_workload(), repeat),
+    }
+
+
+def render(workloads: dict[str, dict[str, float]], repeat: int) -> str:
+    lines = [f"telemetry overhead on one VB2 fit (best of {repeat})"]
+    for name, stats in workloads.items():
+        lines.extend([
+            f"  [{name}]",
+            f"    stubbed   {stats['stubbed_s'] * 1e3:8.3f} ms"
+            "   (no instrumentation)",
+            f"    disabled  {stats['disabled_s'] * 1e3:8.3f} ms   "
+            f"({stats['disabled_overhead']:+.2%} vs stubbed)",
+            f"    enabled   {stats['enabled_s'] * 1e3:8.3f} ms   "
+            f"({stats['enabled_overhead']:+.2%} vs stubbed, summary capture)",
+        ])
+    lines.append(f"  acceptance: disabled overhead < {MAX_DISABLED_OVERHEAD:.0%}")
     return "\n".join(lines)
 
 
@@ -129,46 +146,51 @@ def render(stats: dict[str, float], repeat: int) -> str:
 
 
 def test_telemetry_never_changes_results():
-    fit = _workload()
-    plain = fit()
-    with _StubbedObs():
-        stubbed = fit()
-    with obs.capture(level="debug"):
-        traced = fit()
     import numpy as np
 
-    for other in (stubbed, traced):
-        np.testing.assert_array_equal(plain.weights, other.weights)
-        np.testing.assert_array_equal(plain.n_values, other.n_values)
-        assert plain.mean("omega") == other.mean("omega")
-        assert plain.mean("beta") == other.mean("beta")
+    for fit in (_workload(), _grouped_workload()):
+        plain = fit()
+        with _StubbedObs():
+            stubbed = fit()
+        with obs.capture(level="debug"):
+            traced = fit()
+
+        for other in (stubbed, traced):
+            np.testing.assert_array_equal(plain.weights, other.weights)
+            np.testing.assert_array_equal(plain.n_values, other.n_values)
+            assert plain.mean("omega") == other.mean("omega")
+            assert plain.mean("beta") == other.mean("beta")
 
 
 def test_disabled_overhead_within_bound(benchmark, results_dir):
     repeat = 7
-    stats = measure(repeat=repeat)
-    write_result(results_dir / "trace_overhead.txt", render(stats, repeat))
+    workloads = measure(repeat=repeat)
+    write_result(results_dir / "trace_overhead.txt", render(workloads, repeat))
     benchmark(_workload())
-    assert stats["disabled_overhead"] < MAX_DISABLED_OVERHEAD
+    for stats in workloads.values():
+        assert stats["disabled_overhead"] < MAX_DISABLED_OVERHEAD
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--repeat", type=int, default=7)
     args = parser.parse_args(argv)
-    stats = measure(repeat=args.repeat)
-    text = render(stats, args.repeat)
+    workloads = measure(repeat=args.repeat)
+    text = render(workloads, args.repeat)
     RESULTS_DIR.mkdir(exist_ok=True)
     write_result(RESULTS_DIR / "trace_overhead.txt", text)
-    if stats["disabled_overhead"] >= MAX_DISABLED_OVERHEAD:
-        print(
-            f"FAIL: disabled-mode overhead "
-            f"{stats['disabled_overhead']:.2%} >= {MAX_DISABLED_OVERHEAD:.0%}",
-            file=sys.stderr,
-        )
-        return 1
-    print("disabled-mode overhead within bound")
-    return 0
+    status = 0
+    for name, stats in workloads.items():
+        if stats["disabled_overhead"] >= MAX_DISABLED_OVERHEAD:
+            print(
+                f"FAIL: {name} disabled-mode overhead "
+                f"{stats['disabled_overhead']:.2%} >= {MAX_DISABLED_OVERHEAD:.0%}",
+                file=sys.stderr,
+            )
+            status = 1
+    if status == 0:
+        print("disabled-mode overhead within bound")
+    return status
 
 
 if __name__ == "__main__":

@@ -29,7 +29,7 @@ from repro.bayes.mcmc.chains import (
 )
 from repro.bayes.priors import ModelPrior
 from repro.data.failure_data import GroupedData
-from repro.stats.truncated import sample_censored_gamma, sample_truncated_gamma
+from repro.stats.truncated import sample_censored_gamma
 
 __all__ = ["gibbs_grouped"]
 
@@ -64,6 +64,20 @@ def _gibbs_grouped(
     m_beta, phi_beta = prior.beta.shape, prior.beta.rate
     collapsed = alpha0 == 1.0
 
+    # Interval geometry hoisted out of the sweep loop: per-interval
+    # endpoints, one row per occupied interval, plus the expansion of
+    # each interval to its per-draw slots. All x_i latent times of a
+    # sweep come from ONE rng.uniform call on the expanded bounds —
+    # numpy's array-parameter uniform consumes the stream in the same
+    # order as the per-interval scalar calls did, so the variate stream
+    # (and golden Table 7) is unchanged bit for bit.
+    int_lo = np.array([lo for lo, _, _ in intervals])
+    int_hi = np.array([hi for _, hi, _ in intervals])
+    int_count = np.array([count for _, _, count in intervals], dtype=np.int64)
+    n_latent = int(int_count.sum())
+    draw_slots = np.repeat(np.arange(int_count.size), int_count)
+    segment_offsets = np.cumsum(int_count)[:-1]
+
     omega = float(max(total, 1) * 1.2 + 1.0)
     beta = 2.0 * alpha0 / horizon
 
@@ -73,10 +87,23 @@ def _gibbs_grouped(
     kept = 0
     for sweep in range(settings.total_iterations):
         latent_sum = 0.0
-        for lo, hi, count in intervals:
-            draws = sample_truncated_gamma(lo, hi, alpha0, beta, count, rng)
-            latent_sum += float(draws.sum())
-            variates += count
+        if n_latent:
+            p_lo = sc.gammainc(alpha0, beta * int_lo)
+            p_hi = sc.gammainc(alpha0, beta * int_hi)
+            # Far-tail intervals where the CDF difference underflows fall
+            # back to uniform jitter, matching sample_truncated_gamma.
+            degenerate = p_hi <= p_lo
+            low = np.where(degenerate, int_lo, p_lo)
+            high = np.where(degenerate, int_hi, p_hi)
+            u = rng.uniform(low[draw_slots], high[draw_slots])
+            draws = u.copy()
+            invert = ~degenerate[draw_slots]
+            draws[invert] = sc.gammaincinv(alpha0, u[invert]) / beta
+            # Per-interval partial sums in interval order: bit-identical
+            # to accumulating each interval's draws.sum() in the loop.
+            for segment in np.split(draws, segment_offsets):
+                latent_sum += float(segment.sum())
+            variates += n_latent
 
         tail_prob = float(sc.gammaincc(alpha0, beta * horizon))
         residual = int(rng.poisson(omega * tail_prob))

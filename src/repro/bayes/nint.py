@@ -14,8 +14,6 @@ heuristic when handed a VB2 posterior, and also accepts explicit limits.
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 from scipy import special as sc
 
@@ -63,17 +61,17 @@ def log_posterior_matrix(
     elif isinstance(data, GroupedData):
         edges = data.interval_edges()
         observed = data.total_count
-        beta_part = np.zeros(beta_nodes.size)
-        for j, beta in enumerate(beta_nodes):
-            cdf_vals = sc.gammainc(alpha0, beta * edges)
-            increments = np.diff(cdf_vals)
-            with np.errstate(divide="ignore"):
-                log_inc = np.log(increments)
-            mask = data.counts > 0
-            if np.any(increments[mask] <= 0.0):
-                beta_part[j] = -np.inf
-                continue
-            beta_part[j] = float(np.dot(data.counts[mask], log_inc[mask]))
+        # One broadcast over the whole (beta, edge) mesh instead of a
+        # Python loop per beta row: the incomplete-gamma evaluation at
+        # every node lands in a single ufunc call.
+        mask = data.counts > 0
+        cdf_vals = sc.gammainc(alpha0, np.outer(beta_nodes, edges))
+        increments = np.diff(cdf_vals, axis=1)[:, mask]
+        bad = np.any(increments <= 0.0, axis=1)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            log_inc = np.log(increments)
+        beta_part = log_inc @ np.asarray(data.counts, dtype=float)[mask]
+        beta_part[bad] = -np.inf
         beta_part -= float(np.sum(sc.gammaln(np.asarray(data.counts) + 1.0)))
         tail_g = sc.gammainc(alpha0, beta_nodes * data.horizon)
     else:

@@ -47,6 +47,13 @@ class VBConfig:
         NoInfo scenarios — where every method's output is truncation-
         or run-length-dependent, as the paper itself observes for
         DG-NoInfo).
+    batched_solver:
+        Solve the whole latent-count grid with the lane-parallel
+        fixed-point solver (:func:`repro.stats.rootfind.
+        solve_fixed_point_batch`) instead of one scalar solve per
+        ``N``. Both paths produce bit-identical posteriors (the batch
+        lanes replay the scalar iteration exactly); the flag exists as
+        an escape hatch and for the benchmark/test comparisons.
     """
 
     tail_tolerance: float = 1e-12
@@ -57,6 +64,7 @@ class VBConfig:
     fixed_point_max_iter: int = 500
     use_aitken: bool = True
     truncation_policy: str = "error"
+    batched_solver: bool = True
 
     def __post_init__(self) -> None:
         if self.truncation_policy not in ("error", "clamp"):

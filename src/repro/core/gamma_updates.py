@@ -36,7 +36,6 @@ lower bound.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -45,6 +44,7 @@ from repro.bayes.priors import ModelPrior
 from repro.core.config import VBConfig
 from repro.core.fixed_point import FixedPointResult, solve_fixed_point
 from repro.data.failure_data import FailureTimeData, GroupedData
+from repro.stats.rootfind import solve_fixed_point_batch
 from repro.stats.special import (
     log_factorial,
     log_gamma_cdf_increment,
@@ -58,10 +58,20 @@ __all__ = [
     "GroupedStats",
     "ConditionalSolution",
     "solve_conditional_times",
+    "solve_conditional_times_range",
     "solve_conditional_times_exponential_range",
     "solve_conditional_grouped",
+    "solve_conditional_grouped_range",
     "elbo_constant",
 ]
+
+# The scalar and range solvers below are kept bit-identical: both
+# evaluate every transcendental through the numpy ufuncs in
+# repro.stats.special (whose scalar calls are 0-d instances of the
+# array code), accumulate interval sums in the same order, and seed the
+# fixed point with the same closed-form expression. Tests in
+# tests/core/test_gamma_updates.py and tests/core/test_vb2_batched.py
+# pin the equality exactly (max abs diff 0.0).
 
 
 @dataclass(frozen=True)
@@ -217,15 +227,15 @@ def solve_conditional_times(
     residual = n - stats.me
     log_weight = (
         float(log_gamma_fn(m_omega + n))
-        - (m_omega + n) * math.log(phi_omega + 1.0)
+        - (m_omega + n) * float(np.log(phi_omega + 1.0))
         + float(log_gamma_fn(a_beta))
-        - a_beta * math.log(b_beta)
+        - a_beta * float(np.log(b_beta))
     )
     if residual > 0:
         eta = censored_gamma_mean(stats.horizon, alpha0, xi)
         log_weight += residual * (
             log_gamma_sf(stats.horizon, alpha0, xi)
-            - alpha0 * math.log(xi)
+            - alpha0 * float(np.log(xi))
             + xi * eta
         )
         log_weight -= float(log_factorial(residual))
@@ -240,6 +250,107 @@ def solve_conditional_times(
         log_weight=log_weight,
         iterations=iterations,
     )
+
+
+def _validate_range(n_start: int, n_end: int, observed: int,
+                    prior: ModelPrior) -> None:
+    if n_start < observed:
+        raise ValueError(
+            f"n_start={n_start} is below the observed failure count {observed}"
+        )
+    if n_end < n_start:
+        raise ValueError("n_end must be >= n_start")
+    if n_start == 0 and not prior.beta.is_proper:
+        raise ValueError(
+            "N = 0 with an improper beta prior leaves Pv(beta | N) improper"
+        )
+
+
+def solve_conditional_times_range(
+    n_start: int,
+    n_end: int,
+    alpha0: float,
+    prior: ModelPrior,
+    stats: TimesStats,
+    config: VBConfig,
+) -> list[ConditionalSolution]:
+    """Solve the conditional posteriors for every ``N ∈ [n_start, n_end]``
+    on failure-time data with one lane-parallel fixed-point solve.
+
+    Each latent count is one lane of
+    :func:`repro.stats.rootfind.solve_fixed_point_batch`; the update map
+    evaluates paper Eq. 24 for the whole grid as array arithmetic.
+    Bit-identical to looping :func:`solve_conditional_times` with the
+    default (closed-form) seed. ``α0 = 1`` short-circuits to the fully
+    closed-form :func:`solve_conditional_times_exponential_range`.
+    """
+    if alpha0 == 1.0:
+        return solve_conditional_times_exponential_range(
+            n_start, n_end, prior, stats
+        )
+    _validate_range(n_start, n_end, stats.me, prior)
+    m_omega, phi_omega = prior.omega.shape, prior.omega.rate
+    m_beta, phi_beta = prior.beta.shape, prior.beta.rate
+
+    n = np.arange(n_start, n_end + 1, dtype=float)
+    residual = n - stats.me
+    has_resid = residual > 0
+    a_beta = m_beta + n * alpha0
+    if np.any(a_beta <= 0.0):
+        raise ValueError("m_beta + N*alpha0 must be positive")
+
+    def zeta_of(xi: np.ndarray) -> np.ndarray:
+        total = np.full(xi.shape, stats.sum_times)
+        if np.any(has_resid):
+            eta = censored_gamma_mean(stats.horizon, alpha0, xi[has_resid])
+            total[has_resid] = stats.sum_times + residual[has_resid] * eta
+        return total
+
+    def update(xi: np.ndarray) -> np.ndarray:
+        return a_beta / (phi_beta + zeta_of(xi))
+
+    xi_seed = a_beta / (
+        phi_beta + stats.sum_times + residual * stats.horizon + 1e-300
+    )
+    solve = solve_fixed_point_batch(
+        update,
+        xi_seed,
+        rtol=config.fixed_point_rtol,
+        max_iter=config.fixed_point_max_iter,
+        use_aitken=config.use_aitken,
+    )
+    xi = solve.values
+    zeta = zeta_of(xi)
+    b_beta = phi_beta + zeta
+    log_weight = (
+        log_gamma_fn(m_omega + n)
+        - (m_omega + n) * float(np.log(phi_omega + 1.0))
+        + log_gamma_fn(a_beta)
+        - a_beta * np.log(b_beta)
+    )
+    if np.any(has_resid):
+        xm = xi[has_resid]
+        eta = censored_gamma_mean(stats.horizon, alpha0, xm)
+        log_weight[has_resid] += residual[has_resid] * (
+            log_gamma_sf(stats.horizon, alpha0, xm)
+            - alpha0 * np.log(xm)
+            + xm * eta
+        )
+        log_weight[has_resid] -= log_factorial(residual[has_resid])
+    return [
+        ConditionalSolution(
+            n=int(n[i]),
+            zeta=float(zeta[i]),
+            xi=float(xi[i]),
+            a_omega=m_omega + float(n[i]),
+            b_omega=phi_omega + 1.0,
+            a_beta=float(a_beta[i]),
+            b_beta=float(b_beta[i]),
+            log_weight=float(log_weight[i]),
+            iterations=int(solve.iterations[i]),
+        )
+        for i in range(n.size)
+    ]
 
 
 def solve_conditional_times_exponential_range(
@@ -280,7 +391,7 @@ def solve_conditional_times_exponential_range(
     # log weight, exponential kernel: ln S̄ = -xi te; xi eta = xi te + 1.
     log_weight = (
         log_gamma_fn(m_omega + n)
-        - (m_omega + n) * math.log(phi_omega + 1.0)
+        - (m_omega + n) * float(np.log(phi_omega + 1.0))
         + log_gamma_fn(a_beta)
         - a_beta * np.log(b_beta)
         + residual * (1.0 - np.log(xi))
@@ -369,10 +480,10 @@ def solve_conditional_grouped(
 
     log_weight = (
         float(log_gamma_fn(m_omega + n))
-        - (m_omega + n) * math.log(phi_omega + 1.0)
+        - (m_omega + n) * float(np.log(phi_omega + 1.0))
         + float(log_gamma_fn(a_beta))
-        - a_beta * math.log(b_beta)
-        - n * alpha0 * math.log(xi)
+        - a_beta * float(np.log(b_beta))
+        - n * alpha0 * float(np.log(xi))
         + xi * zeta
     )
     edges = stats.edges
@@ -396,6 +507,117 @@ def solve_conditional_grouped(
         log_weight=log_weight,
         iterations=result.iterations,
     )
+
+
+def _zeta_grouped_range(
+    residual: np.ndarray,
+    has_resid: np.ndarray,
+    alpha0: float,
+    xi: np.ndarray,
+    stats: GroupedStats,
+) -> np.ndarray:
+    """Lane-parallel form of :func:`_zeta_grouped`: one truncated-mean
+    broadcast per observation interval, accumulated in the same interval
+    order as the scalar loop so the sums match bit-for-bit."""
+    total = np.zeros(xi.shape)
+    edges = stats.edges
+    for i, count in enumerate(stats.counts):
+        if count == 0:
+            continue
+        total += count * truncated_gamma_mean(
+            float(edges[i]), float(edges[i + 1]), alpha0, xi
+        )
+    if np.any(has_resid):
+        total[has_resid] = total[has_resid] + residual[has_resid] * (
+            censored_gamma_mean(stats.horizon, alpha0, xi[has_resid])
+        )
+    return total
+
+
+def solve_conditional_grouped_range(
+    n_start: int,
+    n_end: int,
+    alpha0: float,
+    prior: ModelPrior,
+    stats: GroupedStats,
+    config: VBConfig,
+) -> list[ConditionalSolution]:
+    """Solve the conditional posteriors for every ``N ∈ [n_start, n_end]``
+    on grouped data with one lane-parallel fixed-point solve.
+
+    The grouped case has no closed form even for ``α0 = 1``, so this is
+    the hot path of every grouped-data VB2 fit: the per-``N`` scalar
+    solves (one Python fixed point each) collapse into a single
+    :func:`repro.stats.rootfind.solve_fixed_point_batch` call whose
+    update map evaluates paper Eq. 26 for all lanes at once.
+    Bit-identical to looping :func:`solve_conditional_grouped` with the
+    default seed.
+    """
+    _validate_range(n_start, n_end, stats.total, prior)
+    m_omega, phi_omega = prior.omega.shape, prior.omega.rate
+    m_beta, phi_beta = prior.beta.shape, prior.beta.rate
+
+    n = np.arange(n_start, n_end + 1, dtype=float)
+    residual = n - stats.total
+    has_resid = residual > 0
+    a_beta = m_beta + n * alpha0
+    if np.any(a_beta <= 0.0):
+        raise ValueError("m_beta + N*alpha0 must be positive")
+
+    def update(xi: np.ndarray) -> np.ndarray:
+        return a_beta / (
+            phi_beta + _zeta_grouped_range(residual, has_resid, alpha0, xi, stats)
+        )
+
+    zeta_hi = (
+        float(np.dot(stats.counts, stats.edges[1:]))
+        + residual * 2.0 * stats.horizon
+    )
+    solve = solve_fixed_point_batch(
+        update,
+        a_beta / (phi_beta + zeta_hi),
+        rtol=config.fixed_point_rtol,
+        max_iter=config.fixed_point_max_iter,
+        use_aitken=config.use_aitken,
+    )
+    xi = solve.values
+    zeta = _zeta_grouped_range(residual, has_resid, alpha0, xi, stats)
+    b_beta = phi_beta + zeta
+
+    log_weight = (
+        log_gamma_fn(m_omega + n)
+        - (m_omega + n) * float(np.log(phi_omega + 1.0))
+        + log_gamma_fn(a_beta)
+        - a_beta * np.log(b_beta)
+        - n * alpha0 * np.log(xi)
+        + xi * zeta
+    )
+    edges = stats.edges
+    for i, count in enumerate(stats.counts):
+        if count == 0:
+            continue
+        log_weight += count * log_gamma_cdf_increment(
+            float(edges[i]), float(edges[i + 1]), alpha0, xi
+        )
+    if np.any(has_resid):
+        log_weight[has_resid] += residual[has_resid] * (
+            log_gamma_sf(stats.horizon, alpha0, xi[has_resid])
+        )
+        log_weight[has_resid] -= log_factorial(residual[has_resid])
+    return [
+        ConditionalSolution(
+            n=int(n[i]),
+            zeta=float(zeta[i]),
+            xi=float(xi[i]),
+            a_omega=m_omega + float(n[i]),
+            b_omega=phi_omega + 1.0,
+            a_beta=float(a_beta[i]),
+            b_beta=float(b_beta[i]),
+            log_weight=float(log_weight[i]),
+            iterations=int(solve.iterations[i]),
+        )
+        for i in range(n.size)
+    ]
 
 
 # ----------------------------------------------------------------------

@@ -26,8 +26,10 @@ from repro.core.gamma_updates import (
     TimesStats,
     elbo_constant,
     solve_conditional_grouped,
+    solve_conditional_grouped_range,
     solve_conditional_times,
     solve_conditional_times_exponential_range,
+    solve_conditional_times_range,
 )
 from repro.core.posterior import VBPosterior
 from repro.data.failure_data import FailureTimeData, GroupedData
@@ -88,15 +90,25 @@ def _fit_vb2(
         stats = TimesStats.from_data(data)
         observed = stats.me
 
-        def solve(n: int, xi_start: float | None) -> ConditionalSolution:
-            return solve_conditional_times(n, alpha0, prior, stats, config, xi_start)
+        def solve(n: int) -> ConditionalSolution:
+            return solve_conditional_times(n, alpha0, prior, stats, config)
+
+        def solve_range(lo: int, hi: int) -> list[ConditionalSolution]:
+            return solve_conditional_times_range(
+                lo, hi, alpha0, prior, stats, config
+            )
 
     elif isinstance(data, GroupedData):
         stats = GroupedStats.from_data(data)
         observed = stats.total
 
-        def solve(n: int, xi_start: float | None) -> ConditionalSolution:
-            return solve_conditional_grouped(n, alpha0, prior, stats, config, xi_start)
+        def solve(n: int) -> ConditionalSolution:
+            return solve_conditional_grouped(n, alpha0, prior, stats, config)
+
+        def solve_range(lo: int, hi: int) -> list[ConditionalSolution]:
+            return solve_conditional_grouped_range(
+                lo, hi, alpha0, prior, stats, config
+            )
 
     else:
         raise TypeError(f"unsupported data type: {type(data).__name__}")
@@ -113,29 +125,39 @@ def _fit_vb2(
         bound = observed + config.nmax_initial
 
     # Fast path: the Goel-Okumoto failure-time case is fully closed-form,
-    # so whole ranges of N are solved with array arithmetic.
+    # so whole ranges of N are solved with array arithmetic. Every other
+    # configuration goes through the lane-parallel fixed-point solver
+    # unless the config opts back into the scalar per-N loop.
     vectorised = isinstance(data, FailureTimeData) and alpha0 == 1.0
+    debug_spans = obs.enabled()
 
-    xi_warm: float | None = None
+    # Log-weights accumulate alongside `solutions`: each growth round
+    # appends only the new tail instead of rebuilding the whole array.
+    log_w = np.empty(0)
     clamped = False
     while True:
         start_n = observed + len(solutions)
-        if vectorised:
-            if start_n <= bound:
-                solutions.extend(
-                    solve_conditional_times_exponential_range(
-                        start_n, bound, prior, stats
-                    )
+        if start_n <= bound:
+            if vectorised:
+                grown = solve_conditional_times_exponential_range(
+                    start_n, bound, prior, stats
                 )
-        else:
-            for n in range(start_n, bound + 1):
-                with obs.span("vb2.solve_n", level="debug", n=n):
-                    solution = solve(n, xi_warm)
-                xi_warm = solution.xi
-                solutions.append(solution)
+            elif config.batched_solver:
+                grown = solve_range(start_n, bound)
+            else:
+                grown = []
+                for n in range(start_n, bound + 1):
+                    if debug_spans:
+                        with obs.span("vb2.solve_n", level="debug", n=n):
+                            grown.append(solve(n))
+                    else:
+                        grown.append(solve(n))
+            solutions.extend(grown)
+            log_w = np.concatenate(
+                [log_w, [s.log_weight for s in grown]]
+            )
         if nmax is not None or clamped:
             break
-        log_w = np.array([s.log_weight for s in solutions])
         tail = float(np.exp(log_w[-1] - sc.logsumexp(log_w)))
         if tail < config.tail_tolerance:
             break
@@ -167,7 +189,6 @@ def _fit_vb2(
                 f"{config.tail_tolerance:.3e}"
             )
 
-    log_w = np.array([s.log_weight for s in solutions])
     log_norm = float(sc.logsumexp(log_w))
     weights = np.exp(log_w - log_norm)
     if prior.is_proper:

@@ -84,20 +84,26 @@ class WeibullVBPosterior(JointPosterior):
             return None
         return self._inner.elbo + self._log_jacobian
 
+    def _theta_component_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Shape/rate arrays of the inner θ mixture, built once."""
+        cached = getattr(self, "_theta_arrays", None)
+        if cached is None:
+            cached = (
+                np.array([d.shape for d in self._inner._beta_components]),
+                np.array([d.rate for d in self._inner._beta_components]),
+            )
+            self._theta_arrays = cached
+        return cached
+
     def _beta_moment(self, order: float) -> float:
-        """``E[β^order] = E[θ^(order/c)]`` via fractional gamma moments."""
+        """``E[β^order] = E[θ^(order/c)]`` via fractional gamma moments,
+        evaluated for all mixture components in one broadcast."""
         from scipy.special import gammaln
 
         k = order / self._shape
-        weights = self._inner.weights
-        total = 0.0
-        for w, dist in zip(weights, self._inner._beta_components):
-            log_m = (
-                float(gammaln(dist.shape + k) - gammaln(dist.shape))
-                - k * math.log(dist.rate)
-            )
-            total += w * math.exp(log_m)
-        return float(total)
+        shapes, rates = self._theta_component_arrays()
+        log_m = gammaln(shapes + k) - gammaln(shapes) - k * np.log(rates)
+        return float(np.dot(self._inner.weights, np.exp(log_m)))
 
     # ------------------------------------------------------------------
     def mean(self, param: str) -> float:
@@ -124,22 +130,19 @@ class WeibullVBPosterior(JointPosterior):
         return total
 
     def cross_moment(self) -> float:
-        """``E[ω β] = Σ_N Pv(N) E[ω|N] E[θ^(1/c)|N]``."""
+        """``E[ω β] = Σ_N Pv(N) E[ω|N] E[θ^(1/c)|N]``, one broadcast over
+        the mixture components."""
         from scipy.special import gammaln
 
         k = 1.0 / self._shape
-        total = 0.0
-        for w, omega_dist, theta_dist in zip(
-            self._inner.weights,
-            self._inner._omega_components,
-            self._inner._beta_components,
-        ):
-            log_m = (
-                float(gammaln(theta_dist.shape + k) - gammaln(theta_dist.shape))
-                - k * math.log(theta_dist.rate)
-            )
-            total += w * omega_dist.mean * math.exp(log_m)
-        return float(total)
+        shapes, rates = self._theta_component_arrays()
+        omega_means = np.array(
+            [d.mean for d in self._inner._omega_components]
+        )
+        log_m = gammaln(shapes + k) - gammaln(shapes) - k * np.log(rates)
+        return float(
+            np.dot(self._inner.weights, omega_means * np.exp(log_m))
+        )
 
     def quantile(self, param: str, q: float) -> float:
         self._check_param(param)

@@ -1,11 +1,14 @@
-"""Bracketing root finders used for quantile inversion.
+"""Bracketing root finders and batched fixed-point iteration.
 
 The paper inverts the posterior CDF of software reliability with the
 bisection method (Section 6, around Eq. 32). We provide a robust
 monotone bisection, a batched variant that drives many independent
 bisections simultaneously on vectorized functions (the interval-
-estimation hot path), and a geometric bracketing helper for quantile
-problems whose support is the positive half line.
+estimation hot path), a geometric bracketing helper for quantile
+problems whose support is the positive half line, and — the fit-path
+analogue — a batched frozen-lane fixed-point solver that runs the
+VB2 per-``N`` update maps for the whole latent-count grid in lock-step
+(:func:`solve_fixed_point_batch`).
 
 Failure semantics: exhausting the iteration budget raises
 :class:`~repro.exceptions.ConvergenceError` carrying the final bracket
@@ -20,13 +23,26 @@ from __future__ import annotations
 
 import math
 from collections.abc import Callable
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro import obs
 from repro.exceptions import ConvergenceError
 
-__all__ = ["bisect_increasing", "bisect_increasing_batch", "bracket_quantile"]
+__all__ = [
+    "bisect_increasing",
+    "bisect_increasing_batch",
+    "bracket_quantile",
+    "BatchFixedPointResult",
+    "solve_fixed_point_batch",
+]
+
+#: How many trailing residuals each lane keeps, matching
+#: ``repro.core.fixed_point.RESIDUAL_HISTORY_LEN`` (not imported here —
+#: ``repro.core`` pulls in this module at package import time, so a
+#: module-level import would be circular; a test pins the two equal).
+FIXED_POINT_HISTORY_LEN = 8
 
 #: Tolerance under which a sign violation at a bracket edge is treated
 #: as the root sitting (numerically) on that edge.
@@ -228,3 +244,257 @@ def bracket_quantile(
     else:
         raise ConvergenceError(f"could not bracket quantile {q} from above")
     return lo, hi
+
+
+@dataclass(frozen=True)
+class BatchFixedPointResult:
+    """Outcome of a batched fixed-point solve, one entry per lane.
+
+    Attributes
+    ----------
+    values:
+        Fixed points ``x*`` per lane (last positive iterate for lanes
+        that failed).
+    iterations:
+        Per-lane count of update-map evaluations consumed before the
+        lane froze.
+    converged:
+        Per-lane convergence flags; ``False`` marks a lane that left
+        the positive domain or exhausted the budget.
+    residuals:
+        Per-lane final relative step ``|x' - x| / x'``.
+    residual_histories:
+        Per-lane tuples of the trailing
+        :data:`FIXED_POINT_HISTORY_LEN` residuals, oldest first.
+    aitken_steps:
+        Per-lane count of accepted Aitken Δ² extrapolations.
+    """
+
+    values: np.ndarray
+    iterations: np.ndarray
+    converged: np.ndarray
+    residuals: np.ndarray
+    residual_histories: tuple[tuple[float, ...], ...]
+    aitken_steps: np.ndarray
+
+    def lane_error(self, lane: int, max_iter: int) -> ConvergenceError:
+        """Build the scalar-contract :class:`ConvergenceError` for a
+        failed lane, carrying that lane's own statistics."""
+        return ConvergenceError(
+            f"fixed point did not converge in lane {lane} within "
+            f"{max_iter} evaluations "
+            f"(last relative step {self.residuals[lane]:.3e})",
+            iterations=int(self.iterations[lane]),
+            residual=float(self.residuals[lane]),
+            residual_history=self.residual_histories[lane],
+        )
+
+
+def _ring_histories(
+    ring: np.ndarray, counts: np.ndarray
+) -> tuple[tuple[float, ...], ...]:
+    """Unroll per-lane residual ring buffers into oldest-first tuples."""
+    length = ring.shape[1]
+    out = []
+    for lane in range(ring.shape[0]):
+        c = int(counts[lane])
+        if c <= length:
+            out.append(tuple(float(v) for v in ring[lane, :c]))
+        else:
+            pos = c % length
+            rolled = np.concatenate([ring[lane, pos:], ring[lane, :pos]])
+            out.append(tuple(float(v) for v in rolled))
+    return tuple(out)
+
+
+def solve_fixed_point_batch(
+    f: Callable[[np.ndarray], np.ndarray],
+    x0: np.ndarray,
+    *,
+    rtol: float = 1e-12,
+    max_iter: int = 500,
+    use_aitken: bool = True,
+    raise_on_failure: bool = True,
+) -> BatchFixedPointResult:
+    """Solve ``x = f(x)`` lane-wise for many positive fixed points at once.
+
+    ``f`` must be vectorized: given the current iterates (one per lane)
+    it returns the lane-wise updated values, so one call per iteration
+    step serves every lane. Lane ``i`` follows the exact update,
+    acceleration, and stopping rules of
+    :func:`repro.core.fixed_point.solve_fixed_point` started at
+    ``x0[i]`` — a converged lane *freezes* (its value never changes
+    again and it stops consuming evaluations) while the remaining lanes
+    keep iterating, which makes every lane bit-identical to the scalar
+    routine run on its own. Frozen lanes still appear in the vectors
+    handed to ``f`` (holding their last positive iterate, so the update
+    map stays inside its domain) but their results are ignored.
+
+    Aitken Δ² acceleration interacts with freezing per lane: each
+    active lane takes the two-evaluation Aitken round in lock-step, and
+    acceptance of the extrapolated point (``denominator != 0`` and the
+    extrapolation positive) is decided lane-wise, exactly as the scalar
+    solver decides it. Because every lane that is still active has
+    consumed the same number of evaluations, the scalar solver's
+    budget check before the second Aitken evaluation is uniform across
+    active lanes.
+
+    A lane whose iterate leaves the positive half line is frozen as
+    *failed* with its own ``iterations``/``residual``/history — it does
+    not poison the other lanes, which continue to convergence. With
+    ``raise_on_failure`` (the default, matching the scalar contract) a
+    :class:`~repro.exceptions.ConvergenceError` carrying the first
+    failed lane's statistics is raised once all lanes have frozen;
+    with ``raise_on_failure=False`` failures are reported through the
+    ``converged`` flags instead.
+
+    Telemetry: the whole solve runs inside a debug-level
+    ``fixed_point.batch`` span carrying the lane count, total
+    evaluations, maximum final residual, and accepted Aitken steps;
+    failed lanes emit the same ``fixed_point.divergence`` event as the
+    scalar solver.
+    """
+    x = np.array(x0, dtype=float)
+    if x.ndim != 1:
+        raise ValueError(f"x0 must be a 1-D array, got shape {x.shape}")
+    if np.any(~(x > 0.0)):
+        bad = int(np.argmax(~(x > 0.0)))
+        raise ValueError(f"x0 must be positive, got {x[bad]} in lane {bad}")
+    n = x.size
+    with obs.span("fixed_point.batch", level="debug", lanes=n) as sp:
+        result = _solve_batch_inner(f, x, rtol, max_iter, use_aitken)
+        # The span is the shared no-op handle when the collector sits
+        # below the debug level, so attrs only exist on the live span.
+        if getattr(sp, "attrs", None) is not None:
+            sp.attrs["evaluations"] = int(result.iterations.sum())
+            sp.attrs["max_residual"] = (
+                float(np.max(result.residuals)) if n else 0.0
+            )
+            sp.attrs["aitken_accepted"] = int(result.aitken_steps.sum())
+            sp.attrs["failed_lanes"] = int(np.sum(~result.converged))
+    if raise_on_failure and not bool(result.converged.all()):
+        raise result.lane_error(int(np.argmax(~result.converged)), max_iter)
+    return result
+
+
+def _solve_batch_inner(
+    f: Callable[[np.ndarray], np.ndarray],
+    x: np.ndarray,
+    rtol: float,
+    max_iter: int,
+    use_aitken: bool,
+) -> BatchFixedPointResult:
+    n = x.size
+    frozen = np.zeros(n, dtype=bool)
+    converged = np.zeros(n, dtype=bool)
+    iterations = np.zeros(n, dtype=np.int64)
+    residual = np.full(n, np.inf)
+    aitken_steps = np.zeros(n, dtype=np.int64)
+    ring = np.full((n, FIXED_POINT_HISTORY_LEN), np.nan)
+    ring_count = np.zeros(n, dtype=np.int64)
+    evaluations = 0  # shared by every still-active lane
+
+    def record(mask: np.ndarray, values: np.ndarray) -> None:
+        residual[mask] = values[mask]
+        pos = ring_count[mask] % FIXED_POINT_HISTORY_LEN
+        ring[np.flatnonzero(mask), pos] = values[mask]
+        ring_count[mask] += 1
+
+    while evaluations < max_iter and not frozen.all():
+        active = ~frozen
+        fx = np.asarray(f(x), dtype=float)
+        evaluations += 1
+        iterations[active] += 1
+        # Domain violation freezes the lane with its *previous* residual,
+        # exactly as the scalar solver reports it.
+        bad = active & ~(fx > 0.0)
+        if np.any(bad):
+            _emit_lane_divergence(bad, iterations, residual, ring, ring_count)
+            frozen |= bad
+            active = active & ~bad
+        with np.errstate(invalid="ignore", divide="ignore"):
+            step = np.abs(fx - x) / fx
+        record(active, step)
+        done = active & (step <= rtol)
+        x[done] = fx[done]
+        frozen |= done
+        converged |= done
+        active = active & ~done
+        if not np.any(active):
+            continue
+        if use_aitken and evaluations + 1 <= max_iter:
+            x_prev = x.copy()
+            x1 = np.where(active, fx, x)
+            fx2 = np.asarray(f(x1), dtype=float)
+            evaluations += 1
+            iterations[active] += 1
+            bad2 = active & ~(fx2 > 0.0)
+            if np.any(bad2):
+                _emit_lane_divergence(
+                    bad2, iterations, residual, ring, ring_count
+                )
+                frozen |= bad2
+                active = active & ~bad2
+            with np.errstate(invalid="ignore", divide="ignore"):
+                step2 = np.abs(fx2 - x1) / fx2
+            record(active, step2)
+            done2 = active & (step2 <= rtol)
+            x[done2] = fx2[done2]
+            frozen |= done2
+            converged |= done2
+            active = active & ~done2
+            if not np.any(active):
+                continue
+            denom = fx2 - 2.0 * x1 + x_prev
+            ok = active & (denom != 0.0)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                accelerated = x_prev - (x1 - x_prev) ** 2 / denom
+            accept = ok & (accelerated > 0.0)
+            x[accept] = accelerated[accept]
+            aitken_steps[accept] += 1
+            plain = active & ~accept
+            x[plain] = fx2[plain]
+        else:
+            x[active] = fx[active]
+    if obs.enabled() and np.any(converged):
+        obs.counter_add("fixed_point.solves", int(converged.sum()))
+        if aitken_steps[converged].sum():
+            obs.counter_add(
+                "fixed_point.aitken_accepted",
+                int(aitken_steps[converged].sum()),
+            )
+    open_lanes = ~frozen
+    if np.any(open_lanes):
+        # Budget exhausted: freeze the remaining lanes as failures.
+        _emit_lane_divergence(
+            open_lanes, iterations, residual, ring, ring_count
+        )
+    return BatchFixedPointResult(
+        values=x,
+        iterations=iterations,
+        converged=converged,
+        residuals=residual,
+        residual_histories=_ring_histories(ring, ring_count),
+        aitken_steps=aitken_steps,
+    )
+
+
+def _emit_lane_divergence(
+    mask: np.ndarray,
+    iterations: np.ndarray,
+    residual: np.ndarray,
+    ring: np.ndarray,
+    ring_count: np.ndarray,
+) -> None:
+    """Emit the scalar-compatible divergence telemetry for failed lanes."""
+    if not obs.enabled():
+        return
+    histories = _ring_histories(ring[mask], ring_count[mask])
+    for lane, hist in zip(np.flatnonzero(mask), histories):
+        obs.counter_add("fixed_point.failures")
+        obs.event(
+            "fixed_point.divergence",
+            evaluations=int(iterations[lane]),
+            residual=float(residual[lane]),
+            residuals=[float(v) for v in hist],
+        )

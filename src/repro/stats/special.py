@@ -7,6 +7,16 @@ the latent fault count multiplies many such factors together (paper
 Eq. 28) and naive evaluation underflows long before the truncation
 bound ``nmax`` is reached.
 
+Every helper accepts either scalars or broadcastable arrays for the
+``x``/``lo``/``hi``/``rate`` arguments and evaluates element-wise
+through the same numpy ufuncs in both cases. That invariance is what
+the batched fit engine's bit-identity contract rests on: a lane of a
+batched solve sees exactly the floating-point values the scalar
+fallback computes for the same ``(N, ξ)``, because scalar calls are
+just 0-d instances of the vectorized code path (numpy ufuncs give
+identical results regardless of array length, which
+``tests/stats/test_special.py`` pins).
+
 Conventions
 -----------
 All gamma distributions in this package use the *rate* parametrisation:
@@ -74,24 +84,44 @@ def logsumexp(values: np.ndarray, weights: np.ndarray | None = None) -> float:
     return float(sc.logsumexp(values, b=np.asarray(weights, dtype=float)))
 
 
-def log_gamma_cdf(x: float, shape: float, rate: float) -> float:
+def _broadcast(*args):
+    """Broadcast arguments to a common shape; flag the all-scalar case."""
+    arrays = [np.asarray(a, dtype=float) for a in args]
+    scalar = all(a.ndim == 0 for a in arrays)
+    if len(arrays) == 1:
+        return scalar, (np.atleast_1d(arrays[0]),)
+    return scalar, tuple(np.broadcast_arrays(*(np.atleast_1d(a) for a in arrays)))
+
+
+def log_gamma_cdf(
+    x: float | np.ndarray, shape: float, rate: float | np.ndarray
+) -> float | np.ndarray:
     """``log P(T <= x)`` for ``T ~ Gamma(shape, rate)``.
 
     Evaluated through the regularised lower incomplete gamma function
     ``P(shape, rate*x)``; falls back to an asymptotic series via the
     survival complement when the CDF underflows.
     """
-    if x <= 0.0:
-        return -math.inf
-    p = float(sc.gammainc(shape, rate * x))
-    if p > 0.0:
-        return math.log(p)
-    # Deep lower tail: P(a, z) ~ z^a e^{-z} / Gamma(a+1) for z << a.
-    z = rate * x
-    return shape * math.log(z) - z - float(sc.gammaln(shape + 1.0))
+    scalar, (x_a, rate_a) = _broadcast(x, rate)
+    out = np.full(x_a.shape, -np.inf)
+    pos = x_a > 0.0
+    if np.any(pos):
+        z = rate_a[pos] * x_a[pos]
+        p = sc.gammainc(shape, z)
+        vals = np.empty_like(p)
+        nz = p > 0.0
+        vals[nz] = np.log(p[nz])
+        if not np.all(nz):
+            # Deep lower tail: P(a, z) ~ z^a e^{-z} / Gamma(a+1) for z << a.
+            zz = z[~nz]
+            vals[~nz] = shape * np.log(zz) - zz - float(sc.gammaln(shape + 1.0))
+        out[pos] = vals
+    return float(out[0]) if scalar else out
 
 
-def log_gamma_sf(x: float, shape: float, rate: float) -> float:
+def log_gamma_sf(
+    x: float | np.ndarray, shape: float, rate: float | np.ndarray
+) -> float | np.ndarray:
     """``log P(T > x)`` for ``T ~ Gamma(shape, rate)``.
 
     Uses the regularised upper incomplete gamma ``Q(shape, rate*x)`` and
@@ -99,18 +129,34 @@ def log_gamma_sf(x: float, shape: float, rate: float) -> float:
     ``Q(a, z) ~ z^(a-1) e^{-z} / Γ(a)`` when ``Q`` underflows (deep right
     tail, ``z >> a``).
     """
-    if x <= 0.0:
-        return 0.0
-    q = float(sc.gammaincc(shape, rate * x))
-    if q > 0.0:
-        return math.log(q)
-    z = rate * x
-    # First-order asymptotic with one correction term.
-    correction = math.log1p((shape - 1.0) / z) if z > abs(shape - 1.0) else 0.0
-    return (shape - 1.0) * math.log(z) - z - float(sc.gammaln(shape)) + correction
+    scalar, (x_a, rate_a) = _broadcast(x, rate)
+    out = np.zeros(x_a.shape)
+    pos = x_a > 0.0
+    if np.any(pos):
+        z = rate_a[pos] * x_a[pos]
+        q = sc.gammaincc(shape, z)
+        vals = np.empty_like(q)
+        nz = q > 0.0
+        vals[nz] = np.log(q[nz])
+        if not np.all(nz):
+            # First-order asymptotic with one correction term.
+            zz = z[~nz]
+            correction = np.where(
+                zz > abs(shape - 1.0), np.log1p((shape - 1.0) / zz), 0.0
+            )
+            vals[~nz] = (
+                (shape - 1.0) * np.log(zz)
+                - zz
+                - float(sc.gammaln(shape))
+                + correction
+            )
+        out[pos] = vals
+    return float(out[0]) if scalar else out
 
 
-def gamma_sf_ratio(x: float, shape: float, rate: float) -> float:
+def gamma_sf_ratio(
+    x: float | np.ndarray, shape: float, rate: float | np.ndarray
+) -> float | np.ndarray:
     """Ratio ``SF(x; shape+1, rate) / SF(x; shape, rate)`` of gamma survival
     functions, stable in the deep right tail.
 
@@ -119,45 +165,83 @@ def gamma_sf_ratio(x: float, shape: float, rate: float) -> float:
     ``E[T | T > x] = (shape / rate) * gamma_sf_ratio(x, shape, rate)``.
     The ratio tends to ``rate * x / shape`` as ``x → ∞``.
     """
-    if x <= 0.0:
-        return 1.0
-    log_num = log_gamma_sf(x, shape + 1.0, rate)
-    log_den = log_gamma_sf(x, shape, rate)
-    if math.isfinite(log_num) and math.isfinite(log_den):
-        return math.exp(log_num - log_den)
-    # Both tails underflowed even in log space (cannot happen with the
-    # asymptotic branches above, but keep a safe limit form).
-    z = rate * x
-    return z / shape
+    scalar, (x_a, rate_a) = _broadcast(x, rate)
+    out = np.ones(x_a.shape)
+    pos = x_a > 0.0
+    if np.any(pos):
+        xs = x_a[pos]
+        rs = rate_a[pos]
+        log_num = np.atleast_1d(log_gamma_sf(xs, shape + 1.0, rs))
+        log_den = np.atleast_1d(log_gamma_sf(xs, shape, rs))
+        finite = np.isfinite(log_num) & np.isfinite(log_den)
+        vals = np.empty_like(log_num)
+        vals[finite] = np.exp(log_num[finite] - log_den[finite])
+        if not np.all(finite):
+            # Both tails underflowed even in log space (cannot happen with
+            # the asymptotic branches above, but keep a safe limit form).
+            vals[~finite] = rs[~finite] * xs[~finite] / shape
+        out[pos] = vals
+    return float(out[0]) if scalar else out
 
 
-def gamma_cdf_increment(lo: float, hi: float, shape: float, rate: float) -> float:
+def gamma_cdf_increment(
+    lo: float | np.ndarray,
+    hi: float | np.ndarray,
+    shape: float,
+    rate: float | np.ndarray,
+) -> float | np.ndarray:
     """``P(lo < T <= hi)`` for ``T ~ Gamma(shape, rate)``, ``0 <= lo < hi``.
 
     Chooses between a CDF difference and an SF difference so that the
     subtraction happens on the smaller (better conditioned) tail.
     """
-    if not 0.0 <= lo < hi:
-        raise ValueError(f"need 0 <= lo < hi, got lo={lo}, hi={hi}")
-    median_z = shape / rate  # mean as a cheap centre proxy
-    if hi <= median_z:
-        return float(sc.gammainc(shape, rate * hi) - sc.gammainc(shape, rate * lo))
-    return float(sc.gammaincc(shape, rate * lo) - sc.gammaincc(shape, rate * hi))
+    scalar, (lo_a, hi_a, rate_a) = _broadcast(lo, hi, rate)
+    if np.any(lo_a < 0.0) or np.any(lo_a >= hi_a):
+        bad = np.argmax((lo_a < 0.0) | (lo_a >= hi_a))
+        raise ValueError(
+            f"need 0 <= lo < hi, got lo={lo_a.ravel()[bad]}, "
+            f"hi={hi_a.ravel()[bad]}"
+        )
+    out = np.empty(lo_a.shape)
+    lower = hi_a <= shape / rate_a  # mean as a cheap centre proxy
+    if np.any(lower):
+        out[lower] = sc.gammainc(shape, rate_a[lower] * hi_a[lower]) - sc.gammainc(
+            shape, rate_a[lower] * lo_a[lower]
+        )
+    upper = ~lower
+    if np.any(upper):
+        out[upper] = sc.gammaincc(shape, rate_a[upper] * lo_a[upper]) - sc.gammaincc(
+            shape, rate_a[upper] * hi_a[upper]
+        )
+    return float(out[0]) if scalar else out
 
 
-def log_gamma_cdf_increment(lo: float, hi: float, shape: float, rate: float) -> float:
+def log_gamma_cdf_increment(
+    lo: float | np.ndarray,
+    hi: float | np.ndarray,
+    shape: float,
+    rate: float | np.ndarray,
+) -> float | np.ndarray:
     """``log P(lo < T <= hi)`` for a gamma variable, stable when the
     interval sits far out in either tail."""
-    inc = gamma_cdf_increment(lo, hi, shape, rate)
-    if inc > 0.0:
-        return math.log(inc)
-    # Interval so deep in a tail that the difference underflows: use
-    # log-space difference of survival functions.
-    log_sf_lo = log_gamma_sf(lo, shape, rate)
-    log_sf_hi = log_gamma_sf(hi, shape, rate)
-    if log_sf_lo <= log_sf_hi:  # numerically equal tails
-        return -math.inf
-    return log_sf_lo + float(log1mexp(min(log_sf_hi - log_sf_lo, -1e-300)))
+    scalar, (lo_a, hi_a, rate_a) = _broadcast(lo, hi, rate)
+    inc = np.atleast_1d(gamma_cdf_increment(lo_a, hi_a, shape, rate_a))
+    out = np.empty(inc.shape)
+    pos = inc > 0.0
+    out[pos] = np.log(inc[pos])
+    if not np.all(pos):
+        # Interval so deep in a tail that the difference underflows: use
+        # log-space difference of survival functions.
+        neg = ~pos
+        log_sf_lo = np.atleast_1d(log_gamma_sf(lo_a[neg], shape, rate_a[neg]))
+        log_sf_hi = np.atleast_1d(log_gamma_sf(hi_a[neg], shape, rate_a[neg]))
+        vals = np.full(log_sf_lo.shape, -np.inf)
+        ok = log_sf_lo > log_sf_hi  # else: numerically equal tails -> -inf
+        if np.any(ok):
+            diff = np.minimum(log_sf_hi[ok] - log_sf_lo[ok], -1e-300)
+            vals[ok] = log_sf_lo[ok] + np.atleast_1d(log1mexp(diff))
+        out[neg] = vals
+    return float(out[0]) if scalar else out
 
 
 def log_factorial(n: int | np.ndarray) -> float | np.ndarray:

@@ -11,6 +11,11 @@ expectations of a ``Gamma(shape, rate)`` failure time ``T``:
 
 Both follow from the identity
 ``∫_a^b t g(t; s, r) dt = (s/r) [G(b; s+1, r) - G(a; s+1, r)]``.
+
+Like the helpers in :mod:`repro.stats.special`, the moment functions
+accept scalars or broadcastable arrays for ``cut``/``lo``/``hi``/``rate``
+and evaluate element-wise through the same ufuncs either way, so the
+batched fit engine sees bit-identical values to the scalar path.
 """
 
 from __future__ import annotations
@@ -34,21 +39,39 @@ __all__ = [
 ]
 
 
-def censored_gamma_mean(cut: float, shape: float, rate: float) -> float:
+def censored_gamma_mean(
+    cut: float | np.ndarray, shape: float, rate: float | np.ndarray
+) -> float | np.ndarray:
     """``E[T | T > cut]`` for ``T ~ Gamma(shape, rate)``.
 
     Equal to ``(shape/rate) * SF(cut; shape+1, rate) / SF(cut; shape, rate)``;
     for ``shape == 1`` (exponential) this reduces to ``cut + 1/rate`` by
     memorylessness, which we use as an exact fast path.
     """
-    if cut <= 0.0:
-        return shape / rate
-    if shape == 1.0:
-        return cut + 1.0 / rate
-    return (shape / rate) * gamma_sf_ratio(cut, shape, rate)
+    cut_a = np.asarray(cut, dtype=float)
+    rate_a = np.asarray(rate, dtype=float)
+    scalar = cut_a.ndim == 0 and rate_a.ndim == 0
+    cut_a, rate_a = np.broadcast_arrays(np.atleast_1d(cut_a), np.atleast_1d(rate_a))
+    out = np.empty(cut_a.shape)
+    base = cut_a <= 0.0
+    out[base] = shape / rate_a[base]
+    active = ~base
+    if np.any(active):
+        if shape == 1.0:
+            out[active] = cut_a[active] + 1.0 / rate_a[active]
+        else:
+            out[active] = (shape / rate_a[active]) * np.atleast_1d(
+                gamma_sf_ratio(cut_a[active], shape, rate_a[active])
+            )
+    return float(out[0]) if scalar else out
 
 
-def truncated_gamma_mean(lo: float, hi: float, shape: float, rate: float) -> float:
+def truncated_gamma_mean(
+    lo: float | np.ndarray,
+    hi: float | np.ndarray,
+    shape: float,
+    rate: float | np.ndarray,
+) -> float | np.ndarray:
     """``E[T | lo < T <= hi]`` for ``T ~ Gamma(shape, rate)``.
 
     Stable even when the interval carries almost no probability mass: in
@@ -56,23 +79,40 @@ def truncated_gamma_mean(lo: float, hi: float, shape: float, rate: float) -> flo
     endpoint nearer the bulk of the distribution, and we return that
     endpoint instead of dividing two underflowed quantities.
     """
-    if not 0.0 <= lo < hi:
-        raise ValueError(f"need 0 <= lo < hi, got lo={lo}, hi={hi}")
-    denom = gamma_cdf_increment(lo, hi, shape, rate)
-    if denom <= 0.0:
+    lo_a = np.asarray(lo, dtype=float)
+    hi_a = np.asarray(hi, dtype=float)
+    rate_a = np.asarray(rate, dtype=float)
+    scalar = lo_a.ndim == 0 and hi_a.ndim == 0 and rate_a.ndim == 0
+    lo_a, hi_a, rate_a = np.broadcast_arrays(
+        np.atleast_1d(lo_a), np.atleast_1d(hi_a), np.atleast_1d(rate_a)
+    )
+    if np.any(lo_a < 0.0) or np.any(lo_a >= hi_a):
+        bad = np.argmax((lo_a < 0.0) | (lo_a >= hi_a))
+        raise ValueError(
+            f"need 0 <= lo < hi, got lo={lo_a.ravel()[bad]}, hi={hi_a.ravel()[bad]}"
+        )
+    denom = np.atleast_1d(gamma_cdf_increment(lo_a, hi_a, shape, rate_a))
+    out = np.empty(denom.shape)
+    empty = denom <= 0.0
+    if np.any(empty):
         # Probability mass numerically zero: the conditional law piles up
         # at the boundary closest to the mode.
-        mode = max((shape - 1.0) / rate, 0.0)
-        if hi <= mode:
-            return hi
-        if lo >= mode:
-            return lo
-        return 0.5 * (lo + hi)
-    numer = gamma_cdf_increment(lo, hi, shape + 1.0, rate)
-    mean = (shape / rate) * numer / denom
-    # Guard against round-off pushing the conditional mean outside the
-    # interval (possible when denom is at the underflow edge).
-    return min(max(mean, lo), hi)
+        mode = np.maximum((shape - 1.0) / rate_a[empty], 0.0)
+        out[empty] = np.where(
+            hi_a[empty] <= mode,
+            hi_a[empty],
+            np.where(lo_a[empty] >= mode, lo_a[empty], 0.5 * (lo_a[empty] + hi_a[empty])),
+        )
+    ok = ~empty
+    if np.any(ok):
+        numer = np.atleast_1d(
+            gamma_cdf_increment(lo_a[ok], hi_a[ok], shape + 1.0, rate_a[ok])
+        )
+        mean = (shape / rate_a[ok]) * numer / denom[ok]
+        # Guard against round-off pushing the conditional mean outside the
+        # interval (possible when denom is at the underflow edge).
+        out[ok] = np.minimum(np.maximum(mean, lo_a[ok]), hi_a[ok])
+    return float(out[0]) if scalar else out
 
 
 def sample_truncated_gamma(

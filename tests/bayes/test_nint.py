@@ -50,6 +50,49 @@ class TestLogPosteriorMatrix:
             # The grouped likelihood includes the -log x_i! terms.
             assert matrix[0, j] == pytest.approx(expected, rel=1e-10)
 
+    def test_grouped_broadcast_matches_per_row_loop(
+        self, grouped_data, info_prior_grouped
+    ):
+        # The grouped beta term is filled with one incomplete-gamma
+        # broadcast over the whole (beta, edge) mesh; it must agree with
+        # the straightforward one-row-per-beta evaluation up to the
+        # BLAS reduction order of the count matmul (a few ulp).
+        import scipy.special as sc
+
+        omega_nodes = np.linspace(25.0, 65.0, 7)
+        beta_nodes = np.linspace(0.015, 0.09, 9)
+        matrix = log_posterior_matrix(
+            grouped_data, info_prior_grouped, 1.0, omega_nodes, beta_nodes
+        )
+        edges = grouped_data.interval_edges()
+        counts = np.asarray(grouped_data.counts, dtype=float)
+        norm = float(np.sum(sc.gammaln(counts + 1.0)))
+        for j, beta in enumerate(beta_nodes):
+            cdf = sc.gammainc(1.0, beta * edges)
+            incs = np.diff(cdf)[counts > 0]
+            beta_part = float(np.log(incs) @ counts[counts > 0]) - norm
+            tail = float(sc.gammainc(1.0, beta * grouped_data.horizon))
+            beta_term = beta_part + float(
+                info_prior_grouped.beta.log_pdf(beta)
+            )
+            for i, omega in enumerate(omega_nodes):
+                omega_part = grouped_data.total_count * np.log(omega) + float(
+                    info_prior_grouped.omega.log_pdf(omega)
+                )
+                expected = omega_part + beta_term - omega * tail
+                assert matrix[i, j] == pytest.approx(expected, rel=1e-13)
+
+    def test_grouped_zero_increment_rows_are_neg_inf(
+        self, grouped_data, info_prior_grouped
+    ):
+        # A beta so large that an occupied far interval has zero CDF
+        # increment must give -inf posterior mass, not a warning or NaN.
+        matrix = log_posterior_matrix(
+            grouped_data, info_prior_grouped, 1.0,
+            np.array([40.0]), np.array([1e6]),
+        )
+        assert matrix[0, 0] == -np.inf
+
     def test_rejects_nonpositive_nodes(self, times_data, info_prior_times):
         with pytest.raises(ValueError):
             log_posterior_matrix(

@@ -1,0 +1,171 @@
+"""Bit-identity of the batched fit path against the scalar per-N loop.
+
+The lane-parallel solvers in ``gamma_updates`` promise *exact* agreement
+with the scalar fixed-point path — not merely close-to. These tests pin
+that contract at both levels: the range solvers against per-N scalar
+loops, and whole ``fit_vb2`` posteriors (weights, component parameters,
+ELBO, iteration diagnostics) with ``batched_solver`` on versus off.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bayes.priors import ModelPrior
+from repro.core.config import VBConfig
+from repro.core.gamma_updates import (
+    GroupedStats,
+    TimesStats,
+    solve_conditional_grouped,
+    solve_conditional_grouped_range,
+    solve_conditional_times,
+    solve_conditional_times_range,
+)
+from repro.core.vb2 import fit_vb2
+
+SCALAR = VBConfig(batched_solver=False)
+BATCHED = VBConfig(batched_solver=True)
+
+FIELDS = ("n", "zeta", "xi", "a_omega", "b_omega", "a_beta", "b_beta",
+          "log_weight", "iterations")
+
+
+def assert_solutions_identical(batch, scalar_list):
+    assert len(batch) == len(scalar_list)
+    for got, want in zip(batch, scalar_list):
+        for field in FIELDS:
+            assert getattr(got, field) == getattr(want, field), field
+
+
+def assert_posteriors_identical(batched, scalar):
+    assert np.array_equal(batched.n_values, scalar.n_values)
+    assert np.array_equal(batched.weights, scalar.weights)
+    for b, s in zip(batched._omega_components, scalar._omega_components):
+        assert (b.shape, b.rate) == (s.shape, s.rate)
+    for b, s in zip(batched._beta_components, scalar._beta_components):
+        assert (b.shape, b.rate) == (s.shape, s.rate)
+    assert batched.elbo == scalar.elbo
+    assert batched.diagnostics["nmax"] == scalar.diagnostics["nmax"]
+    assert (
+        batched.diagnostics["fixed_point_iterations"]
+        == scalar.diagnostics["fixed_point_iterations"]
+    )
+
+
+class TestRangeSolvers:
+    """Range solvers replay the scalar per-N loop field for field."""
+
+    @pytest.mark.parametrize("alpha0", [1.0, 2.0])
+    def test_grouped_range_matches_scalar_loop(
+        self, grouped_data, info_prior_grouped, alpha0
+    ):
+        stats = GroupedStats.from_data(grouped_data)
+        lo, hi = stats.total, stats.total + 40
+        batch = solve_conditional_grouped_range(
+            lo, hi, alpha0, info_prior_grouped, stats, SCALAR
+        )
+        scalar = [
+            solve_conditional_grouped(
+                n, alpha0, info_prior_grouped, stats, SCALAR
+            )
+            for n in range(lo, hi + 1)
+        ]
+        assert_solutions_identical(batch, scalar)
+
+    def test_grouped_range_matches_with_improper_prior(self, grouped_data):
+        prior = ModelPrior.noninformative()
+        stats = GroupedStats.from_data(grouped_data)
+        lo, hi = stats.total, stats.total + 25
+        batch = solve_conditional_grouped_range(
+            lo, hi, 1.0, prior, stats, SCALAR
+        )
+        scalar = [
+            solve_conditional_grouped(n, 1.0, prior, stats, SCALAR)
+            for n in range(lo, hi + 1)
+        ]
+        assert_solutions_identical(batch, scalar)
+
+    @pytest.mark.parametrize("alpha0", [2.0, 0.7])
+    def test_times_range_matches_scalar_loop(
+        self, times_data, info_prior_times, alpha0
+    ):
+        stats = TimesStats.from_data(times_data)
+        lo, hi = stats.me, stats.me + 40
+        batch = solve_conditional_times_range(
+            lo, hi, alpha0, info_prior_times, stats, SCALAR
+        )
+        scalar = [
+            solve_conditional_times(
+                n, alpha0, info_prior_times, stats, SCALAR
+            )
+            for n in range(lo, hi + 1)
+        ]
+        assert_solutions_identical(batch, scalar)
+
+    def test_range_validation(self, grouped_data, info_prior_grouped):
+        stats = GroupedStats.from_data(grouped_data)
+        with pytest.raises(ValueError):
+            solve_conditional_grouped_range(
+                stats.total - 1, stats.total, 1.0,
+                info_prior_grouped, stats, SCALAR,
+            )
+        with pytest.raises(ValueError):
+            solve_conditional_grouped_range(
+                stats.total + 5, stats.total, 1.0,
+                info_prior_grouped, stats, SCALAR,
+            )
+
+
+class TestFitLevelIdentity:
+    """Whole fit_vb2 posteriors agree exactly, batched vs scalar."""
+
+    def test_grouped_info(self, grouped_data, info_prior_grouped):
+        batched = fit_vb2(grouped_data, info_prior_grouped, config=BATCHED)
+        scalar = fit_vb2(grouped_data, info_prior_grouped, config=SCALAR)
+        assert_posteriors_identical(batched, scalar)
+
+    @pytest.mark.slow
+    def test_grouped_noinfo_clamped(self, grouped_data, flat_prior):
+        batched = fit_vb2(
+            grouped_data, flat_prior,
+            config=VBConfig(
+                batched_solver=True,
+                truncation_policy="clamp",
+                nmax_ceiling=512,
+            ),
+        )
+        scalar = fit_vb2(
+            grouped_data, flat_prior,
+            config=VBConfig(
+                batched_solver=False,
+                truncation_policy="clamp",
+                nmax_ceiling=512,
+            ),
+        )
+        assert_posteriors_identical(batched, scalar)
+
+    def test_grouped_delayed_s_shaped(self, grouped_data, info_prior_grouped):
+        batched = fit_vb2(
+            grouped_data, info_prior_grouped, alpha0=2.0, config=BATCHED
+        )
+        scalar = fit_vb2(
+            grouped_data, info_prior_grouped, alpha0=2.0, config=SCALAR
+        )
+        assert_posteriors_identical(batched, scalar)
+
+    def test_times_delayed_s_shaped(self, times_data, info_prior_times):
+        batched = fit_vb2(
+            times_data, info_prior_times, alpha0=2.0, config=BATCHED
+        )
+        scalar = fit_vb2(
+            times_data, info_prior_times, alpha0=2.0, config=SCALAR
+        )
+        assert_posteriors_identical(batched, scalar)
+
+    def test_fixed_nmax_mode(self, grouped_data, info_prior_grouped):
+        batched = fit_vb2(
+            grouped_data, info_prior_grouped, config=BATCHED, nmax=90
+        )
+        scalar = fit_vb2(
+            grouped_data, info_prior_grouped, config=SCALAR, nmax=90
+        )
+        assert_posteriors_identical(batched, scalar)

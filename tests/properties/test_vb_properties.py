@@ -62,7 +62,9 @@ class TestVB2PropertiesTimes:
     @settings(**_SETTINGS)
     def test_latent_mean_dominates_observed_count(self, data, prior):
         posterior = fit_vb2(data, prior, config=_FAST)
-        assert posterior.expected_total_faults() >= data.count
+        # E[N] = sum_N N Pv(N) with N >= count everywhere, but the
+        # normalised weights can sum to 1 - O(ulp); allow that rounding.
+        assert posterior.expected_total_faults() >= data.count * (1.0 - 1e-12)
 
     @given(data=failure_times, prior=priors)
     @settings(**_SETTINGS)

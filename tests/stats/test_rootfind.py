@@ -8,11 +8,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import obs
+from repro.core.fixed_point import RESIDUAL_HISTORY_LEN, solve_fixed_point
 from repro.exceptions import ConvergenceError
 from repro.stats.rootfind import (
+    FIXED_POINT_HISTORY_LEN,
     bisect_increasing,
     bisect_increasing_batch,
     bracket_quantile,
+    solve_fixed_point_batch,
 )
 
 
@@ -130,6 +133,220 @@ class TestBisectBatch:
             lambda x: 1.0 - math.exp(-x) - target, 0.0, 100.0
         )
         assert batch[0] == scalar
+
+
+def _contractive_map(a, b, c):
+    """VB-style update family x -> a / (b + c x), elementwise."""
+    return lambda x: a / (b + c * x)
+
+
+class TestSolveFixedPointBatch:
+    """Frozen-lane fixed-point solver: every lane must replay the
+    scalar solver bit for bit, in success and in failure."""
+
+    def _coeffs(self, n, seed=7):
+        rng = np.random.default_rng(seed)
+        return (
+            rng.uniform(0.5, 50.0, n),
+            rng.uniform(0.1, 10.0, n),
+            rng.uniform(0.01, 5.0, n),
+            rng.uniform(1e-3, 10.0, n),
+        )
+
+    def test_history_length_matches_scalar_solver(self):
+        assert FIXED_POINT_HISTORY_LEN == RESIDUAL_HISTORY_LEN
+
+    def test_lanes_match_scalar_bitwise(self):
+        a, b, c, x0 = self._coeffs(48)
+        result = solve_fixed_point_batch(_contractive_map(a, b, c), x0)
+        for i in range(48):
+            scalar = solve_fixed_point(
+                _contractive_map(a[i], b[i], c[i]), float(x0[i])
+            )
+            assert result.converged[i]
+            assert result.values[i] == scalar.value
+            assert result.iterations[i] == scalar.iterations
+            assert result.residuals[i] == scalar.residual
+
+    def test_single_lane_equals_scalar(self):
+        a, b, c, x0 = self._coeffs(1)
+        batch = solve_fixed_point_batch(
+            _contractive_map(a[0], b[0], c[0]), x0[:1].copy()
+        )
+        scalar = solve_fixed_point(
+            _contractive_map(a[0], b[0], c[0]), float(x0[0])
+        )
+        assert batch.values[0] == scalar.value
+        assert batch.iterations[0] == scalar.iterations
+        assert batch.residuals[0] == scalar.residual
+
+    def test_no_aitken_matches_scalar_including_failures(self):
+        a, b, c, x0 = self._coeffs(48, seed=42)
+        result = solve_fixed_point_batch(
+            _contractive_map(a, b, c), x0,
+            use_aitken=False, raise_on_failure=False,
+        )
+        for i in range(48):
+            try:
+                scalar = solve_fixed_point(
+                    _contractive_map(a[i], b[i], c[i]),
+                    float(x0[i]),
+                    use_aitken=False,
+                )
+            except ConvergenceError as err:
+                assert not result.converged[i]
+                assert result.iterations[i] == err.iterations
+                assert result.residuals[i] == err.residual
+                assert result.residual_histories[i] == tuple(
+                    err.residual_history
+                )
+            else:
+                assert result.converged[i]
+                assert result.values[i] == scalar.value
+                assert result.iterations[i] == scalar.iterations
+
+    def test_diverging_lane_raises_with_its_own_statistics(self):
+        # Lane 2 walks out of the positive domain; the raised error must
+        # carry that lane's iterations/residual/history, matching the
+        # scalar solver run on the same map.
+        def f(x):
+            out = 10.0 / (1.0 + x)
+            out = np.where(np.arange(x.size) == 2, x - 1.0, out)
+            return out
+
+        x0 = np.array([1.0, 2.0, 2.5, 3.0])
+        with pytest.raises(ConvergenceError) as excinfo:
+            solve_fixed_point_batch(f, x0.copy())
+        err = excinfo.value
+        try:
+            solve_fixed_point(lambda x: x - 1.0, 2.5)
+        except ConvergenceError as scalar_err:
+            assert err.iterations == scalar_err.iterations
+            assert err.residual == scalar_err.residual
+            assert tuple(err.residual_history) == tuple(
+                scalar_err.residual_history
+            )
+        else:  # pragma: no cover - scalar must fail too
+            pytest.fail("scalar solver unexpectedly converged")
+
+    def test_diverging_lane_does_not_poison_converged_lanes(self):
+        def f(x):
+            out = 10.0 / (1.0 + x)
+            out = np.where(np.arange(x.size) == 1, x - 1.0, out)
+            return out
+
+        x0 = np.array([1.0, 2.5, 4.0])
+        result = solve_fixed_point_batch(f, x0.copy(), raise_on_failure=False)
+        assert list(result.converged) == [True, False, True]
+        for i in (0, 2):
+            scalar = solve_fixed_point(lambda x: 10.0 / (1.0 + x), float(x0[i]))
+            assert result.values[i] == scalar.value
+            assert result.iterations[i] == scalar.iterations
+            assert result.residuals[i] == scalar.residual
+
+    def test_budget_exhaustion_matches_scalar_contract(self):
+        # x -> 1/x oscillates forever; both solvers must report the same
+        # iteration count, residual, and trailing history.
+        result = solve_fixed_point_batch(
+            lambda x: 1.0 / x, np.array([2.0]),
+            max_iter=20, use_aitken=False, raise_on_failure=False,
+        )
+        assert not result.converged[0]
+        assert result.iterations[0] == 20
+        with pytest.raises(ConvergenceError) as excinfo:
+            solve_fixed_point(lambda x: 1.0 / x, 2.0, max_iter=20,
+                              use_aitken=False)
+        err = excinfo.value
+        assert err.iterations == result.iterations[0]
+        assert err.residual == result.residuals[0]
+        assert tuple(err.residual_history) == result.residual_histories[0]
+        assert len(result.residual_histories[0]) == FIXED_POINT_HISTORY_LEN
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            solve_fixed_point_batch(lambda x: x, np.array([1.0, -1.0]))
+        with pytest.raises(ValueError):
+            solve_fixed_point_batch(lambda x: x, np.ones((2, 2)))
+
+    def test_empty_batch(self):
+        result = solve_fixed_point_batch(lambda x: x, np.empty(0))
+        assert result.values.size == 0
+        assert result.converged.size == 0
+
+    def test_divergence_emits_scalar_compatible_telemetry(self):
+        def f(x):
+            return x - 1.0
+
+        with obs.capture() as col:
+            with pytest.raises(ConvergenceError):
+                solve_fixed_point_batch(f, np.array([0.5, 0.5]))
+        events = [
+            e for e in col.events if e["name"] == "fixed_point.divergence"
+        ]
+        assert len(events) == 2
+        assert col.counters["fixed_point.failures"] == 2
+        for event in events:
+            assert event["evaluations"] >= 1
+
+    @given(
+        coeffs=st.lists(
+            st.tuples(
+                st.floats(min_value=0.5, max_value=200.0),
+                st.floats(min_value=0.05, max_value=20.0),
+                st.floats(min_value=0.01, max_value=10.0),
+                st.floats(min_value=1e-3, max_value=50.0),
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+        use_aitken=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_batched_matches_scalar_bitwise(self, coeffs, use_aitken):
+        # Random members of the gamma-update family x -> a / (b + c x):
+        # each lane of the batch must replay its scalar solve exactly,
+        # in values, iteration counts, residuals, and histories.
+        a = np.array([t[0] for t in coeffs])
+        b = np.array([t[1] for t in coeffs])
+        c = np.array([t[2] for t in coeffs])
+        x0 = np.array([t[3] for t in coeffs])
+        result = solve_fixed_point_batch(
+            _contractive_map(a, b, c), x0.copy(),
+            use_aitken=use_aitken, raise_on_failure=False,
+        )
+        for i in range(x0.size):
+            fi = _contractive_map(a[i], b[i], c[i])
+            try:
+                scalar = solve_fixed_point(
+                    fi, float(x0[i]), use_aitken=use_aitken
+                )
+            except ConvergenceError as err:
+                assert not result.converged[i]
+                assert result.iterations[i] == err.iterations
+                assert result.residuals[i] == err.residual
+                assert result.residual_histories[i] == tuple(
+                    err.residual_history
+                )
+            else:
+                assert result.converged[i]
+                assert result.values[i] == scalar.value
+                assert result.iterations[i] == scalar.iterations
+                assert result.residuals[i] == scalar.residual
+
+    def test_batch_span_attrs(self):
+        a, b, c, x0 = self._coeffs(5)
+        with obs.capture(level="debug") as col:
+            solve_fixed_point_batch(_contractive_map(a, b, c), x0)
+        spans = [
+            e for e in col.events
+            if e["kind"] == "span" and e["name"] == "fixed_point.batch"
+        ]
+        assert len(spans) == 1
+        sp = spans[0]
+        assert sp["lanes"] == 5
+        assert sp["evaluations"] > 0
+        assert sp["max_residual"] <= 1e-12
+        assert sp["failed_lanes"] == 0
 
 
 class TestBracketQuantile:
