@@ -170,6 +170,22 @@ class JointPosterior(abc.ABC):
             lambda r: self.reliability_cdf(r, c) - q, 0.0, 1.0, xtol=1e-10
         )
 
+    def reliability_quantile_batch(
+        self, q: np.ndarray, c: Callable[[np.ndarray], np.ndarray]
+    ) -> np.ndarray:
+        """Reliability quantiles at many levels.
+
+        The default loops over :meth:`reliability_quantile`; sample
+        posteriors override it so the shared work (transforming and
+        sorting the reliability samples) happens once for the whole
+        batch. Interval consumers should prefer this entry point, like
+        :meth:`quantile_batch` for the marginals.
+        """
+        levels = np.atleast_1d(np.asarray(q, dtype=float))
+        return np.array(
+            [self.reliability_quantile(float(level), c) for level in levels]
+        )
+
     def reliability_interval(
         self, level: float, c: Callable[[np.ndarray], np.ndarray]
     ) -> tuple[float, float]:
@@ -177,10 +193,10 @@ class JointPosterior(abc.ABC):
         if not 0.0 < level < 1.0:
             raise ValueError("level must be in (0, 1)")
         tail = 0.5 * (1.0 - level)
-        return (
-            self.reliability_quantile(tail, c),
-            self.reliability_quantile(1.0 - tail, c),
+        lower, upper = self.reliability_quantile_batch(
+            np.array([tail, 1.0 - tail]), c
         )
+        return float(lower), float(upper)
 
     # ------------------------------------------------------------------
     def moments_summary(self) -> dict[str, float]:

@@ -6,9 +6,18 @@ grouped data (Tanner & Wong), plus a general random-walk Metropolis
 fallback and convergence diagnostics.
 """
 
-from repro.bayes.mcmc.chains import ChainSettings, MCMCResult
+from repro.bayes.mcmc.chains import (
+    VARIATE_LAYERS,
+    ChainSettings,
+    MCMCResult,
+    kept_draws,
+)
 from repro.bayes.mcmc.gibbs_failure_time import gibbs_failure_time
 from repro.bayes.mcmc.gibbs_grouped import gibbs_grouped
+from repro.bayes.mcmc.lane_engine import (
+    gibbs_failure_time_lanes,
+    gibbs_grouped_lanes,
+)
 from repro.bayes.mcmc.metropolis import random_walk_metropolis
 from repro.bayes.mcmc.multichain import MultiChainResult, run_chains
 from repro.bayes.mcmc.slice_sampler import slice_sample
@@ -24,10 +33,14 @@ __all__ = [
     "ChainSettings",
     "MCMCResult",
     "MultiChainResult",
+    "VARIATE_LAYERS",
+    "kept_draws",
     "run_chains",
     "slice_sample",
     "gibbs_failure_time",
     "gibbs_grouped",
+    "gibbs_failure_time_lanes",
+    "gibbs_grouped_lanes",
     "random_walk_metropolis",
     "effective_sample_size",
     "geweke_z",

@@ -10,7 +10,32 @@ from repro import obs
 from repro.bayes.mcmc.diagnostics import effective_sample_size
 from repro.bayes.sample_posterior import EmpiricalPosterior
 
-__all__ = ["ChainSettings", "MCMCResult", "record_sampler_telemetry"]
+__all__ = [
+    "ChainSettings",
+    "MCMCResult",
+    "VARIATE_LAYERS",
+    "kept_draws",
+    "record_sampler_telemetry",
+]
+
+#: How a sampler turns randomness into variates. ``"direct"`` draws
+#: from ``numpy.random.Generator`` distribution methods (the legacy
+#: stream, frozen for the golden Table 6/7 regressions); ``"inverse"``
+#: maps the generator's raw uniform stream through the explicit
+#: inverse-CDF layer in :mod:`repro.stats`, the representation the
+#: lane-parallel engine batches across chains and replications.
+VARIATE_LAYERS = ("direct", "inverse")
+
+
+def kept_draws(burn_in: int, thin: int, total_iterations: int) -> int:
+    """Number of draws the keep rule retains from a sweep schedule.
+
+    The rule keeps post-burn-in sweep ``index`` (0-based) when
+    ``(index + 1) % thin == 0`` — i.e. ``floor((total - burn_in)/thin)``
+    draws. Exposed so the schedule validation (and its tests) share the
+    samplers' arithmetic instead of re-deriving it.
+    """
+    return max((total_iterations - burn_in) // thin, 0)
 
 
 def record_sampler_telemetry(
@@ -49,6 +74,7 @@ class ChainSettings:
     burn_in: int = 10_000
     thin: int = 10
     seed: int | None = None
+    variate_layer: str = "direct"
 
     def __post_init__(self) -> None:
         if self.n_samples < 1:
@@ -57,11 +83,47 @@ class ChainSettings:
             raise ValueError("burn_in must be non-negative")
         if self.thin < 1:
             raise ValueError("thin must be at least 1")
+        if self.variate_layer not in VARIATE_LAYERS:
+            raise ValueError(
+                f"variate_layer must be one of {VARIATE_LAYERS}, "
+                f"got {self.variate_layer!r}"
+            )
+        # The schedule must retain exactly n_samples draws — a mismatch
+        # here would make the samplers silently return a short sample
+        # array, so it is rejected up front rather than truncated later.
+        retained = kept_draws(self.burn_in, self.thin, self.total_iterations)
+        if retained != self.n_samples:
+            raise ValueError(
+                f"schedule keeps {retained} draws, expected n_samples="
+                f"{self.n_samples} (burn_in={self.burn_in}, thin={self.thin}, "
+                f"total={self.total_iterations})"
+            )
 
     @property
     def total_iterations(self) -> int:
         """Total Gibbs sweeps the schedule requires."""
         return self.burn_in + self.thin * self.n_samples
+
+    def with_seed(self, seed: int | None) -> "ChainSettings":
+        """Copy of the schedule with a different seed (chain spawning)."""
+        return ChainSettings(
+            n_samples=self.n_samples,
+            burn_in=self.burn_in,
+            thin=self.thin,
+            seed=seed,
+            variate_layer=self.variate_layer,
+        )
+
+    def with_variate_layer(self, variate_layer: str) -> "ChainSettings":
+        """Copy of the schedule on a different variate layer (e.g. the
+        batchable ``"inverse"`` layer for lane-parallel campaigns)."""
+        return ChainSettings(
+            n_samples=self.n_samples,
+            burn_in=self.burn_in,
+            thin=self.thin,
+            seed=self.seed,
+            variate_layer=variate_layer,
+        )
 
 
 @dataclass

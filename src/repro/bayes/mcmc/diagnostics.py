@@ -4,6 +4,15 @@ Standard tools: autocorrelation (FFT-based), effective sample size via
 Geyer's initial-positive-sequence truncation, the Geweke mean-
 comparison z-score, and the Gelman–Rubin potential scale reduction
 factor for multiple chains.
+
+Every per-chain diagnostic accepts either a 1-D chain (scalar result,
+the legacy code path, unchanged bit for bit) or a stacked
+``(n_chains, n)`` array (one result per row from a single batched
+computation). The batched FFT evaluates all rows in one transform;
+NumPy's multi-row FFT is not guaranteed bitwise equal to ``n_chains``
+separate 1-D transforms, so batched results agree with per-row scalar
+calls to ~1 ulp — the Geyer truncation lags themselves are integers and
+match exactly (asserted by the regression tests).
 """
 
 from __future__ import annotations
@@ -20,19 +29,48 @@ __all__ = [
 ]
 
 
-def autocorrelation(chain: np.ndarray, max_lag: int | None = None) -> np.ndarray:
-    """Normalised autocorrelation function of a 1-D chain.
+def _fft_size(n: int) -> int:
+    return 1 << int(np.ceil(np.log2(2 * n)))
 
-    Computed with the FFT (O(n log n)); lag 0 is always 1.
+
+def _autocorrelation_batch(chains: np.ndarray, max_lag: int | None) -> np.ndarray:
+    """Row-wise ACF of a stacked ``(n_chains, n)`` array, one FFT."""
+    _, n = chains.shape
+    if n < 2:
+        raise ValueError("chain must be 1-D with at least two elements")
+    if max_lag is None:
+        max_lag = min(n - 1, 1000)
+    centred = chains - chains.mean(axis=1, keepdims=True)
+    size = _fft_size(n)
+    spectrum = np.fft.rfft(centred, size, axis=1)
+    acov = np.fft.irfft(spectrum * np.conj(spectrum), size, axis=1)[:, : max_lag + 1]
+    lag0 = acov[:, 0]
+    out = np.zeros_like(acov)
+    ok = lag0 > 0.0
+    out[ok] = acov[ok] / lag0[ok, None]
+    # Constant rows: autocorrelation undefined; conventionally 1 at
+    # lag 0 and 0 elsewhere.
+    out[~ok, 0] = 1.0
+    return out
+
+
+def autocorrelation(chain: np.ndarray, max_lag: int | None = None) -> np.ndarray:
+    """Normalised autocorrelation function, FFT-based (O(n log n)).
+
+    A 1-D chain gives the ACF vector with lag 0 always 1; a stacked
+    ``(n_chains, n)`` array gives one ACF row per chain, all rows from
+    a single batched transform.
     """
     chain = np.asarray(chain, dtype=float)
+    if chain.ndim == 2:
+        return _autocorrelation_batch(chain, max_lag)
     if chain.ndim != 1 or chain.size < 2:
         raise ValueError("chain must be 1-D with at least two elements")
     n = chain.size
     if max_lag is None:
         max_lag = min(n - 1, 1000)
     centred = chain - chain.mean()
-    size = 1 << int(np.ceil(np.log2(2 * n)))
+    size = _fft_size(n)
     spectrum = np.fft.rfft(centred, size)
     acov = np.fft.irfft(spectrum * np.conj(spectrum), size)[: max_lag + 1]
     if acov[0] <= 0.0:
@@ -44,13 +82,37 @@ def autocorrelation(chain: np.ndarray, max_lag: int | None = None) -> np.ndarray
     return acov / acov[0]
 
 
-def effective_sample_size(chain: np.ndarray) -> float:
+def _effective_sample_size_batch(chains: np.ndarray) -> np.ndarray:
+    """Per-row Geyer ESS of a stacked ``(n_chains, n)`` array."""
+    m, n = chains.shape
+    if n < 4:
+        return np.full(m, float(n))
+    rho = _autocorrelation_batch(chains, max_lag=n - 1)
+    n_pairs = (n - 1) // 2
+    pairs = rho[:, 1::2][:, :n_pairs] + rho[:, 2::2][:, :n_pairs]
+    # Geyer truncation: keep the leading run of positive pair sums.
+    leading = np.cumprod(pairs > 0.0, axis=1).astype(bool)
+    ess = np.empty(m)
+    for row in range(m):
+        k = int(leading[row].sum())
+        # np.sum over the kept prefix, matching the scalar path's
+        # np.sum(pair_sums) reduction order.
+        tau = 1.0 + 2.0 * float(np.sum(pairs[row, :k]))
+        ess[row] = n / max(tau, 1.0)
+    return ess
+
+
+def effective_sample_size(chain: np.ndarray) -> float | np.ndarray:
     """ESS with Geyer's initial positive sequence estimator.
 
     Sums adjacent autocorrelation pairs until a pair sum goes
-    non-positive, then truncates; robust to noisy ACF tails.
+    non-positive, then truncates; robust to noisy ACF tails. A 1-D
+    chain gives a float; a stacked ``(n_chains, n)`` array gives the
+    per-chain ESS vector from one batched ACF.
     """
     chain = np.asarray(chain, dtype=float)
+    if chain.ndim == 2:
+        return _effective_sample_size_batch(chain)
     n = chain.size
     if n < 4:
         return float(n)
@@ -69,13 +131,27 @@ def effective_sample_size(chain: np.ndarray) -> float:
 
 def geweke_z(
     chain: np.ndarray, first: float = 0.1, last: float = 0.5
-) -> float:
+) -> float | np.ndarray:
     """Geweke (1992) convergence z-score comparing the means of the
     first ``first`` and last ``last`` fractions of the chain, with
-    variances scaled by each segment's ESS."""
-    chain = np.asarray(chain, dtype=float)
+    variances scaled by each segment's ESS.
+
+    A stacked ``(n_chains, n)`` array gives one z-score per row, with
+    both segment ESS vectors computed in batched form.
+    """
     if not 0.0 < first < 1.0 or not 0.0 < last < 1.0 or first + last > 1.0:
         raise ValueError("segment fractions must be in (0,1) and sum to <= 1")
+    chain = np.asarray(chain, dtype=float)
+    if chain.ndim == 2:
+        n = chain.shape[1]
+        head = chain[:, : max(int(first * n), 2)]
+        tail = chain[:, -max(int(last * n), 2):]
+        var_head = head.var(axis=1, ddof=1) / _effective_sample_size_batch(head)
+        var_tail = tail.var(axis=1, ddof=1) / _effective_sample_size_batch(tail)
+        denom = np.sqrt(var_head + var_tail)
+        diff = head.mean(axis=1) - tail.mean(axis=1)
+        safe = np.where(denom == 0.0, 1.0, denom)
+        return np.where(denom == 0.0, 0.0, diff / safe)
     n = chain.size
     head = chain[: max(int(first * n), 2)]
     tail = chain[-max(int(last * n), 2):]
@@ -87,13 +163,25 @@ def geweke_z(
     return float((head.mean() - tail.mean()) / denom)
 
 
-def gelman_rubin(chains: list[np.ndarray]) -> float:
+def gelman_rubin(chains: list[np.ndarray] | np.ndarray) -> float:
     """Potential scale reduction factor ``R̂`` for two or more chains of
-    equal length; values near 1 indicate convergence."""
-    if len(chains) < 2:
-        raise ValueError("Gelman-Rubin needs at least two chains")
-    arr = np.asarray([np.asarray(c, dtype=float) for c in chains])
+    equal length; values near 1 indicate convergence.
+
+    Accepts a list of 1-D chains or an already-stacked
+    ``(n_chains, n)`` array (same arithmetic either way — the stacked
+    form just skips the per-chain conversion loop).
+    """
+    if isinstance(chains, np.ndarray):
+        arr = np.asarray(chains, dtype=float)
+        if arr.ndim != 2:
+            raise ValueError("stacked chains must be 2-D (n_chains, n)")
+    else:
+        if len(chains) < 2:
+            raise ValueError("Gelman-Rubin needs at least two chains")
+        arr = np.asarray([np.asarray(c, dtype=float) for c in chains])
     m, n = arr.shape
+    if m < 2:
+        raise ValueError("Gelman-Rubin needs at least two chains")
     if n < 2:
         raise ValueError("chains must have at least two samples")
     chain_means = arr.mean(axis=1)

@@ -19,7 +19,21 @@ from repro.bayes.mcmc.diagnostics import (
     gelman_rubin,
     geweke_z,
 )
+from repro.bayes.mcmc.gibbs_failure_time import gibbs_failure_time
+from repro.bayes.mcmc.gibbs_grouped import gibbs_grouped
+from repro.bayes.mcmc.lane_engine import (
+    gibbs_failure_time_lanes,
+    gibbs_grouped_lanes,
+)
 from repro.bayes.sample_posterior import EmpiricalPosterior
+
+#: Samplers the lane engine can run as lock-step lanes of one batched
+#: fit; anything else (e.g. the Metropolis fallback) keeps the
+#: per-chain loop.
+_LANE_SAMPLERS = {
+    gibbs_failure_time: gibbs_failure_time_lanes,
+    gibbs_grouped: gibbs_grouped_lanes,
+}
 
 __all__ = ["MultiChainResult", "run_chains"]
 
@@ -87,32 +101,49 @@ def run_chains(
     n_chains:
         Number of independent chains (each gets seed ``base_seed + i``).
     settings:
-        Per-chain schedule (the burn-in applies to every chain).
+        Per-chain schedule (the burn-in applies to every chain). With
+        ``variate_layer="inverse"`` the Gibbs samplers run as lock-step
+        lanes of one batched fit
+        (:mod:`repro.bayes.mcmc.lane_engine`) — chain ``i``'s samples
+        are bit-identical to the per-chain loop with the same seeds.
     """
     if n_chains < 2:
         raise ValueError("run at least two chains for convergence checks")
     settings = settings or ChainSettings()
-    chains = []
-    for index in range(n_chains):
-        chain_settings = ChainSettings(
-            n_samples=settings.n_samples,
-            burn_in=settings.burn_in,
-            thin=settings.thin,
-            seed=base_seed + index,
+    chain_settings = [
+        settings.with_seed(base_seed + index) for index in range(n_chains)
+    ]
+    lanes_sampler = _LANE_SAMPLERS.get(sampler)
+    if settings.variate_layer == "inverse" and lanes_sampler is not None:
+        rngs = [np.random.default_rng(cs.seed) for cs in chain_settings]
+        chains = lanes_sampler(
+            data, prior, alpha0, settings=settings, rngs=rngs
         )
-        rng = np.random.default_rng(chain_settings.seed)
-        chains.append(
-            sampler(data, prior, alpha0, settings=chain_settings, rng=rng)
-        )
+        # Re-attach each lane's own seeded schedule so per-chain
+        # provenance matches the loop path.
+        for chain, cs in zip(chains, chain_settings):
+            chain.settings = cs
+    else:
+        chains = [
+            sampler(
+                data,
+                prior,
+                alpha0,
+                settings=cs,
+                rng=np.random.default_rng(cs.seed),
+            )
+            for cs in chain_settings
+        ]
 
+    # One stacked (n_chains, n) array per parameter feeds the batched
+    # diagnostics: one FFT for all chains' ACFs, one Gelman-Rubin pass.
+    stacked = np.stack([chain.samples for chain in chains])
     rhat = {}
     ess = {}
     geweke = {}
     for column, param in ((0, "omega"), (1, "beta")):
-        traces = [chain.samples[:, column] for chain in chains]
+        traces = np.ascontiguousarray(stacked[:, :, column])
         rhat[param] = gelman_rubin(traces)
-        ess[param] = float(
-            sum(effective_sample_size(trace) for trace in traces)
-        )
-        geweke[param] = [geweke_z(trace) for trace in traces]
+        ess[param] = float(sum(effective_sample_size(traces).tolist()))
+        geweke[param] = [float(z) for z in geweke_z(traces)]
     return MultiChainResult(chains=chains, rhat=rhat, ess=ess, geweke=geweke)

@@ -80,12 +80,12 @@ class EmpiricalPosterior(JointPosterior):
 
     def quantile(self, param: str, q: float) -> float:
         """Order-statistic quantile of rank ``round(q * n)`` (clamped to
-        the valid range), matching the paper's convention."""
+        the valid range), matching the paper's convention. Routed
+        through :meth:`quantile_batch` so both entry points share one
+        rank-lookup implementation."""
         if not 0.0 < q < 1.0:
             raise ValueError("quantile level must be in (0, 1)")
-        ordered = self._sorted[self._check_param(param)]
-        rank = min(max(int(round(q * ordered.size)), 1), ordered.size)
-        return float(ordered[rank - 1])
+        return float(self.quantile_batch(param, q)[0])
 
     def quantile_batch(self, param: str, q: np.ndarray) -> np.ndarray:
         """All levels by one vectorized rank lookup into the sorted
@@ -129,9 +129,19 @@ class EmpiricalPosterior(JointPosterior):
     ) -> float:
         if not 0.0 < q < 1.0:
             raise ValueError("quantile level must be in (0, 1)")
+        return float(self.reliability_quantile_batch(q, c)[0])
+
+    def reliability_quantile_batch(
+        self, q: np.ndarray, c: Callable[[np.ndarray], np.ndarray]
+    ) -> np.ndarray:
+        """All levels from one transform-and-sort of the reliability
+        samples (the sort dominates; per-level cost is a rank lookup)."""
+        levels = np.atleast_1d(np.asarray(q, dtype=float))
+        if levels.size and not np.all((levels > 0.0) & (levels < 1.0)):
+            raise ValueError("quantile levels must be in (0, 1)")
         values = np.sort(self._reliability_samples(c))
-        rank = min(max(int(round(q * values.size)), 1), values.size)
-        return float(values[rank - 1])
+        ranks = np.clip(np.rint(levels * values.size).astype(int), 1, values.size)
+        return values[ranks - 1].astype(float)
 
     # ------------------------------------------------------------------
     def scatter(self, max_points: int | None = None,

@@ -89,6 +89,23 @@ class CoverageResult:
         }
 
 
+def _interval_score(
+    posterior: JointPosterior,
+    truths: dict[str, float],
+    levels: np.ndarray,
+) -> tuple[dict[str, bool], dict[str, float]]:
+    """Hit flags and widths of one posterior's central intervals, both
+    endpoints through the batched quantile path (one simultaneous
+    inversion per parameter)."""
+    hits = {}
+    widths = {}
+    for param, truth in truths.items():
+        lo, hi = posterior.quantile_batch(param, levels)
+        hits[param] = bool(lo <= truth <= hi)
+        widths[param] = float(hi - lo)
+    return hits, widths
+
+
 def _coverage_replication(
     true_model: NHPPModel,
     prior: ModelPrior,
@@ -121,14 +138,7 @@ def _coverage_replication(
     for label, fit in fitters.items():
         try:
             posterior = fit(data, prior)
-            hits = {}
-            widths = {}
-            for param, truth in truths.items():
-                # Both endpoints through the batched quantile path: one
-                # simultaneous inversion per parameter.
-                lo, hi = posterior.quantile_batch(param, levels)
-                hits[param] = bool(lo <= truth <= hi)
-                widths[param] = float(hi - lo)
+            hits, widths = _interval_score(posterior, truths, levels)
         except ReproError as exc:
             obs.event(
                 "coverage.replication_failed",
@@ -139,6 +149,63 @@ def _coverage_replication(
             return None
         out[label] = (hits, widths)
     return out
+
+
+def _lane_phase(
+    per_replication: list,
+    lane_fitters: dict,
+    true_model: NHPPModel,
+    prior: ModelPrior,
+    horizon: float,
+    level: float,
+    seed: int,
+    indices: list[int],
+) -> list:
+    """Score every lane fitter on the campaigns the per-replication
+    phase kept, all campaigns at once per fitter.
+
+    Campaign ``i``'s data is rebuilt from ``replication_seed(seed, i)``
+    — the same stream the per-replication phase consumed, so both
+    phases see bit-identical datasets — and the fitter's lane ``i``
+    draws from the separate ``replication_seed(seed, i, 1)`` stream.
+    """
+    eligible = [
+        index
+        for index, outcome in zip(indices, per_replication)
+        if outcome is not None
+    ]
+    if not eligible:
+        return per_replication
+    datasets = []
+    for index in eligible:
+        rng = np.random.default_rng(replication_seed(seed, index))
+        datasets.append(simulate_failure_times(true_model, horizon, rng))
+    truths = {
+        "omega": true_model.omega,
+        "beta": float(true_model.params["beta"]),
+    }
+    tail = 0.5 * (1.0 - level)
+    levels = np.array([tail, 1.0 - tail])
+    merged = {
+        index: dict(outcome)
+        for index, outcome in zip(indices, per_replication)
+        if outcome is not None
+    }
+    for label, fitter in lane_fitters.items():
+        rngs = [
+            np.random.default_rng(replication_seed(seed, index, 1))
+            for index in eligible
+        ]
+        posteriors = fitter.fit_lanes(datasets, prior, rngs)
+        obs.event(
+            "coverage.lane_phase",
+            label=label,
+            lanes=len(eligible),
+            confidence=level,
+        )
+        for index, posterior in zip(eligible, posteriors):
+            merged[index][label] = _interval_score(posterior, truths, levels)
+    return [merged.get(index) for index in indices]
 
 
 def interval_coverage_study(
@@ -164,7 +231,16 @@ def interval_coverage_study(
         Prior handed to every fitter.
     fitters:
         ``{label: fit}`` where ``fit(data, prior)`` returns a
-        :class:`JointPosterior` (e.g. ``fit_vb2`` / ``fit_vb1``).
+        :class:`JointPosterior` (e.g. ``fit_vb2`` / ``fit_vb1``). A
+        fitter exposing ``fit_lanes(datasets, prior, rngs)`` (e.g.
+        :class:`repro.validation.fitters.MCMCLaneFitter`) is instead
+        run in a *lane phase*: every eligible campaign is fitted at
+        once as lock-step lanes of one batched MCMC run, with lane
+        ``i`` seeded from ``(seed, i, 1)``. Lane fitters score exactly
+        the campaigns the per-replication phase kept, so all
+        procedures stay comparable on a common campaign set; the
+        per-replication path itself is unchanged when no lane fitter
+        is present.
     horizon:
         Observation horizon of each simulated campaign.
     level:
@@ -183,11 +259,17 @@ def interval_coverage_study(
     """
     if replications < 1:
         raise ValueError("replications must be positive")
+    lane_fitters = {
+        label: fit for label, fit in fitters.items() if hasattr(fit, "fit_lanes")
+    }
+    loop_fitters = {
+        label: fit for label, fit in fitters.items() if label not in lane_fitters
+    }
     worker = partial(
         _coverage_replication,
         true_model,
         prior,
-        fitters,
+        loop_fitters,
         horizon,
         level,
         min_failures,
@@ -214,6 +296,17 @@ def interval_coverage_study(
             replications=replications,
             used=sum(1 for o in per_replication if o is not None),
             confidence=level,
+        )
+    if lane_fitters:
+        per_replication = _lane_phase(
+            per_replication,
+            lane_fitters,
+            true_model,
+            prior,
+            horizon,
+            level,
+            seed,
+            indices,
         )
     results = {
         label: CoverageResult(

@@ -36,7 +36,13 @@ __all__ = [
     "truncated_gamma_mean",
     "sample_truncated_gamma",
     "sample_censored_gamma",
+    "truncated_gamma_from_uniform",
+    "censored_gamma_from_uniform",
 ]
+
+#: Tail mass below which :func:`sample_censored_gamma` (and its
+#: uniform-stream twin) switch to the exponential tail approximation.
+_CENSORED_TAIL_FLOOR = 1e-280
 
 
 def censored_gamma_mean(
@@ -157,10 +163,92 @@ def sample_censored_gamma(
     if cut <= 0.0:
         return rng.gamma(shape=shape, scale=1.0 / rate, size=size)
     q_cut = float(sc.gammaincc(shape, rate * cut))
-    if q_cut > 1e-280:
+    if q_cut > _CENSORED_TAIL_FLOOR:
         u = rng.uniform(0.0, q_cut, size=size)
         return sc.gammainccinv(shape, u) / rate
     # Deep tail: T - cut is approximately exponential with rate `rate`.
     del_mean = censored_gamma_mean(cut, shape, rate) - cut
     _ = log_gamma_sf(cut, shape, rate)  # keep the log computation honest
     return cut + rng.exponential(scale=max(del_mean, 1.0 / rate), size=size)
+
+
+def truncated_gamma_from_uniform(
+    lo: np.ndarray,
+    hi: np.ndarray,
+    shape: float,
+    rate: np.ndarray,
+    u: np.ndarray,
+) -> np.ndarray:
+    """Inverse-CDF map of uniforms to ``T ~ Gamma(shape, rate)`` draws
+    conditioned on ``lo < T <= hi``, elementwise.
+
+    The uniform-stream twin of :func:`sample_truncated_gamma`, used by
+    the lane-parallel grouped Gibbs engine: all latent failure times of
+    all lanes map through one call. Intervals whose CDF increment
+    underflows fall back to uniform jitter on ``(lo, hi)``, exactly as
+    the direct sampler does. For the Goel–Okumoto lifetime
+    (``shape == 1``) the inversion is the closed-form exponential
+    quantile — no special-function call at all, which is what makes the
+    grouped sweep's 38-draw latent block almost free.
+    """
+    lo = np.asarray(lo, dtype=float)
+    hi = np.asarray(hi, dtype=float)
+    rate = np.asarray(rate, dtype=float)
+    u = np.asarray(u, dtype=float)
+    lo, hi, rate, u = np.broadcast_arrays(lo, hi, rate, u)
+    if shape == 1.0:
+        p_lo = -np.expm1(-rate * lo)
+        p_hi = -np.expm1(-rate * hi)
+    else:
+        p_lo = sc.gammainc(shape, rate * lo)
+        p_hi = sc.gammainc(shape, rate * hi)
+    degenerate = p_hi <= p_lo
+    low = np.where(degenerate, lo, p_lo)
+    high = np.where(degenerate, hi, p_hi)
+    p = low + u * (high - low)
+    if not degenerate.any():
+        if shape == 1.0:
+            return -np.log1p(-p) / rate
+        return sc.gammaincinv(shape, p) / rate
+    # Mixed case: p already *is* the jittered draw on degenerate
+    # entries; invert the CDF value only on the rest.
+    out = p.copy()
+    invert = ~degenerate
+    if shape == 1.0:
+        out[invert] = -np.log1p(-p[invert]) / rate[invert]
+    else:
+        out[invert] = sc.gammaincinv(shape, p[invert]) / rate[invert]
+    return out
+
+
+def censored_gamma_from_uniform(
+    cut: np.ndarray,
+    shape: float,
+    rate: np.ndarray,
+    u: np.ndarray,
+) -> np.ndarray:
+    """Inverse-CDF map of uniforms to ``T ~ Gamma(shape, rate)`` draws
+    conditioned on ``T > cut``, elementwise.
+
+    The uniform-stream twin of :func:`sample_censored_gamma` for the
+    lane engine's tail augmentation (``α0 != 1``): survival-scale
+    inversion ``SF⁻¹(u · SF(cut))``, with the same exponential tail
+    fallback once the censored mass underflows. ``shape == 1`` reduces
+    to the memoryless ``cut - log(u)/rate``.
+    """
+    cut = np.asarray(cut, dtype=float)
+    rate = np.asarray(rate, dtype=float)
+    u = np.asarray(u, dtype=float)
+    cut, rate, u = np.broadcast_arrays(cut, rate, u)
+    if shape == 1.0:
+        # Memoryless: SF(cut) = exp(-rate cut) exactly, never underflows
+        # the inversion (log-scale arithmetic throughout).
+        return np.where(cut <= 0.0, 0.0, cut) - np.log(u) / rate
+    q_cut = sc.gammaincc(shape, rate * np.clip(cut, 0.0, None))
+    deep = q_cut <= _CENSORED_TAIL_FLOOR
+    out = sc.gammainccinv(shape, np.where(deep, 0.5, u * q_cut)) / rate
+    if np.any(deep):
+        del_mean = np.atleast_1d(censored_gamma_mean(cut, shape, rate)) - cut
+        scale = np.maximum(del_mean, 1.0 / rate)
+        out = np.where(deep, cut + scale * -np.log1p(-u), out)
+    return out

@@ -1,24 +1,37 @@
 """Picklable ``fit(data, prior)`` callables for coverage campaigns.
 
 The parallel campaign runner ships fitters to worker processes, so
-they must be module-level functions. The deterministic methods are
-thin aliases; NINT gets a wrapper that first fits VB2 for its
-integration rectangle, as the paper prescribes. MCMC is deliberately
-absent here — its coverage behaviour is already represented by NINT
-(both track the exact posterior), and a per-replication chain would
-dominate the campaign cost; use SBC for MCMC calibration instead.
+they must be module-level functions (or picklable instances). The
+deterministic methods are thin aliases; NINT gets a wrapper that first
+fits VB2 for its integration rectangle, as the paper prescribes.
+
+MCMC is represented by :class:`MCMCLaneFitter`: the campaign runner
+recognises the type and, instead of fitting one chain per replication
+in the per-campaign loop, runs *all* replications of the campaign as
+lock-step lanes of one batched Gibbs fit
+(:func:`repro.bayes.mcmc.lane_engine.gibbs_failure_time_lanes`). Each
+lane consumes its own ``(seed, index)``-derived stream, so the lanes
+are bit-identical to fitting the replications one at a time with the
+scalar inverse-layer sampler.
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
 from repro.bayes.joint import JointPosterior
 from repro.bayes.laplace import fit_laplace
+from repro.bayes.mcmc.chains import ChainSettings
+from repro.bayes.mcmc.lane_engine import gibbs_failure_time_lanes
 from repro.bayes.nint import fit_nint
 from repro.bayes.priors import ModelPrior
 from repro.core.vb1 import fit_vb1
 from repro.core.vb2 import fit_vb2
 
-__all__ = ["coverage_fitters", "fit_nint_via_vb2"]
+__all__ = ["MCMCLaneFitter", "coverage_fitters", "fit_nint_via_vb2"]
 
 
 def fit_nint_via_vb2(data, prior: ModelPrior, alpha0: float = 1.0) -> JointPosterior:
@@ -27,9 +40,63 @@ def fit_nint_via_vb2(data, prior: ModelPrior, alpha0: float = 1.0) -> JointPoste
     return fit_nint(data, prior, alpha0, reference_posterior=reference)
 
 
+def _default_campaign_settings() -> ChainSettings:
+    """Campaign-scale schedule on the batchable inverse layer.
+
+    Shorter than the paper's single-fit schedule — a coverage campaign
+    multiplies the chain cost by the replication count, and interval
+    endpoints at the 0.5% tail stabilise well before 20000 draws.
+    """
+    return ChainSettings(
+        n_samples=4_000, burn_in=2_000, thin=2, variate_layer="inverse"
+    )
+
+
+@dataclass(frozen=True)
+class MCMCLaneFitter:
+    """Lane-capable MCMC fitter for coverage campaigns.
+
+    Not called per replication like the function fitters:
+    :func:`repro.metrics.coverage.interval_coverage_study` detects the
+    type and hands every eligible replication's dataset to
+    :meth:`fit_lanes` at once, one lane per campaign.
+    """
+
+    settings: ChainSettings = field(default_factory=_default_campaign_settings)
+    alpha0: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.settings.variate_layer != "inverse":
+            raise ValueError(
+                "MCMCLaneFitter batches the inverse variate layer; build "
+                'the schedule with variate_layer="inverse" (see '
+                "ChainSettings.with_variate_layer)"
+            )
+
+    def fit_lanes(
+        self,
+        datasets: Sequence,
+        prior: ModelPrior,
+        rngs: Sequence[np.random.Generator],
+    ) -> list[JointPosterior]:
+        """Fit all campaigns as lock-step lanes; one posterior each."""
+        results = gibbs_failure_time_lanes(
+            datasets, prior, self.alpha0, settings=self.settings, rngs=rngs
+        )
+        return [result.posterior() for result in results]
+
+    def __call__(self, data, prior: ModelPrior) -> JointPosterior:
+        raise TypeError(
+            "MCMCLaneFitter is not a per-replication callable; pass it to "
+            "interval_coverage_study, which batches all replications "
+            "through the lane engine"
+        )
+
+
 _COVERAGE_FITTERS = {
     "NINT": fit_nint_via_vb2,
     "LAPL": fit_laplace,
+    "MCMC": MCMCLaneFitter(),
     "VB1": fit_vb1,
     "VB2": fit_vb2,
 }

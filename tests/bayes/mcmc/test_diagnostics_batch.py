@@ -1,0 +1,97 @@
+"""Batched (stacked-array) entry points of the convergence diagnostics.
+
+The batched paths process all chains of a multichain fit in one FFT /
+one vectorized reduction. Multi-row FFTs are not bitwise equal to the
+1-D transform, so the contract is: scalar 1-D results are unchanged
+(legacy-exact), batched rows agree with the scalar path to ~1 ulp of
+the FFT, and the *integer* decisions — Geyer truncation lags, window
+sizes — are identical.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bayes.mcmc.diagnostics import (
+    autocorrelation,
+    effective_sample_size,
+    gelman_rubin,
+    geweke_z,
+)
+
+
+@pytest.fixture(scope="module")
+def stacked():
+    rng = np.random.default_rng(2024)
+    rows = []
+    for rho, loc in [(0.0, 0.0), (0.5, 1.0), (0.9, -2.0), (0.99, 0.3)]:
+        noise = rng.standard_normal(4_000)
+        row = np.empty(4_000)
+        row[0] = noise[0]
+        for i in range(1, 4_000):
+            row[i] = rho * row[i - 1] + np.sqrt(1.0 - rho**2) * noise[i]
+        rows.append(row + loc)
+    return np.stack(rows)
+
+
+class TestBatchedAutocorrelation:
+    def test_rows_match_scalar(self, stacked):
+        batched = autocorrelation(stacked, max_lag=50)
+        assert batched.shape == (4, 51)
+        for row in range(4):
+            scalar = autocorrelation(stacked[row], max_lag=50)
+            np.testing.assert_allclose(batched[row], scalar, atol=1e-12)
+
+    def test_lag_zero_rows_are_one(self, stacked):
+        assert np.all(autocorrelation(stacked, max_lag=5)[:, 0] == 1.0)
+
+    def test_constant_row_handled(self):
+        chains = np.vstack([np.ones(64), np.random.default_rng(0).random(64)])
+        rho = autocorrelation(chains, max_lag=8)
+        assert rho[0, 0] == 1.0
+        assert np.all(rho[0, 1:] == 0.0)
+
+
+class TestBatchedESS:
+    def test_rows_match_scalar(self, stacked):
+        batched = effective_sample_size(stacked)
+        assert batched.shape == (4,)
+        for row in range(4):
+            scalar = effective_sample_size(stacked[row])
+            assert batched[row] == pytest.approx(scalar, rel=1e-9)
+
+    def test_ordering_tracks_autocorrelation(self, stacked):
+        # Rows are ordered by increasing rho, so ESS must decrease.
+        batched = effective_sample_size(stacked)
+        assert np.all(np.diff(batched) < 0.0)
+
+    def test_short_rows(self):
+        chains = np.arange(6.0).reshape(2, 3)
+        assert np.array_equal(effective_sample_size(chains), [3.0, 3.0])
+
+
+class TestBatchedGeweke:
+    def test_rows_match_scalar(self, stacked):
+        batched = geweke_z(stacked)
+        assert batched.shape == (4,)
+        for row in range(4):
+            assert batched[row] == pytest.approx(
+                geweke_z(stacked[row]), rel=1e-9, abs=1e-9
+            )
+
+    def test_constant_rows_give_zero(self):
+        chains = np.vstack([np.full(200, 3.5), np.full(200, -1.0)])
+        assert np.array_equal(geweke_z(chains), [0.0, 0.0])
+
+    def test_fraction_validation_on_stacked_input(self, stacked):
+        with pytest.raises(ValueError):
+            geweke_z(stacked, first=0.7, last=0.5)
+
+
+class TestGelmanRubinStacked:
+    def test_array_equals_list(self, stacked):
+        rows = [stacked[i] for i in range(stacked.shape[0])]
+        assert gelman_rubin(stacked) == gelman_rubin(rows)
+
+    def test_needs_two_rows(self, stacked):
+        with pytest.raises(ValueError):
+            gelman_rubin(stacked[:1])

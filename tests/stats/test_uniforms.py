@@ -1,0 +1,141 @@
+"""Tests for the buffered per-lane uniform streams.
+
+The whole lane-engine identity argument rests on one contract: the
+concatenation of everything a lane is handed — across block takes,
+ragged takes, chunk refills and oversized requests — equals that
+lane's generator's plain sequential ``random()`` stream. These tests
+pin the contract down directly against fresh generators.
+"""
+
+import numpy as np
+import pytest
+
+from repro.stats.uniforms import DEFAULT_CHUNK, UniformLaneStream, segment_sums
+
+
+def _streams(n_lanes, seed=0, chunk=DEFAULT_CHUNK):
+    seeds = [seed + 17 * lane for lane in range(n_lanes)]
+    stream = UniformLaneStream(
+        [np.random.default_rng(s) for s in seeds], chunk=chunk
+    )
+    reference = [np.random.default_rng(s) for s in seeds]
+    return stream, reference
+
+
+class TestTakeBlock:
+    def test_matches_sequential_stream(self):
+        stream, reference = _streams(5)
+        out = stream.take_block(7)
+        assert out.shape == (5, 7)
+        for lane, rng in enumerate(reference):
+            assert np.array_equal(out[lane], rng.random(7))
+
+    def test_repeated_takes_continue_the_stream(self):
+        stream, reference = _streams(3)
+        chunks = [stream.take_block(k) for k in (3, 1, 5, 2)]
+        for lane, rng in enumerate(reference):
+            handed = np.concatenate([c[lane] for c in chunks])
+            assert np.array_equal(handed, rng.random(handed.size))
+
+    def test_take_granularity_is_irrelevant(self):
+        one, _ = _streams(2)
+        many, _ = _streams(2)
+        a = one.take_block(6)
+        b = np.hstack([many.take_block(2), many.take_block(3), many.take_block(1)])
+        assert np.array_equal(a, b)
+
+    def test_refill_preserves_order(self):
+        stream, reference = _streams(2, chunk=8)
+        takes = [stream.take_block(5) for _ in range(10)]
+        for lane, rng in enumerate(reference):
+            handed = np.concatenate([t[lane] for t in takes])
+            assert np.array_equal(handed, rng.random(50))
+
+
+class TestTakeRagged:
+    def test_lane_major_order(self):
+        stream, reference = _streams(3)
+        counts = np.array([2, 0, 4])
+        flat = stream.take_ragged(counts)
+        assert flat.shape == (6,)
+        assert np.array_equal(flat[:2], reference[0].random(2))
+        reference[1].random(0)
+        assert np.array_equal(flat[2:], reference[2].random(4))
+
+    def test_interleaved_block_and_ragged(self):
+        stream, reference = _streams(3, chunk=17)
+        pieces = [[] for _ in range(3)]
+        rng = np.random.default_rng(99)
+        for _ in range(40):
+            if rng.random() < 0.5:
+                block = stream.take_block(int(rng.integers(1, 6)))
+                for lane in range(3):
+                    pieces[lane].append(block[lane])
+            else:
+                counts = rng.integers(0, 9, size=3)
+                flat = stream.take_ragged(counts.astype(np.intp))
+                offsets = np.concatenate(([0], np.cumsum(counts)))
+                for lane in range(3):
+                    pieces[lane].append(flat[offsets[lane]:offsets[lane + 1]])
+        for lane, ref in enumerate(reference):
+            handed = np.concatenate(pieces[lane])
+            assert np.array_equal(handed, ref.random(handed.size))
+
+    def test_oversized_request_stays_on_stream(self):
+        stream, reference = _streams(2, chunk=8)
+        stream.take_block(3)
+        flat = stream.take_ragged(np.array([30, 2]))
+        after = stream.take_block(4)
+        for lane, ref in enumerate(reference):
+            ref.random(3)
+        assert np.array_equal(flat[:30], reference[0].random(30))
+        assert np.array_equal(flat[30:], reference[1].random(2))
+        for lane, ref in enumerate(reference):
+            assert np.array_equal(after[lane], ref.random(4))
+
+    def test_zero_counts_consume_nothing(self):
+        stream, reference = _streams(2)
+        assert stream.take_ragged(np.array([0, 0])).size == 0
+        out = stream.take_block(2)
+        for lane, ref in enumerate(reference):
+            assert np.array_equal(out[lane], ref.random(2))
+
+
+class TestSegmentSums:
+    def test_matches_reduceat(self):
+        rng = np.random.default_rng(1)
+        values = rng.random(100)
+        offsets = np.array([0, 10, 40, 95])
+        assert np.array_equal(
+            segment_sums(values, offsets), np.add.reduceat(values, offsets)
+        )
+
+    def test_position_independent(self):
+        # The property the engine and the scalar reference rely on: a
+        # segment's sum does not depend on where the segment sits in
+        # the global array.
+        rng = np.random.default_rng(2)
+        for _ in range(50):
+            counts = rng.integers(1, 12, size=6)
+            values = rng.random(int(counts.sum()))
+            offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+            whole = segment_sums(values, offsets)
+            for i in range(6):
+                seg = values[offsets[i]:offsets[i] + counts[i]]
+                alone = segment_sums(seg, np.array([0]))[0]
+                assert whole[i] == alone
+
+
+class TestValidation:
+    def test_needs_at_least_one_lane(self):
+        with pytest.raises(ValueError):
+            UniformLaneStream([])
+
+    def test_chunk_must_be_positive(self):
+        with pytest.raises(ValueError):
+            UniformLaneStream([np.random.default_rng(0)], chunk=0)
+
+    def test_ragged_counts_must_match_lanes(self):
+        stream, _ = _streams(3)
+        with pytest.raises(ValueError):
+            stream.take_ragged(np.array([1, 2]))

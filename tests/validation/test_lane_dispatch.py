@@ -1,0 +1,160 @@
+"""Lane-dispatch identity tests for the validation campaigns.
+
+The SBC runner and the coverage study both recognise lane-capable MCMC
+procedures and run every replication as one lock-step batched fit.
+The contract is identity, not similarity: the lane campaign must
+reproduce the per-replication loop outcome for outcome, bit by bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bayes.mcmc.chains import ChainSettings
+from repro.bayes.priors import ModelPrior
+from repro.core.vb2 import fit_vb2
+from repro.experiments.config import ExperimentScale
+from repro.metrics.coverage import interval_coverage_study
+from repro.models.goel_okumoto import GoelOkumoto
+from repro.validation.fitters import MCMCLaneFitter
+from repro.validation.sbc import SBCSpec, run_replication, run_sbc
+
+_LANE_SCALE = ExperimentScale(
+    mcmc=ChainSettings(
+        n_samples=300, burn_in=150, thin=1, variate_layer="inverse"
+    ),
+    nint_resolution=161,
+    label="lane-test",
+)
+_CAMPAIGN = dict(replications=10, ranks=15, seed=33, scale=_LANE_SCALE)
+
+
+class TestSbcLaneDispatch:
+    @pytest.fixture(scope="class")
+    def lane_result(self):
+        return run_sbc(SBCSpec(method="MCMC", **_CAMPAIGN))
+
+    def test_outcomes_identical_to_loop(self, lane_result):
+        spec = lane_result.spec
+        for outcome in lane_result.outcomes:
+            assert outcome == run_replication(spec, outcome.index)
+
+    def test_rerun_identical(self, lane_result):
+        assert run_sbc(lane_result.spec).to_dict() == lane_result.to_dict()
+
+    def test_indices_subset_matches(self, lane_result):
+        subset = run_sbc(lane_result.spec, indices=[4, 1])
+        by_index = {o.index: o for o in lane_result.outcomes}
+        assert subset.outcomes == (by_index[4], by_index[1])
+
+    def test_direct_layer_uses_loop_path(self):
+        # Same campaign on the legacy direct layer must still run (the
+        # loop path) and keep the simulated truths identical — the fit
+        # stream is independent of the sim stream by construction.
+        direct_scale = ExperimentScale(
+            mcmc=ChainSettings(n_samples=300, burn_in=150, thin=1),
+            nint_resolution=161,
+            label="lane-test-direct",
+        )
+        direct = run_sbc(
+            SBCSpec(
+                method="MCMC",
+                replications=4,
+                ranks=15,
+                seed=33,
+                scale=direct_scale,
+            )
+        )
+        lanes = run_sbc(
+            SBCSpec(method="MCMC", replications=4, ranks=15, seed=33,
+                    scale=_LANE_SCALE)
+        )
+        for a, b in zip(direct.outcomes, lanes.outcomes):
+            assert a.truth == b.truth
+            assert a.failures == b.failures
+
+
+class TestCoverageLaneDispatch:
+    @pytest.fixture(scope="class")
+    def study(self):
+        true_model = GoelOkumoto(omega=50.0, beta=0.1)
+        prior = ModelPrior.informative(45.0, 20.0, 0.12, 0.06)
+        fitters = {
+            "MCMC": MCMCLaneFitter(settings=_LANE_SCALE.mcmc),
+            "VB2": fit_vb2,
+        }
+        return interval_coverage_study(
+            true_model,
+            prior,
+            fitters,
+            horizon=25.0,
+            level=0.9,
+            replications=24,
+            seed=13,
+        )
+
+    def test_lane_fitter_scores_same_campaigns(self, study):
+        assert study["MCMC"].replications == study["VB2"].replications
+        assert study["MCMC"].replications > 0
+
+    def test_coverage_and_widths_sane(self, study):
+        for param in ("omega", "beta"):
+            assert 0.0 <= study["MCMC"].coverage(param) <= 1.0
+            assert study["MCMC"].widths[param] > 0.0
+
+    def test_mcmc_tracks_vb2(self, study):
+        # Both procedures target the same posterior; on common
+        # campaigns their interval widths agree to MC error.
+        assert study["MCMC"].widths["omega"] == pytest.approx(
+            study["VB2"].widths["omega"], rel=0.3
+        )
+
+    def test_deterministic(self, study):
+        true_model = GoelOkumoto(omega=50.0, beta=0.1)
+        prior = ModelPrior.informative(45.0, 20.0, 0.12, 0.06)
+        again = interval_coverage_study(
+            true_model,
+            prior,
+            {"MCMC": MCMCLaneFitter(settings=_LANE_SCALE.mcmc)},
+            horizon=25.0,
+            level=0.9,
+            replications=24,
+            seed=13,
+        )
+        assert again["MCMC"].to_dict() == study["MCMC"].to_dict()
+
+
+class TestMCMCLaneFitter:
+    def test_direct_layer_rejected(self):
+        with pytest.raises(ValueError, match="inverse"):
+            MCMCLaneFitter(settings=ChainSettings(n_samples=10, burn_in=5,
+                                                  thin=1))
+
+    def test_not_a_per_replication_callable(self, times_data):
+        fitter = MCMCLaneFitter(settings=_LANE_SCALE.mcmc)
+        prior = ModelPrior.informative(45.0, 20.0, 0.12, 0.06)
+        with pytest.raises(TypeError, match="lane"):
+            fitter(times_data, prior)
+
+    def test_fit_lanes_matches_scalar_posteriors(self, info_prior_times):
+        rng = np.random.default_rng(3)
+        datasets = []
+        from repro.data.failure_data import FailureTimeData
+
+        for i in range(3):
+            times = np.sort(rng.uniform(1.0, 50.0, size=8 + i))
+            datasets.append(FailureTimeData(times, horizon=60.0))
+        fitter = MCMCLaneFitter(settings=_LANE_SCALE.mcmc)
+        posteriors = fitter.fit_lanes(
+            datasets,
+            info_prior_times,
+            [np.random.default_rng(40 + i) for i in range(3)],
+        )
+        from repro.bayes.mcmc.gibbs_failure_time import gibbs_failure_time
+
+        for i, (data, posterior) in enumerate(zip(datasets, posteriors)):
+            scalar = gibbs_failure_time(
+                data,
+                info_prior_times,
+                settings=_LANE_SCALE.mcmc.with_seed(40 + i),
+            )
+            assert np.array_equal(posterior.samples, scalar.samples)

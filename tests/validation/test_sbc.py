@@ -114,6 +114,11 @@ class TestCoverageFitters:
         assert set(fitters) == {"VB1", "VB2", "LAPL", "NINT"}
         assert fitters["NINT"] is fit_nint_via_vb2
 
+    def test_mcmc_label_is_lane_fitter(self):
+        fitters = coverage_fitters(["MCMC"])
+        assert hasattr(fitters["MCMC"], "fit_lanes")
+        assert fitters["MCMC"].settings.variate_layer == "inverse"
+
     def test_unknown_label_rejected(self):
-        with pytest.raises(ValueError, match="MCMC"):
-            coverage_fitters(["MCMC"])
+        with pytest.raises(ValueError, match="BOGUS"):
+            coverage_fitters(["BOGUS"])
