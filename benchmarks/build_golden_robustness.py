@@ -1,0 +1,62 @@
+"""Regenerate the golden robustness fixture.
+
+``tests/fixtures/golden_robustness.json`` pins an 8-replication
+misspecification mini-campaign — one well-specified anchor plus the
+harshest default severity of each scenario family, scored with the
+deterministic fitters (LAPL, VB1, VB2) and the sandwich column — in
+the canonical artifact serialisation. The tier-2 regression suite
+(``tests/validation/test_golden_robustness.py``) re-runs the campaign
+and asserts the bytes still match exactly.
+
+Run after intentionally changing the generators, the campaign driver,
+or the sandwich correction:
+
+    PYTHONPATH=src python benchmarks/build_golden_robustness.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.robustness import RobustnessSpec, run_robustness
+from repro.robustness.generators import SCENARIO_FAMILIES, default_severities
+from repro.validation.artifacts import ValidationArtifact
+
+FIXTURE = (
+    Path(__file__).resolve().parent.parent
+    / "tests" / "fixtures" / "golden_robustness.json"
+)
+
+
+def golden_spec() -> RobustnessSpec:
+    """The pinned mini-campaign (shared with the regression test)."""
+    families = tuple(sorted(SCENARIO_FAMILIES))
+    return RobustnessSpec(
+        families=families,
+        severities={
+            family: (0.0, default_severities(family)[-1])
+            for family in families
+        },
+        methods=("LAPL", "VB1", "VB2"),
+        replications=8,
+        seed=20070628,
+    )
+
+
+def build_artifact() -> ValidationArtifact:
+    summary = run_robustness(golden_spec(), workers=1).to_dict()
+    return ValidationArtifact(
+        kind="robustness",
+        config=summary["config"],
+        results={k: v for k, v in summary.items() if k != "config"},
+    )
+
+
+def main() -> None:
+    artifact = build_artifact()
+    FIXTURE.write_text(artifact.to_json(), encoding="utf-8")
+    print(f"wrote {FIXTURE}")
+
+
+if __name__ == "__main__":
+    main()

@@ -199,6 +199,43 @@ class JointPosterior(abc.ABC):
         return float(lower), float(upper)
 
     # ------------------------------------------------------------------
+    # Residual fault count D = omega * c(beta), c = 1 - G(te)
+    # ------------------------------------------------------------------
+    def residual_quantile_batch(
+        self, q: np.ndarray, survival: Callable[[np.ndarray], np.ndarray]
+    ) -> np.ndarray:
+        """Quantiles of the expected residual fault count
+        ``D = ω c(β)`` with ``c`` a :class:`~repro.core.reliability.
+        ResidualSurvival` (``c(β) = 1 - G(te; β)``).
+
+        ``D = -log R`` for the reliability ``R = exp(-ω c(β))``, and
+        ``-log`` is strictly decreasing, so quantiles transform exactly:
+        the ``q``-quantile of ``D`` is ``-log`` of the ``(1-q)``-quantile
+        of ``R``. Posteriors whose reliability quantiles are not genuine
+        probabilities (the Laplace delta method) override this with a
+        native approximation.
+        """
+        levels = np.atleast_1d(np.asarray(q, dtype=float))
+        rel = np.asarray(
+            self.reliability_quantile_batch(1.0 - levels, survival), dtype=float
+        )
+        with np.errstate(divide="ignore"):
+            return -np.log(np.clip(rel, 0.0, 1.0))
+
+    def residual_interval(
+        self, level: float, survival: Callable[[np.ndarray], np.ndarray]
+    ) -> tuple[float, float]:
+        """Central two-sided credible interval for the residual fault
+        count (the robustness campaign's second coverage target)."""
+        if not 0.0 < level < 1.0:
+            raise ValueError("level must be in (0, 1)")
+        tail = 0.5 * (1.0 - level)
+        lower, upper = self.residual_quantile_batch(
+            np.array([tail, 1.0 - tail]), survival
+        )
+        return float(lower), float(upper)
+
+    # ------------------------------------------------------------------
     def moments_summary(self) -> dict[str, float]:
         """The five quantities of the paper's Table 1."""
         return {

@@ -67,6 +67,19 @@ class NormalPosterior(JointPosterior):
         """The MAP location (copy)."""
         return self._mean.copy()
 
+    def with_covariance(self, cov: np.ndarray) -> "NormalPosterior":
+        """Copy of this posterior with a replaced covariance.
+
+        Keeps the MAP location and the reliability-derivative hook; the
+        sandwich correction (:func:`repro.bayes.sandwich.apply_sandwich`)
+        uses this because an affine spread change of a normal is again a
+        normal in closed form.
+        """
+        return NormalPosterior(
+            self._mean, np.asarray(cov, dtype=float),
+            c_derivative=self._c_derivative,
+        )
+
     def mean(self, param: str) -> float:
         return float(self._mean[_PARAM_INDEX[self._check_param(param)]])
 
@@ -156,3 +169,32 @@ class NormalPosterior(JointPosterior):
             raise ValueError("quantile level must be in (0, 1)")
         r_hat, sd = self._reliability_mean_std(c)
         return float(st.norm.ppf(q, loc=r_hat, scale=sd))
+
+    # ------------------------------------------------------------------
+    # Residual fault count: delta method on D = omega * c(beta) directly
+    # ------------------------------------------------------------------
+    def residual_quantile_batch(
+        self, q: np.ndarray, survival: Callable[[np.ndarray], np.ndarray]
+    ) -> np.ndarray:
+        """Delta-method normal quantiles of ``D = ω c(β)``.
+
+        The generic ``-log``-of-reliability transform is ill-defined
+        here (the delta-method reliability quantile can leave ``(0, 1]``),
+        so LAPL linearises ``D`` itself — with the same known pathology
+        that the lower bound can be negative.
+        """
+        levels = np.atleast_1d(np.asarray(q, dtype=float))
+        omega_hat, beta_hat = self._mean
+        c_hat = float(survival(beta_hat))
+        step = 1e-6 * beta_hat
+        dc = float(survival(beta_hat + step) - survival(beta_hat - step)) / (
+            2.0 * step
+        )
+        grad = np.array([c_hat, omega_hat * dc])
+        var = float(grad @ self._cov @ grad)
+        return np.asarray(
+            st.norm.ppf(
+                levels, loc=omega_hat * c_hat, scale=math.sqrt(max(var, 0.0))
+            ),
+            dtype=float,
+        )

@@ -21,6 +21,8 @@ Two families of commands:
           --replications 200 --workers 4
       python -m repro validate coverage --methods VB1,VB2 \
           --replications 200 --level 0.9 --workers 4
+      python -m repro validate robustness --families contaminated \
+          --replications 100 --workers 4
 
 ``fit``, ``simulate`` and the ``validate`` campaigns accept
 ``--trace PATH`` (with ``--trace-level summary|timing|debug``) to write
@@ -203,6 +205,36 @@ def build_parser() -> argparse.ArgumentParser:
     coverage.add_argument("--true-beta", type=float, default=0.1,
                           help="data-generating beta")
     add_campaign_options(coverage)
+
+    robustness = validate_kind.add_parser(
+        "robustness",
+        help="interval coverage under misspecified data generators "
+        "(degradation curves + sandwich-correction pay-back)",
+    )
+    robustness.add_argument(
+        "--families", default="all",
+        help="comma-separated scenario families to sweep (weibull-hazard, "
+        "change-point, contaminated, truncated-reporting) or 'all'",
+    )
+    robustness.add_argument(
+        "--severities", action="append", default=None, metavar="FAMILY=S1,S2",
+        help="override one family's severity grid, e.g. "
+        "'contaminated=0,0.4,0.7' (repeatable; grids should start at the "
+        "well-specified anchor 0)",
+    )
+    robustness.add_argument(
+        "--methods", default="NINT,LAPL,MCMC,VB1,VB2",
+        help="comma-separated posterior methods to score",
+    )
+    robustness.add_argument(
+        "--no-sandwich", action="store_true",
+        help="skip the sandwich-corrected VB2 column",
+    )
+    robustness.add_argument(
+        "--level", type=float, default=0.9,
+        help="nominal credible level to assess",
+    )
+    add_campaign_options(robustness)
 
     report = subparsers.add_parser(
         "report",
@@ -393,8 +425,11 @@ def _run_validate_coverage(args) -> str:
     )
     from repro.validation.fitters import coverage_fitters
 
+    from repro.experiments import PAPER_SCALE, QUICK_SCALE
+
     labels = [label.strip().upper() for label in args.methods.split(",") if label.strip()]
-    fitters = coverage_fitters(labels)
+    scale = PAPER_SCALE if args.scale == "paper" else QUICK_SCALE
+    fitters = coverage_fitters(labels, scale=scale)
     true_model = make_model(
         "goel-okumoto", omega=args.true_omega, beta=args.true_beta
     )
@@ -423,6 +458,7 @@ def _run_validate_coverage(args) -> str:
         "replications": args.replications,
         "min_failures": args.min_failures,
         "seed": args.seed,
+        "scale": scale.label,
     }
     artifact = ValidationArtifact(
         kind="coverage",
@@ -443,6 +479,103 @@ def _run_validate_coverage(args) -> str:
                 f"{param} {record.coverage(param):.3f} ({mark})"
             )
         lines.append(f"  {label:<6} {'   '.join(flags)}")
+    lines.append(f"artifact: {path}")
+    return "\n".join(lines)
+
+
+def _parse_severity_overrides(entries) -> dict | None:
+    """Parse repeated ``--severities FAMILY=S1,S2,...`` options."""
+    if not entries:
+        return None
+    overrides: dict[str, tuple[float, ...]] = {}
+    for entry in entries:
+        family, _, grid = entry.partition("=")
+        if not grid:
+            raise SystemExit(
+                f"error: --severities expects FAMILY=S1,S2,..., got {entry!r}"
+            )
+        try:
+            overrides[family.strip()] = tuple(
+                float(s) for s in grid.split(",") if s.strip()
+            )
+        except ValueError as exc:
+            raise SystemExit(
+                f"error: bad severity grid in {entry!r}: {exc}"
+            ) from exc
+    return overrides
+
+
+def _run_validate_robustness(args) -> str:
+    from repro.experiments import PAPER_SCALE, QUICK_SCALE
+    from repro.metrics.timing import time_callable
+    from repro.robustness import (
+        SANDWICH_LABEL,
+        SCENARIO_FAMILIES,
+        RobustnessSpec,
+        run_robustness,
+    )
+    from repro.validation.artifacts import (
+        ValidationArtifact,
+        default_artifact_path,
+        save_artifact,
+    )
+
+    if args.families.strip().lower() == "all":
+        families = tuple(SCENARIO_FAMILIES)
+    else:
+        families = tuple(
+            f.strip() for f in args.families.split(",") if f.strip()
+        )
+    methods = tuple(
+        label.strip().upper()
+        for label in args.methods.split(",")
+        if label.strip()
+    )
+    spec = RobustnessSpec(
+        families=families,
+        severities=_parse_severity_overrides(args.severities),
+        methods=methods,
+        sandwich=not args.no_sandwich,
+        prior=_campaign_prior(args),
+        horizon=args.horizon,
+        level=args.level,
+        replications=args.replications,
+        min_failures=args.min_failures,
+        seed=args.seed,
+        scale=PAPER_SCALE if args.scale == "paper" else QUICK_SCALE,
+    )
+    timing = time_callable(
+        lambda: run_robustness(spec, workers=_campaign_workers(args))
+    )
+    result = timing.result
+    summary = result.to_dict()
+    artifact = ValidationArtifact(
+        kind="robustness", config=summary["config"],
+        results={k: v for k, v in summary.items() if k != "config"},
+    )
+    out = args.out or default_artifact_path("robustness", *families)
+    path = save_artifact(artifact, out)
+    lines = [
+        f"robustness at nominal {args.level:.0%} — "
+        f"{len(spec.cells())} cells x {spec.replications} replications "
+        f"({timing.seconds:.1f}s, workers={args.workers or 'auto'})"
+    ]
+    for cell in result.cells:
+        cols = "   ".join(
+            f"{label} {cell.coverage(label, 'residual'):.3f}"
+            for label in spec.labels()
+        )
+        lines.append(
+            f"  {cell.family:<20} sev={cell.severity:<5g} "
+            f"residual coverage: {cols}"
+        )
+    if spec.sandwich and "VB2" in spec.methods:
+        flag = result.sandwich_recovers_half_on_contamination()
+        verdict = "yes" if flag else "no"
+        lines.append(
+            f"  {SANDWICH_LABEL} recovers >= half of lost coverage on a "
+            f"contamination cell: {verdict}"
+        )
     lines.append(f"artifact: {path}")
     return "\n".join(lines)
 
@@ -490,6 +623,8 @@ def _dispatch(args) -> int:
         try:
             if args.validate_command == "sbc":
                 print(_run_validate_sbc(args))
+            elif args.validate_command == "robustness":
+                print(_run_validate_robustness(args))
             else:
                 print(_run_validate_coverage(args))
         except ValueError as exc:

@@ -54,6 +54,14 @@ class VBConfig:
         ``N``. Both paths produce bit-identical posteriors (the batch
         lanes replay the scalar iteration exactly); the flag exists as
         an escape hatch and for the benchmark/test comparisons.
+    variance_correction:
+        ``"none"`` returns the raw variational posterior. ``"sandwich"``
+        rescales its marginal spreads to the sandwich covariance
+        ``A⁻¹BA⁻¹`` estimated from the data at the posterior mean
+        (:func:`repro.bayes.sandwich.apply_sandwich`) — a
+        misspecification-robust interval mode: asymptotically a no-op
+        under the true model, wider when the mean-value function is
+        misfit. See ``docs/METHOD.md`` (robustness section).
     """
 
     tail_tolerance: float = 1e-12
@@ -65,12 +73,18 @@ class VBConfig:
     use_aitken: bool = True
     truncation_policy: str = "error"
     batched_solver: bool = True
+    variance_correction: str = "none"
 
     def __post_init__(self) -> None:
         if self.truncation_policy not in ("error", "clamp"):
             raise ValueError(
                 f"truncation_policy must be 'error' or 'clamp', "
                 f"got {self.truncation_policy!r}"
+            )
+        if self.variance_correction not in ("none", "sandwich"):
+            raise ValueError(
+                f"variance_correction must be 'none' or 'sandwich', "
+                f"got {self.variance_correction!r}"
             )
         if not 0.0 < self.tail_tolerance < 1.0:
             raise ValueError("tail_tolerance must be in (0, 1)")

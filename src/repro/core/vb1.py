@@ -32,6 +32,7 @@ import numpy as np
 
 from repro import obs
 from repro.bayes.priors import ModelPrior
+from repro.bayes.sandwich import apply_sandwich
 from repro.core.config import VBConfig
 from repro.core.posterior import VBPosterior
 from repro.data.failure_data import FailureTimeData, GroupedData
@@ -65,7 +66,10 @@ def fit_vb1(
         raise ValueError(f"alpha0 must be positive, got {alpha0}")
     config = config or VBConfig()
     with obs.span("vb1.fit", collect=True, data=type(data).__name__) as sp:
-        return _fit_vb1(data, prior, alpha0, config, sp)
+        posterior = _fit_vb1(data, prior, alpha0, config, sp)
+    if config.variance_correction == "sandwich":
+        return apply_sandwich(posterior, data, alpha0=alpha0)
+    return posterior
 
 
 def _fit_vb1(

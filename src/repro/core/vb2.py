@@ -19,6 +19,7 @@ from scipy import special as sc
 
 from repro import obs
 from repro.bayes.priors import ModelPrior
+from repro.bayes.sandwich import apply_sandwich
 from repro.core.config import VBConfig
 from repro.core.gamma_updates import (
     ConditionalSolution,
@@ -69,13 +70,19 @@ def fit_vb2(
     -------
     VBPosterior
         Mixture posterior with diagnostics ``{"nmax", "tail_mass",
-        "fixed_point_iterations", "n_growth_rounds"}``.
+        "fixed_point_iterations", "n_growth_rounds"}``. With
+        ``config.variance_correction == "sandwich"`` the mixture is
+        wrapped in a :class:`~repro.bayes.sandwich.ScaledPosterior`
+        whose marginal spreads follow the sandwich covariance.
     """
     if alpha0 <= 0.0:
         raise ValueError(f"alpha0 must be positive, got {alpha0}")
     config = config or VBConfig()
     with obs.span("vb2.fit", collect=True, data=type(data).__name__) as sp:
-        return _fit_vb2(data, prior, alpha0, config, nmax, sp)
+        posterior = _fit_vb2(data, prior, alpha0, config, nmax, sp)
+    if config.variance_correction == "sandwich":
+        return apply_sandwich(posterior, data, alpha0=alpha0)
+    return posterior
 
 
 def _fit_vb2(

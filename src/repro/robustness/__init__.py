@@ -1,0 +1,56 @@
+"""Misspecification & robustness campaign subsystem.
+
+The SBC and coverage campaigns (PR 1) validate every posterior method
+*under the true model*. This package measures what happens when that
+assumption fails — the regime Wang & Blei (arXiv:1905.10859,
+arXiv:1705.03439) show is exactly where variational posteriors carry a
+generically wrong variance:
+
+* :mod:`repro.robustness.generators` — a library of out-of-family data
+  generators (Weibull hazard, change-point intensity, heavy-tailed
+  contamination, right-truncated reporting), each with an *exact*
+  mean-value function so simulated counts are verifiable;
+* :mod:`repro.robustness.campaign` — a deterministic scenario ×
+  severity × method sweep that records interval-coverage degradation
+  curves, byte-identical serial or parallel, exposed as
+  ``repro validate robustness``;
+* :mod:`repro.bayes.sandwich` (consumed here) — the sandwich-style
+  posterior-variance correction whose coverage pay-back the campaign
+  quantifies.
+"""
+
+from repro.robustness.generators import (
+    SCENARIO_FAMILIES,
+    ChangePointScenario,
+    ContaminatedScenario,
+    MisspecScenario,
+    TruncatedReportingScenario,
+    WeibullHazardScenario,
+    default_severities,
+    make_scenario,
+)
+from repro.robustness.campaign import (
+    ROBUSTNESS_METHODS,
+    ROBUSTNESS_TARGETS,
+    SANDWICH_LABEL,
+    RobustnessResult,
+    RobustnessSpec,
+    run_robustness,
+)
+
+__all__ = [
+    "SCENARIO_FAMILIES",
+    "MisspecScenario",
+    "WeibullHazardScenario",
+    "ChangePointScenario",
+    "ContaminatedScenario",
+    "TruncatedReportingScenario",
+    "default_severities",
+    "make_scenario",
+    "ROBUSTNESS_METHODS",
+    "ROBUSTNESS_TARGETS",
+    "SANDWICH_LABEL",
+    "RobustnessSpec",
+    "RobustnessResult",
+    "run_robustness",
+]

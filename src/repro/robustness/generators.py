@@ -1,0 +1,428 @@
+"""Out-of-family NHPP data generators for the robustness campaign.
+
+Each scenario family generates failure-time data from a process
+*outside* the gamma-type family the estimators fit, parameterised by a
+``severity`` knob whose zero setting recovers the well-specified
+Goel–Okumoto baseline exactly — so every degradation curve is anchored
+at the calibrated case.
+
+Every scenario carries an **exact mean-value function** ``Λ(t)`` (and
+its limit ``Λ(∞)``, the expected total fault count), which serves two
+purposes:
+
+* simulated event counts are verifiable against ``Λ(t)`` within
+  Poisson tolerance (the property suite enforces this per family);
+* the campaign scores interval coverage against well-defined process
+  functionals — ``Λ(∞)`` and the expected residual count
+  ``Λ(∞) − Λ(te)`` — that exist for any finite-failure process, with
+  no appeal to a "true ``(ω, β)``" that misspecified data do not have.
+
+The four families mirror the production failure modes named in ROADMAP
+item 5:
+
+* :class:`WeibullHazardScenario` — wear-out detection (Weibull lifetime
+  shape drifting away from exponential);
+* :class:`ChangePointScenario` — a mid-observation regime change (new
+  release: fault influx and a faster detection rate after ``τ``),
+  with ``Λ`` continuous at the change point;
+* :class:`ContaminatedScenario` — an ε-fraction of faults with
+  heavy-tailed (Lomax) detection times, inflating the inter-failure
+  time tail;
+* :class:`TruncatedReportingScenario` — right-truncated reporting:
+  failures after a cutoff are only reported with probability ``p``,
+  realised as a seed-for-seed thinning of the untruncated stream.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.failure_data import FailureTimeData
+from repro.data.simulation import simulate_failure_times
+from repro.models.goel_okumoto import GoelOkumoto
+from repro.models.weibull_srm import WeibullSRM
+
+__all__ = [
+    "MisspecScenario",
+    "WeibullHazardScenario",
+    "ChangePointScenario",
+    "ContaminatedScenario",
+    "TruncatedReportingScenario",
+    "SCENARIO_FAMILIES",
+    "default_severities",
+    "make_scenario",
+]
+
+#: Baseline Goel–Okumoto parameters every family perturbs; matched to
+#: the default campaign prior (ω ~ 40 ± 12, β ~ 0.1 ± 0.04) so the
+#: severity-0 cell reproduces a well-specified, well-prior'd fit.
+BASE_OMEGA = 40.0
+BASE_BETA = 0.1
+
+
+def _check_severity(severity: float) -> None:
+    if not (0.0 <= severity and math.isfinite(severity)):
+        raise ValueError(f"severity must be finite and >= 0, got {severity}")
+
+
+class MisspecScenario(abc.ABC):
+    """A data-generating process with an exact mean-value function.
+
+    Subclasses are frozen dataclasses; ``severity = 0`` must reduce the
+    process to the Goel–Okumoto baseline ``(BASE_OMEGA, BASE_BETA)``.
+    """
+
+    #: Registry name of the scenario family.
+    family: str = "?"
+
+    severity: float
+
+    @abc.abstractmethod
+    def mean_value(self, t: float | np.ndarray) -> float | np.ndarray:
+        """Exact ``Λ(t) = E[M(t)]`` of the generated counting process."""
+
+    @property
+    @abc.abstractmethod
+    def total_faults(self) -> float:
+        """``Λ(∞)``: expected total (reported) fault count."""
+
+    @abc.abstractmethod
+    def simulate(self, horizon: float, rng: np.random.Generator) -> FailureTimeData:
+        """Draw one failure campaign observed on ``[0, horizon]``."""
+
+    # ------------------------------------------------------------------
+    def expected_count(self, horizon: float) -> float:
+        """``Λ(horizon)``: expected observed failures."""
+        return float(self.mean_value(horizon))
+
+    def expected_residual(self, horizon: float) -> float:
+        """``Λ(∞) − Λ(horizon)``: expected faults still latent."""
+        return self.total_faults - self.expected_count(horizon)
+
+    def truths(self, horizon: float) -> dict[str, float]:
+        """The coverage targets the campaign scores intervals against."""
+        return {
+            "omega": self.total_faults,
+            "residual": self.expected_residual(horizon),
+        }
+
+    def describe(self) -> dict:
+        """JSON-ready description (campaign artifacts)."""
+        return {"family": self.family, "severity": self.severity}
+
+
+@dataclass(frozen=True)
+class WeibullHazardScenario(MisspecScenario):
+    """Weibull-lifetime NHPP: ``Λ(t) = ω (1 − e^{−(βt)^c})``.
+
+    ``severity s`` maps to the Weibull shape ``c = 1 + 2s``; ``s = 0``
+    is exponential (Goel–Okumoto), ``s = 0.5`` the Rayleigh SRM. The
+    increasing hazard concentrates detections mid-window, which the
+    exponential-lifetime fit mistakes for a smaller fault pool.
+    """
+
+    severity: float = 0.0
+    omega: float = BASE_OMEGA
+    beta: float = BASE_BETA
+
+    family = "weibull-hazard"
+
+    def __post_init__(self) -> None:
+        _check_severity(self.severity)
+
+    @property
+    def shape(self) -> float:
+        """Weibull lifetime shape ``c``."""
+        return 1.0 + 2.0 * self.severity
+
+    def _model(self) -> WeibullSRM:
+        return WeibullSRM(omega=self.omega, beta=self.beta, shape=self.shape)
+
+    def mean_value(self, t):
+        return self._model().mean_value(t)
+
+    @property
+    def total_faults(self) -> float:
+        return self.omega
+
+    def simulate(self, horizon: float, rng: np.random.Generator) -> FailureTimeData:
+        return simulate_failure_times(self._model(), horizon, rng)
+
+    def describe(self) -> dict:
+        return {**super().describe(), "omega": self.omega, "beta": self.beta,
+                "shape": self.shape}
+
+
+@dataclass(frozen=True)
+class ChangePointScenario(MisspecScenario):
+    """Single change-point intensity: a release at ``τ`` injects new
+    faults and speeds detection.
+
+    On ``[0, τ]`` the process is the Goel–Okumoto baseline. After ``τ``
+    the residual pool is inflated to ``ω e^{−βτ} (1 + 2s)`` and the
+    detection rate to ``β (1 + 2s)``:
+
+    ``Λ(t) = ω (1 − e^{−βt})``                            for ``t ≤ τ``,
+    ``Λ(t) = Λ(τ) + ω₂ (1 − e^{−β₂ (t−τ)})``              for ``t > τ``.
+
+    ``Λ`` is continuous at ``τ`` by construction (the property suite
+    checks this), and ``s = 0`` collapses both branches to the baseline
+    mean-value function exactly.
+    """
+
+    severity: float = 0.0
+    omega: float = BASE_OMEGA
+    beta: float = BASE_BETA
+    tau: float = 10.0
+
+    family = "change-point"
+
+    def __post_init__(self) -> None:
+        _check_severity(self.severity)
+        if self.tau <= 0.0:
+            raise ValueError(f"tau must be positive, got {self.tau}")
+
+    @property
+    def surge(self) -> float:
+        """Post-change inflation factor ``1 + 2s``."""
+        return 1.0 + 2.0 * self.severity
+
+    @property
+    def omega2(self) -> float:
+        """Expected post-change fault pool."""
+        return self.omega * math.exp(-self.beta * self.tau) * self.surge
+
+    @property
+    def beta2(self) -> float:
+        """Post-change detection rate."""
+        return self.beta * self.surge
+
+    def mean_value(self, t):
+        t = np.asarray(t, dtype=float)
+        pre = self.omega * -np.expm1(-self.beta * np.clip(t, 0.0, self.tau))
+        post = self.omega2 * -np.expm1(
+            -self.beta2 * np.clip(t - self.tau, 0.0, None)
+        )
+        out = pre + post
+        if out.ndim == 0:
+            return float(out)
+        return out
+
+    @property
+    def total_faults(self) -> float:
+        pre = self.omega * -math.expm1(-self.beta * self.tau)
+        return pre + self.omega2
+
+    def simulate(self, horizon: float, rng: np.random.Generator) -> FailureTimeData:
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        # Pre-change events: the baseline process restricted to [0, τ].
+        n_pre = int(rng.poisson(self.omega))
+        pre = rng.exponential(scale=1.0 / self.beta, size=n_pre)
+        pre = pre[pre <= min(self.tau, horizon)]
+        # Post-change events: an independent delayed process started at τ.
+        # Drawn unconditionally so the stream consumption (and thus the
+        # replication seed contract) does not depend on the horizon.
+        n_post = int(rng.poisson(self.omega2))
+        post = self.tau + rng.exponential(scale=1.0 / self.beta2, size=n_post)
+        post = post[post <= horizon]
+        times = np.sort(np.concatenate([pre, post]))
+        return FailureTimeData(times, horizon=horizon)
+
+    def describe(self) -> dict:
+        return {**super().describe(), "omega": self.omega, "beta": self.beta,
+                "tau": self.tau, "omega2": self.omega2, "beta2": self.beta2}
+
+
+@dataclass(frozen=True)
+class ContaminatedScenario(MisspecScenario):
+    """ε-contamination with heavy-tailed (Lomax) detection times.
+
+    Each fault's lifetime is exponential with probability ``1 − ε`` and
+    Lomax(``κ``, scale ``1/β``) with probability ``ε = severity``:
+
+    ``Λ(t) = ω [(1−ε)(1 − e^{−βt}) + ε (1 − (1 + βt)^{−κ})]``.
+
+    The default tail shape ``κ = 2.5`` keeps the contaminated lifetimes
+    heavy-tailed (power law, infinite third moment) but *finite-mean* —
+    the regime where the misfit mostly inflates the sampling variability
+    of the fit, which a variance correction can repair. ``κ < 1`` gives
+    infinite-mean lifetimes: most contaminated faults then hide beyond
+    any horizon and the interval failure is extrapolation *bias*, which
+    no honest variance correction recovers (the campaign documents
+    both regimes).
+    """
+
+    severity: float = 0.0
+    omega: float = BASE_OMEGA
+    beta: float = BASE_BETA
+    kappa: float = 2.5
+
+    family = "contaminated"
+
+    def __post_init__(self) -> None:
+        _check_severity(self.severity)
+        if not 0.0 <= self.severity <= 1.0:
+            raise ValueError(
+                f"contamination severity is a probability, got {self.severity}"
+            )
+        if self.kappa <= 0.0:
+            raise ValueError(f"kappa must be positive, got {self.kappa}")
+
+    def mean_value(self, t):
+        t = np.clip(np.asarray(t, dtype=float), 0.0, None)
+        eps = self.severity
+        clean = -np.expm1(-self.beta * t)
+        heavy = -np.expm1(-self.kappa * np.log1p(self.beta * t))
+        out = self.omega * ((1.0 - eps) * clean + eps * heavy)
+        if out.ndim == 0:
+            return float(out)
+        return out
+
+    @property
+    def total_faults(self) -> float:
+        return self.omega
+
+    def simulate(self, horizon: float, rng: np.random.Generator) -> FailureTimeData:
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        n_faults = int(rng.poisson(self.omega))
+        # Fixed consumption order (mixture mask, exponential draws,
+        # Lomax draws) keeps the stream deterministic per seed.
+        mix = rng.uniform(size=n_faults)
+        clean = rng.exponential(scale=1.0 / self.beta, size=n_faults)
+        tail_u = rng.uniform(size=n_faults)
+        with np.errstate(divide="ignore"):
+            heavy = (tail_u ** (-1.0 / self.kappa) - 1.0) / self.beta
+        lifetimes = np.where(mix < self.severity, heavy, clean)
+        observed = np.sort(lifetimes[lifetimes <= horizon])
+        return FailureTimeData(observed, horizon=horizon)
+
+    def describe(self) -> dict:
+        return {**super().describe(), "omega": self.omega, "beta": self.beta,
+                "kappa": self.kappa, "epsilon": self.severity}
+
+
+@dataclass(frozen=True)
+class TruncatedReportingScenario(MisspecScenario):
+    """Right-truncated reporting: failures after ``cutoff`` only reach
+    the dataset with probability ``p = 1 − severity``.
+
+    The *occurrence* process is the Goel–Okumoto baseline; reporting is
+    an independent thinning of the tail:
+
+    ``Λ(t) = Λ₀(t)``                         for ``t ≤ cutoff``,
+    ``Λ(t) = Λ₀(cutoff) + p (Λ₀(t) − Λ₀(cutoff))``  otherwise.
+
+    :meth:`simulate` is a **prefix-measurable thinning** of
+    :meth:`simulate_untruncated`, seed for seed: the untruncated stream
+    is drawn first from the generator, then one keep-uniform per event;
+    whether event ``i`` survives depends only on the stream up to ``i``.
+    The property suite checks the reported stream is a subset of the
+    untruncated one and agrees with it exactly before the cutoff.
+    """
+
+    severity: float = 0.0
+    omega: float = BASE_OMEGA
+    beta: float = BASE_BETA
+    cutoff: float = 15.0
+
+    family = "truncated-reporting"
+
+    def __post_init__(self) -> None:
+        _check_severity(self.severity)
+        if not 0.0 <= self.severity <= 1.0:
+            raise ValueError(
+                f"truncation severity is a drop probability, got {self.severity}"
+            )
+        if self.cutoff <= 0.0:
+            raise ValueError(f"cutoff must be positive, got {self.cutoff}")
+
+    @property
+    def report_prob(self) -> float:
+        """Reporting probability ``p`` after the cutoff."""
+        return 1.0 - self.severity
+
+    def _base_model(self) -> GoelOkumoto:
+        return GoelOkumoto(omega=self.omega, beta=self.beta)
+
+    def mean_value(self, t):
+        t = np.clip(np.asarray(t, dtype=float), 0.0, None)
+        base = self._base_model()
+        lam = np.asarray(base.mean_value(t), dtype=float)
+        lam_cut = float(base.mean_value(self.cutoff))
+        out = np.where(
+            t <= self.cutoff,
+            lam,
+            lam_cut + self.report_prob * (lam - lam_cut),
+        )
+        if out.ndim == 0:
+            return float(out)
+        return out
+
+    @property
+    def total_faults(self) -> float:
+        base = self._base_model()
+        lam_cut = float(base.mean_value(self.cutoff))
+        return lam_cut + self.report_prob * (self.omega - lam_cut)
+
+    def simulate_untruncated(
+        self, horizon: float, rng: np.random.Generator
+    ) -> FailureTimeData:
+        """The occurrence stream, before any reporting loss."""
+        return simulate_failure_times(self._base_model(), horizon, rng)
+
+    def simulate(self, horizon: float, rng: np.random.Generator) -> FailureTimeData:
+        full = self.simulate_untruncated(horizon, rng)
+        keep_u = rng.uniform(size=full.count)
+        keep = (full.times <= self.cutoff) | (keep_u < self.report_prob)
+        return FailureTimeData(full.times[keep], horizon=horizon, unit=full.unit)
+
+    def describe(self) -> dict:
+        return {**super().describe(), "omega": self.omega, "beta": self.beta,
+                "cutoff": self.cutoff, "report_prob": self.report_prob}
+
+
+#: family name → (constructor, default severity grid). The grids start
+#: at 0 (the well-specified anchor of every degradation curve).
+SCENARIO_FAMILIES: dict[str, type[MisspecScenario]] = {
+    WeibullHazardScenario.family: WeibullHazardScenario,
+    ChangePointScenario.family: ChangePointScenario,
+    ContaminatedScenario.family: ContaminatedScenario,
+    TruncatedReportingScenario.family: TruncatedReportingScenario,
+}
+
+_DEFAULT_SEVERITIES: dict[str, tuple[float, ...]] = {
+    WeibullHazardScenario.family: (0.0, 0.25, 0.5),
+    ChangePointScenario.family: (0.0, 0.5, 1.0),
+    ContaminatedScenario.family: (0.0, 0.4, 0.7),
+    TruncatedReportingScenario.family: (0.0, 0.3, 0.6),
+}
+
+
+def default_severities(family: str) -> tuple[float, ...]:
+    """The campaign's default severity grid for one family."""
+    if family not in _DEFAULT_SEVERITIES:
+        raise ValueError(
+            f"unknown scenario family {family!r}; "
+            f"available: {sorted(SCENARIO_FAMILIES)}"
+        )
+    return _DEFAULT_SEVERITIES[family]
+
+
+def make_scenario(family: str, severity: float, **overrides) -> MisspecScenario:
+    """Instantiate a scenario family at one severity.
+
+    >>> make_scenario("weibull-hazard", 0.5).shape
+    2.0
+    """
+    if family not in SCENARIO_FAMILIES:
+        raise ValueError(
+            f"unknown scenario family {family!r}; "
+            f"available: {sorted(SCENARIO_FAMILIES)}"
+        )
+    return SCENARIO_FAMILIES[family](severity=severity, **overrides)

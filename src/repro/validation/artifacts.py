@@ -42,7 +42,7 @@ class ValidationArtifact:
     Attributes
     ----------
     kind:
-        ``"sbc"`` or ``"coverage"``.
+        ``"sbc"``, ``"coverage"`` or ``"robustness"``.
     config:
         The campaign specification (JSON-ready dict).
     results:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass, field
+from functools import partial
 
 import numpy as np
 
@@ -34,10 +35,23 @@ from repro.core.vb2 import fit_vb2
 __all__ = ["MCMCLaneFitter", "coverage_fitters", "fit_nint_via_vb2"]
 
 
-def fit_nint_via_vb2(data, prior: ModelPrior, alpha0: float = 1.0) -> JointPosterior:
-    """NINT with the paper's VB2-quantile integration limits."""
+def fit_nint_via_vb2(
+    data,
+    prior: ModelPrior,
+    alpha0: float = 1.0,
+    *,
+    resolution: int | None = None,
+) -> JointPosterior:
+    """NINT with the paper's VB2-quantile integration limits.
+
+    ``resolution`` sets both grid axes (``n_omega = n_beta``); ``None``
+    keeps :func:`~repro.bayes.nint.fit_nint`'s default.
+    """
     reference = fit_vb2(data, prior, alpha0)
-    return fit_nint(data, prior, alpha0, reference_posterior=reference)
+    kwargs = {}
+    if resolution is not None:
+        kwargs = {"n_omega": resolution, "n_beta": resolution}
+    return fit_nint(data, prior, alpha0, reference_posterior=reference, **kwargs)
 
 
 def _default_campaign_settings() -> ChainSettings:
@@ -102,8 +116,15 @@ _COVERAGE_FITTERS = {
 }
 
 
-def coverage_fitters(labels) -> dict:
+def coverage_fitters(labels, scale=None) -> dict:
     """``{label: fit}`` for the requested method labels.
+
+    With an :class:`~repro.experiments.config.ExperimentScale`, the
+    scale-sensitive methods honour it: NINT integrates on the scale's
+    grid resolution and MCMC runs the scale's chain schedule (forced
+    onto the batchable inverse variate layer). The returned callables
+    stay picklable — partials of module-level functions and frozen
+    fitter instances.
 
     >>> sorted(coverage_fitters(["VB2", "VB1"]))
     ['VB1', 'VB2']
@@ -114,4 +135,14 @@ def coverage_fitters(labels) -> dict:
             f"no coverage fitter for {unknown}; "
             f"available: {sorted(_COVERAGE_FITTERS)}"
         )
-    return {label: _COVERAGE_FITTERS[label] for label in labels}
+    fitters = {label: _COVERAGE_FITTERS[label] for label in labels}
+    if scale is not None:
+        if "NINT" in fitters:
+            fitters["NINT"] = partial(
+                fit_nint_via_vb2, resolution=scale.nint_resolution
+            )
+        if "MCMC" in fitters:
+            fitters["MCMC"] = MCMCLaneFitter(
+                settings=scale.mcmc.with_variate_layer("inverse")
+            )
+    return fitters

@@ -1,0 +1,181 @@
+"""Contract tests for :class:`ScaledPosterior`.
+
+The wrapper must implement the exact law of θ' = μ + diag(κ)(θ − μ):
+unchanged means, κ²-scaled variances, affine quantiles, inverse cdf,
+and reliability functionals consistent with the transformed β/ω laws.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bayes.priors import ModelPrior
+from repro.bayes.sandwich import ScaledPosterior
+from repro.core.reliability import ResidualSurvival
+from repro.core.vb2 import fit_vb2
+from repro.data.simulation import simulate_failure_times
+from repro.models.goel_okumoto import GoelOkumoto
+
+PRIOR = ModelPrior.informative(40.0, 12.0, 0.1, 0.04)
+KAPPA = np.array([1.4, 1.8])
+
+
+@pytest.fixture(scope="module")
+def base():
+    rng = np.random.default_rng(5)
+    data = simulate_failure_times(GoelOkumoto(omega=40.0, beta=0.1), 25.0, rng)
+    return fit_vb2(data, PRIOR)
+
+
+@pytest.fixture(scope="module")
+def scaled(base):
+    return ScaledPosterior(base, KAPPA)
+
+
+class TestMoments:
+    @pytest.mark.parametrize("param", ["omega", "beta"])
+    def test_mean_unchanged(self, base, scaled, param):
+        assert scaled.mean(param) == pytest.approx(base.mean(param))
+
+    @pytest.mark.parametrize("param,idx", [("omega", 0), ("beta", 1)])
+    def test_variance_scales_by_kappa_squared(self, base, scaled, param, idx):
+        assert scaled.variance(param) == pytest.approx(
+            KAPPA[idx] ** 2 * base.variance(param)
+        )
+
+    def test_covariance_scales_by_kappa_product(self, base, scaled):
+        assert scaled.covariance() == pytest.approx(
+            KAPPA[0] * KAPPA[1] * base.covariance()
+        )
+
+    def test_correlation_invariant(self, base, scaled):
+        assert scaled.correlation() == pytest.approx(base.correlation())
+
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_central_moments_scale(self, base, scaled, k):
+        assert scaled.central_moment("omega", k) == pytest.approx(
+            KAPPA[0] ** k * base.central_moment("omega", k)
+        )
+
+    def test_covariance_matrix_consistent(self, scaled):
+        cov = scaled.covariance_matrix()
+        assert cov[0, 0] == pytest.approx(scaled.variance("omega"))
+        assert cov[1, 1] == pytest.approx(scaled.variance("beta"))
+        assert cov[0, 1] == pytest.approx(cov[1, 0])
+
+
+class TestQuantiles:
+    @pytest.mark.parametrize("param,idx", [("omega", 0), ("beta", 1)])
+    @pytest.mark.parametrize("q", [0.05, 0.5, 0.95])
+    def test_quantiles_move_affinely(self, base, scaled, param, idx, q):
+        mu = base.mean(param)
+        expected = mu + KAPPA[idx] * (base.quantile(param, q) - mu)
+        assert scaled.quantile(param, q) == pytest.approx(expected)
+
+    def test_quantile_batch_matches_scalar(self, scaled):
+        qs = np.array([0.05, 0.25, 0.5, 0.75, 0.95])
+        batch = scaled.quantile_batch("omega", qs)
+        for q, value in zip(qs, batch):
+            assert value == pytest.approx(scaled.quantile("omega", q))
+
+    @pytest.mark.parametrize("param", ["omega", "beta"])
+    @pytest.mark.parametrize("q", [0.1, 0.5, 0.9])
+    def test_cdf_inverts_quantile(self, scaled, param, q):
+        x = scaled.quantile(param, q)
+        assert scaled.cdf(param, x) == pytest.approx(q, abs=1e-6)
+
+    def test_quantiles_monotone(self, scaled):
+        qs = np.linspace(0.02, 0.98, 25)
+        values = scaled.quantile_batch("beta", qs)
+        assert np.all(np.diff(values) > 0.0)
+
+    def test_credible_interval_widens(self, base, scaled):
+        lo, hi = base.credible_interval("omega", 0.9)
+        slo, shi = scaled.credible_interval("omega", 0.9)
+        assert shi - slo == pytest.approx(KAPPA[0] * (hi - lo), rel=1e-9)
+
+
+class TestIdentityKappa:
+    def test_kappa_one_is_transparent(self, base):
+        ident = ScaledPosterior(base, np.ones(2))
+        qs = np.array([0.05, 0.5, 0.95])
+        np.testing.assert_allclose(
+            ident.quantile_batch("omega", qs),
+            base.quantile_batch("omega", qs),
+        )
+        assert ident.variance("beta") == pytest.approx(base.variance("beta"))
+        assert ident.reliability_point(
+            ResidualSurvival(alpha0=1.0, te=25.0)
+        ) == pytest.approx(
+            base.reliability_point(ResidualSurvival(alpha0=1.0, te=25.0)),
+            rel=1e-9,
+        )
+
+
+class TestReliability:
+    def test_reliability_point_in_unit_interval(self, scaled):
+        survival = ResidualSurvival(alpha0=1.0, te=25.0)
+        r = scaled.reliability_point(survival)
+        assert 0.0 <= r <= 1.0
+
+    def test_reliability_cdf_monotone_and_bounded(self, scaled):
+        survival = ResidualSurvival(alpha0=1.0, te=25.0)
+        grid = np.linspace(0.01, 0.99, 21)
+        values = [scaled.reliability_cdf(r, survival) for r in grid]
+        assert all(0.0 <= v <= 1.0 for v in values)
+        assert np.all(np.diff(values) >= -1e-9)
+        assert scaled.reliability_cdf(0.0, survival) == 0.0
+        assert scaled.reliability_cdf(1.0, survival) == 1.0
+
+    def test_reliability_quantile_inverts_cdf(self, scaled):
+        survival = ResidualSurvival(alpha0=1.0, te=25.0)
+        for p in (0.1, 0.5, 0.9):
+            r = scaled.reliability_quantile(p, survival)
+            assert scaled.reliability_cdf(r, survival) == pytest.approx(
+                p, abs=1e-4
+            )
+
+    def test_residual_quantiles_decrease_in_level(self, scaled):
+        """Residual D = −log R is antitone in R, so residual quantiles
+        at increasing levels must decrease... no: D quantile at level p
+        equals −log(R quantile at 1−p); check monotone increasing in p."""
+        survival = ResidualSurvival(alpha0=1.0, te=25.0)
+        levels = np.array([0.05, 0.25, 0.5, 0.75, 0.95])
+        ds = scaled.residual_quantile_batch(levels, survival)
+        assert np.all(np.diff(ds) >= -1e-12)
+        assert np.all(ds >= 0.0)
+
+    def test_residual_interval_widens_with_kappa(self, base, scaled):
+        survival = ResidualSurvival(alpha0=1.0, te=25.0)
+        lo, hi = base.residual_interval(0.9, survival)
+        slo, shi = scaled.residual_interval(0.9, survival)
+        assert shi - slo > hi - lo
+
+
+class TestValidation:
+    def test_rejects_bad_shape(self, base):
+        with pytest.raises(ValueError, match="shape"):
+            ScaledPosterior(base, np.ones(3))
+
+    @pytest.mark.parametrize("kappa", [[0.0, 1.0], [-1.0, 1.0],
+                                       [np.nan, 1.0], [np.inf, 1.0]])
+    def test_rejects_nonpositive_or_nonfinite(self, base, kappa):
+        with pytest.raises(ValueError, match="positive and finite"):
+            ScaledPosterior(base, np.asarray(kappa))
+
+    def test_method_name_and_base(self, base, scaled):
+        assert scaled.method_name == "VB2+SW"
+        assert scaled.base is base
+        np.testing.assert_array_equal(scaled.kappa, KAPPA)
+        # kappa property returns a copy — mutating it must not leak.
+        k = scaled.kappa
+        k[0] = 99.0
+        np.testing.assert_array_equal(scaled.kappa, KAPPA)
+
+    def test_log_pdf_grid_integrates_to_one(self, scaled):
+        omega = np.linspace(5.0, 120.0, 301)
+        beta = np.linspace(0.005, 0.4, 301)
+        grid = scaled.log_pdf_grid(omega, beta)
+        mass = np.trapezoid(
+            np.trapezoid(np.exp(grid), beta, axis=1), omega
+        )
+        assert mass == pytest.approx(1.0, abs=0.02)

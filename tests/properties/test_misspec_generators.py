@@ -1,0 +1,251 @@
+"""Property-based tests for the misspecification data generators.
+
+Every scenario family must behave like a genuine NHPP with the exact
+mean-value function it claims: Λ nondecreasing from 0, continuous even
+at structural breaks, simulated counts Poisson-consistent with the
+analytic mean, and severity 0 collapsing to the Goel–Okumoto baseline.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.robustness.generators import (
+    BASE_BETA,
+    BASE_OMEGA,
+    SCENARIO_FAMILIES,
+    ChangePointScenario,
+    ContaminatedScenario,
+    TruncatedReportingScenario,
+    WeibullHazardScenario,
+    default_severities,
+    make_scenario,
+)
+
+_SETTINGS = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+severities = st.floats(min_value=0.0, max_value=1.0)
+times = st.floats(min_value=0.0, max_value=200.0)
+families = st.sampled_from(sorted(SCENARIO_FAMILIES))
+
+
+def _go_mean_value(t):
+    return BASE_OMEGA * -np.expm1(-BASE_BETA * np.asarray(t, dtype=float))
+
+
+class TestMeanValueShape:
+    @given(family=families, severity=severities)
+    @settings(**_SETTINGS)
+    def test_mean_value_nondecreasing(self, family, severity):
+        scenario = make_scenario(family, severity)
+        grid = np.linspace(0.0, 120.0, 601)
+        values = scenario.mean_value(grid)
+        assert np.all(np.diff(values) >= -1e-9)
+
+    @given(family=families, severity=severities)
+    @settings(**_SETTINGS)
+    def test_mean_value_starts_at_zero(self, family, severity):
+        scenario = make_scenario(family, severity)
+        assert scenario.mean_value(0.0) == pytest.approx(0.0, abs=1e-12)
+        # Negative times clip to the process start.
+        assert scenario.mean_value(-3.0) == pytest.approx(0.0, abs=1e-12)
+
+    @given(family=families, severity=severities)
+    @settings(**_SETTINGS)
+    def test_mean_value_bounded_by_total_faults(self, family, severity):
+        scenario = make_scenario(family, severity)
+        grid = np.linspace(0.0, 500.0, 101)
+        assert np.all(scenario.mean_value(grid) <= scenario.total_faults + 1e-9)
+
+    @given(family=families)
+    @settings(**_SETTINGS)
+    def test_severity_zero_is_goel_okumoto(self, family):
+        scenario = make_scenario(family, 0.0)
+        grid = np.linspace(0.0, 80.0, 81)
+        np.testing.assert_allclose(
+            scenario.mean_value(grid), _go_mean_value(grid), rtol=1e-10,
+            atol=1e-12,
+        )
+
+    @given(severity=severities)
+    @settings(**_SETTINGS)
+    def test_change_point_continuous_at_tau(self, severity):
+        scenario = ChangePointScenario(severity=severity)
+        tau = scenario.tau
+        eps = 1e-7
+        left = scenario.mean_value(tau - eps)
+        right = scenario.mean_value(tau + eps)
+        assert right - left < 1e-4
+        assert right >= left - 1e-12
+
+    @given(severity=severities, t=times)
+    @settings(**_SETTINGS)
+    def test_scalar_and_array_mean_value_agree(self, severity, t):
+        scenario = ContaminatedScenario(severity=severity)
+        scalar = scenario.mean_value(t)
+        array = scenario.mean_value(np.array([t]))
+        assert scalar == pytest.approx(float(array[0]))
+
+
+class TestTruths:
+    @given(family=families, severity=severities)
+    @settings(**_SETTINGS)
+    def test_truths_are_consistent(self, family, severity):
+        scenario = make_scenario(family, severity)
+        truths = scenario.truths(25.0)
+        assert truths["omega"] == pytest.approx(scenario.total_faults)
+        expected_residual = scenario.total_faults - scenario.mean_value(25.0)
+        assert truths["residual"] == pytest.approx(expected_residual)
+        assert truths["residual"] >= -1e-9
+
+    @given(family=families, severity=severities)
+    @settings(**_SETTINGS)
+    def test_expected_count_matches_mean_value(self, family, severity):
+        scenario = make_scenario(family, severity)
+        assert scenario.expected_count(17.0) == pytest.approx(
+            scenario.mean_value(17.0)
+        )
+
+
+class TestSimulation:
+    """Simulated counts must match the analytic mean within Poisson
+    tolerance — the acid test that ``simulate`` and ``mean_value``
+    describe the same process."""
+
+    @pytest.mark.parametrize("family", sorted(SCENARIO_FAMILIES))
+    @pytest.mark.parametrize("severity_index", [0, 1, 2])
+    def test_counts_match_analytic_mean(self, family, severity_index):
+        severity = default_severities(family)[severity_index]
+        scenario = make_scenario(family, severity)
+        horizon = 25.0
+        n_rep = 200
+        total = 0
+        for i in range(n_rep):
+            rng = np.random.default_rng(1_000 + i)
+            total += scenario.simulate(horizon, rng).count
+        mean_count = scenario.expected_count(horizon)
+        # Sum of n_rep Poisson(Λ) counts: tolerance of 5 standard errors.
+        tolerance = 5.0 * np.sqrt(n_rep * mean_count)
+        assert abs(total - n_rep * mean_count) < tolerance
+
+    @given(family=families, severity=severities, seed=st.integers(0, 2**31))
+    @settings(**_SETTINGS)
+    def test_simulation_is_deterministic_per_seed(self, family, severity, seed):
+        scenario = make_scenario(family, severity)
+        first = scenario.simulate(25.0, np.random.default_rng(seed))
+        second = scenario.simulate(25.0, np.random.default_rng(seed))
+        np.testing.assert_array_equal(first.times, second.times)
+        assert first.horizon == second.horizon
+
+    @given(family=families, severity=severities)
+    @settings(**_SETTINGS)
+    def test_simulated_times_are_sorted_within_horizon(self, family, severity):
+        scenario = make_scenario(family, severity)
+        data = scenario.simulate(25.0, np.random.default_rng(7))
+        assert np.all(np.diff(data.times) >= 0.0)
+        assert np.all(data.times >= 0.0)
+        assert np.all(data.times <= 25.0)
+        assert data.horizon == 25.0
+
+    def test_simulate_rejects_bad_horizon(self):
+        scenario = make_scenario("weibull-hazard", 0.5)
+        with pytest.raises(ValueError, match="horizon"):
+            scenario.simulate(0.0, np.random.default_rng(0))
+
+
+class TestTruncatedThinning:
+    """Truncated reporting must be a *prefix-measurable thinning*: with
+    the same seed, the reported stream is a subset of the untruncated
+    stream, untouched before the cutoff — so severity only ever removes
+    post-cutoff events, never perturbs the underlying campaign."""
+
+    @given(severity=severities, seed=st.integers(0, 2**31))
+    @settings(**_SETTINGS)
+    def test_reported_is_subset_of_untruncated(self, severity, seed):
+        scenario = TruncatedReportingScenario(severity=severity)
+        full = scenario.simulate_untruncated(
+            25.0, np.random.default_rng(seed)
+        )
+        reported = scenario.simulate(25.0, np.random.default_rng(seed))
+        full_times = set(np.asarray(full.times).tolist())
+        assert all(t in full_times for t in np.asarray(reported.times))
+
+    @given(severity=severities, seed=st.integers(0, 2**31))
+    @settings(**_SETTINGS)
+    def test_pre_cutoff_prefix_is_identical(self, severity, seed):
+        scenario = TruncatedReportingScenario(severity=severity)
+        full = scenario.simulate_untruncated(
+            25.0, np.random.default_rng(seed)
+        )
+        reported = scenario.simulate(25.0, np.random.default_rng(seed))
+        cutoff = scenario.cutoff
+        np.testing.assert_array_equal(
+            np.asarray(reported.times)[np.asarray(reported.times) <= cutoff],
+            np.asarray(full.times)[np.asarray(full.times) <= cutoff],
+        )
+
+    @given(seed=st.integers(0, 2**31))
+    @settings(**_SETTINGS)
+    def test_severity_zero_reports_everything(self, seed):
+        scenario = TruncatedReportingScenario(severity=0.0)
+        full = scenario.simulate_untruncated(
+            25.0, np.random.default_rng(seed)
+        )
+        reported = scenario.simulate(25.0, np.random.default_rng(seed))
+        np.testing.assert_array_equal(reported.times, full.times)
+
+
+class TestRegistry:
+    def test_all_families_registered(self):
+        assert set(SCENARIO_FAMILIES) == {
+            "weibull-hazard",
+            "change-point",
+            "contaminated",
+            "truncated-reporting",
+        }
+        assert SCENARIO_FAMILIES["weibull-hazard"] is WeibullHazardScenario
+
+    def test_default_severities_start_at_anchor(self):
+        for family in SCENARIO_FAMILIES:
+            grid = default_severities(family)
+            assert grid[0] == 0.0
+            assert list(grid) == sorted(grid)
+
+    def test_default_severities_unknown_family(self):
+        with pytest.raises(ValueError, match="unknown scenario family"):
+            default_severities("nosuch")
+
+    def test_make_scenario_unknown_family(self):
+        with pytest.raises(ValueError, match="unknown scenario family"):
+            make_scenario("nosuch", 0.5)
+
+    def test_make_scenario_overrides(self):
+        scenario = make_scenario("contaminated", 0.4, kappa=0.7, omega=55.0)
+        assert scenario.kappa == 0.7
+        assert scenario.omega == 55.0
+        assert scenario.severity == 0.4
+
+    def test_describe_includes_family_and_severity(self):
+        for family in SCENARIO_FAMILIES:
+            info = make_scenario(family, 0.25).describe()
+            assert info["family"] == family
+            assert info["severity"] == 0.25
+
+    @pytest.mark.parametrize("severity", [-0.1, float("nan")])
+    def test_invalid_severity_rejected(self, severity):
+        with pytest.raises(ValueError):
+            make_scenario("weibull-hazard", severity)
+
+    @pytest.mark.parametrize("family", ["contaminated", "truncated-reporting"])
+    def test_probability_severity_capped_at_one(self, family):
+        # For these families severity is a probability; the hazard-style
+        # families accept any nonnegative multiplier.
+        with pytest.raises(ValueError):
+            make_scenario(family, 1.5)
+        make_scenario("weibull-hazard", 1.5)
+        make_scenario("change-point", 1.5)

@@ -1,0 +1,51 @@
+"""Tier-2 golden regression for the misspecification campaign.
+
+``tests/fixtures/golden_robustness.json`` pins an 8-replication
+mini-campaign (regenerate with
+``benchmarks/build_golden_robustness.py``). The campaign is fully
+deterministic — seeded simulation streams, deterministic fitters,
+canonical artifact serialisation — so the comparison is byte-for-byte,
+serial and parallel alike.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = [pytest.mark.slow, pytest.mark.robustness]
+
+FIXTURE = Path(__file__).resolve().parent.parent / "fixtures" / \
+    "golden_robustness.json"
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent.parent
+                       / "benchmarks"))
+from build_golden_robustness import build_artifact, golden_spec  # noqa: E402
+
+from repro.robustness import run_robustness  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def golden_bytes():
+    return FIXTURE.read_text(encoding="utf-8")
+
+
+def test_fixture_reproduces_byte_for_byte(golden_bytes):
+    assert build_artifact().to_json() == golden_bytes
+
+
+def test_parallel_run_matches_fixture(golden_bytes):
+    serial = run_robustness(golden_spec(), workers=1).to_dict()
+    parallel = run_robustness(golden_spec(), workers=4).to_dict()
+    assert parallel == serial
+
+
+def test_fixture_records_acceptance_flag(golden_bytes):
+    import json
+
+    payload = json.loads(golden_bytes)
+    assert payload["kind"] == "robustness"
+    results = payload["results"]
+    assert "sandwich_recovery" in results
+    assert "sandwich_recovers_half_on_contamination" in results
+    assert len(results["cells"]) == 8
