@@ -5,6 +5,12 @@ Measures `run_robustness` end to end at 1 worker and at `--workers`
 the speedup. As with the SBC runner benchmark the asserted property is
 the determinism contract — the speedup is hardware-bound.
 
+Unlike the older path benchmarks this one emits its JSON artifact
+(``benchmarks/results/BENCH_robustness.json``) natively in the unified
+schema-2 bench-ledger layout consumed by ``repro bench check`` /
+``repro bench report``; the gated property is the ``identical`` check,
+the speedup is recorded as context.
+
 As a script:
 
     PYTHONPATH=src python benchmarks/bench_robustness.py \
@@ -14,6 +20,7 @@ As a script:
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -63,6 +70,39 @@ def measure(replications: int, workers: int, seed: int = 0) -> dict:
     }
 
 
+def to_ledger(result: dict) -> dict:
+    """The run as a native schema-2 bench-ledger document.
+
+    The determinism contract is the gated check; wall-clock numbers are
+    hardware-bound, so the speedup travels as an ungated speedup entry
+    and the raw timings as ``info``.
+    """
+    spec = result["spec"]
+    return {
+        "schema": 2,
+        "kind": "bench",
+        "suite": "robustness",
+        "generated_by": "benchmarks/bench_robustness.py",
+        "speedups": {
+            f"parallel{result['workers']}/campaign": result["speedup"],
+        },
+        "checks": {
+            "serial_parallel_identical": {
+                "value": result["identical"],
+                "expect": True,
+            },
+        },
+        "info": {
+            "families": list(spec.families),
+            "methods": list(spec.methods),
+            "replications": spec.replications,
+            "seed": spec.seed,
+            "serial_s": result["serial_s"],
+            "parallel_s": result["parallel_s"],
+        },
+    }
+
+
 def render(result: dict) -> str:
     spec = result["spec"]
     cells = len(spec.cells())
@@ -86,6 +126,10 @@ def test_robustness_campaign_speedup(benchmark, results_dir):
     assert result["identical"], "parallel result diverged from serial"
     write_result(results_dir / "robustness_runner.txt", render(result))
 
+    from repro.obs import self_check_bench
+
+    assert self_check_bench(to_ledger(result)) == []
+
     spec = result["spec"]
     benchmark(lambda: run_robustness(spec, workers=4))
 
@@ -95,10 +139,19 @@ def main() -> None:
     parser.add_argument("--replications", type=int, default=24)
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=RESULTS_DIR / "BENCH_robustness.json",
+        help="where to write the schema-2 bench-ledger JSON",
+    )
     args = parser.parse_args()
     result = measure(args.replications, args.workers, seed=args.seed)
     RESULTS_DIR.mkdir(exist_ok=True)
     write_result(RESULTS_DIR / "robustness_runner.txt", render(result))
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(to_ledger(result), indent=2) + "\n")
+    print(f"[ledger written to {args.out}]")
     if not result["identical"]:
         raise SystemExit("FAIL: parallel result diverged from serial")
 

@@ -47,7 +47,19 @@ from repro.data.datasets import system17_failure_times, system17_grouped
 #: Acceptance bound on the disabled-mode overhead (fractional).
 MAX_DISABLED_OVERHEAD = 0.05
 
-_STUB_NAMES = ("enabled", "counter_add", "observe", "event", "timing_sample")
+_STUB_NAMES = (
+    "enabled",
+    "counter_add",
+    "observe",
+    "event",
+    "timing_sample",
+    "metric_counter",
+    "metric_gauge",
+    "metric_observe",
+    "metric_latency",
+    "fit_health",
+    "progress",
+)
 
 
 class _StubbedObs:
@@ -63,10 +75,8 @@ class _StubbedObs:
         self._saved = {name: getattr(obs, name) for name in _STUB_NAMES}
         self._saved["span"] = obs.span
         obs.enabled = lambda: False
-        obs.counter_add = lambda *a, **k: None
-        obs.observe = lambda *a, **k: None
-        obs.event = lambda *a, **k: None
-        obs.timing_sample = lambda *a, **k: None
+        for name in _STUB_NAMES[1:]:
+            setattr(obs, name, lambda *a, **k: None)
         from repro.obs.core import _NOOP_SPAN
 
         obs.span = lambda *a, **k: _NOOP_SPAN
@@ -110,12 +120,34 @@ def _measure_fit(fit, repeat: int) -> dict[str, float]:
             fit()
 
     enabled = _best_of(traced, repeat)
+
+    # The metrics/profile path: timing-level capture additionally feeds
+    # the labeled latency histograms, and the captured span stream is
+    # folded into the call-tree profile. Both are enabled-mode features,
+    # reported for context like `enabled_s`.
+    def traced_timing():
+        with obs.capture(level="timing"):
+            fit()
+
+    enabled_timing = _best_of(traced_timing, repeat)
+
+    from repro.obs import build_profile, fold_stacks
+
+    with obs.capture(level="timing") as col:
+        fit()
+    events = list(col.events)
+    profile_build = _best_of(
+        lambda: fold_stacks(build_profile(events)), repeat
+    )
     return {
         "stubbed_s": stubbed,
         "disabled_s": disabled,
         "enabled_s": enabled,
+        "enabled_timing_s": enabled_timing,
+        "profile_build_s": profile_build,
         "disabled_overhead": disabled / stubbed - 1.0,
         "enabled_overhead": enabled / stubbed - 1.0,
+        "enabled_timing_overhead": enabled_timing / stubbed - 1.0,
     }
 
 
@@ -137,6 +169,11 @@ def render(workloads: dict[str, dict[str, float]], repeat: int) -> str:
             f"({stats['disabled_overhead']:+.2%} vs stubbed)",
             f"    enabled   {stats['enabled_s'] * 1e3:8.3f} ms   "
             f"({stats['enabled_overhead']:+.2%} vs stubbed, summary capture)",
+            f"    timing    {stats['enabled_timing_s'] * 1e3:8.3f} ms   "
+            f"({stats['enabled_timing_overhead']:+.2%} vs stubbed, "
+            "metrics histograms live)",
+            f"    profile   {stats['profile_build_s'] * 1e3:8.3f} ms   "
+            "(span stream -> folded call tree)",
         ])
     lines.append(f"  acceptance: disabled overhead < {MAX_DISABLED_OVERHEAD:.0%}")
     return "\n".join(lines)

@@ -78,6 +78,11 @@ def find_map(
     if obs.enabled():
         obs.observe("laplace.map_iterations", int(result.nit) + int(polished.nit))
         obs.observe("laplace.map_evaluations", int(result.nfev) + int(polished.nfev))
+        obs.fit_health(
+            "LAPL",
+            iterations=int(result.nit) + int(polished.nit),
+            objective=float(best.fun),
+        )
         if polished.fun > result.fun:
             obs.counter_add("laplace.polish_rejected")
     if not np.all(np.isfinite(best.x)):

@@ -55,8 +55,11 @@ def record_sampler_telemetry(
     obs.counter_add("mcmc.variates", variate_count)
     obs.observe("mcmc.samples_kept", samples.shape[0])
     if samples.shape[0] >= 4:
-        obs.observe("mcmc.ess_omega", effective_sample_size(samples[:, 0]))
-        obs.observe("mcmc.ess_beta", effective_sample_size(samples[:, 1]))
+        ess_omega = effective_sample_size(samples[:, 0])
+        ess_beta = effective_sample_size(samples[:, 1])
+        obs.observe("mcmc.ess_omega", ess_omega)
+        obs.observe("mcmc.ess_beta", ess_beta)
+        obs.fit_health("MCMC", ess_omega=ess_omega, ess_beta=ess_beta)
     for key, value in extra_metrics.items():
         obs.observe(f"mcmc.{key}", float(value))
 

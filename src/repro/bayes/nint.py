@@ -162,6 +162,11 @@ def fit_nint(
             obs.observe("nint.nodes_omega", grid.x.size)
             obs.observe("nint.nodes_beta", grid.y.size)
             obs.observe("nint.log_normaliser", posterior.log_normaliser)
+            obs.fit_health(
+                "NINT",
+                nodes=grid.x.size * grid.y.size,
+                log_normaliser=posterior.log_normaliser,
+            )
             if sp.collecting:
                 posterior.diagnostics = {"telemetry": sp.telemetry()}
         return posterior

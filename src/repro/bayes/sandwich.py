@@ -47,6 +47,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import special as sc
 
+from repro import obs
 from repro.bayes.joint import JointPosterior
 from repro.bayes.normal_posterior import NormalPosterior
 from repro.data.failure_data import FailureTimeData, GroupedData
@@ -442,6 +443,13 @@ def apply_sandwich(
     b = score_covariance(data, omega, beta, alpha0, n_blocks=n_blocks)
     raw = variance_inflation(a, b, conservative=False)
     kappa = np.maximum(raw, 1.0)
+    if obs.enabled():
+        method = getattr(posterior, "method_name", None) or "posterior"
+        obs.fit_health(
+            f"{method}+SW",
+            kappa_omega=float(kappa[0]),
+            kappa_beta=float(kappa[1]),
+        )
     diagnostics = {
         "variance_correction": "sandwich",
         "kappa_omega": float(kappa[0]),

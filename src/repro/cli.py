@@ -243,6 +243,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("trace_file",
                         help="trace written by a --trace run")
+    report.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="output format: human-readable tables or a JSON summary",
+    )
+    report.add_argument(
+        "--metrics", action="store_true",
+        help="also render the labeled metrics snapshot "
+        "(counters/gauges/log-bucket histograms)",
+    )
+    report.add_argument(
+        "--profile", action="store_true",
+        help="also render the aggregated span call tree "
+        "(call counts, self/cumulative wall time)",
+    )
+    report.add_argument(
+        "--folded", default=None, metavar="PATH",
+        help="write the profile as folded stacks (flamegraph.pl input) "
+        "to PATH",
+    )
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="perf ledger over the BENCH_*.json benchmark artifacts",
+    )
+    bench_kind = bench.add_subparsers(dest="bench_command", required=True)
+    bench_check = bench_kind.add_parser(
+        "check",
+        help="gate fresh benchmark runs against the committed baselines "
+        "(exit 1 on a >20%% speedup regression or a failed exactness "
+        "check); with no files, self-check every committed baseline",
+    )
+    bench_check.add_argument(
+        "fresh", nargs="*", metavar="BENCH.json",
+        help="fresh benchmark result files; each is matched to the "
+        "baseline of the same name in --baseline-dir",
+    )
+    bench_check.add_argument(
+        "--baseline-dir", default="benchmarks/results", metavar="DIR",
+        help="directory holding the committed BENCH_*.json baselines",
+    )
+    bench_report = bench_kind.add_parser(
+        "report", help="render the unified perf ledger"
+    )
+    bench_report.add_argument(
+        "--dir", default="benchmarks/results", metavar="DIR",
+        help="directory holding BENCH_*.json files",
+    )
+    bench_report.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="output format",
+    )
     return parser
 
 
@@ -599,8 +650,19 @@ def _run_simulate(args) -> str:
 
 
 def _run_report(args) -> str:
+    import json as _json
+    from pathlib import Path
+
     from repro.exceptions import TelemetryError
-    from repro.obs import load_validated_trace, render_report
+    from repro.obs import (
+        build_profile,
+        fold_stacks,
+        load_validated_trace,
+        render_profile,
+        render_report,
+        summarise_report,
+    )
+    from repro.obs.report import render_metrics
 
     try:
         events = load_validated_trace(args.trace_file)
@@ -608,7 +670,94 @@ def _run_report(args) -> str:
         raise SystemExit(f"error: {exc}") from exc
     except TelemetryError as exc:
         raise SystemExit(f"error: invalid trace: {exc}") from exc
-    return render_report(events)
+
+    want_profile = args.profile or args.folded
+    profile_root = None
+    if want_profile:
+        try:
+            profile_root = build_profile(events)
+        except ValueError as exc:
+            raise SystemExit(f"error: invalid trace: {exc}") from exc
+    if args.folded:
+        Path(args.folded).write_text(
+            "\n".join(fold_stacks(profile_root)) + "\n"
+        )
+
+    if args.format == "json":
+        payload = summarise_report(events)
+        if args.profile:
+            payload["profile"] = profile_root.to_dict()
+        return _json.dumps(payload, indent=2, sort_keys=True)
+
+    parts = [render_report(events)]
+    if args.metrics:
+        parts.append("## metrics snapshot\n" + render_metrics(events))
+    if args.profile:
+        parts.append("## span profile\n" + render_profile(profile_root))
+    if args.folded:
+        parts.append(f"folded stacks written to {args.folded}\n")
+    return "\n".join(parts).rstrip()
+
+
+def _run_bench(args) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.exceptions import TelemetryError
+    from repro.obs import compare_bench, load_ledger, render_ledger
+    from repro.obs import self_check_bench
+
+    if args.bench_command == "report":
+        bench_dir = Path(args.dir)
+        paths = sorted(bench_dir.glob("BENCH_*.json"))
+        if not paths:
+            raise SystemExit(f"error: no BENCH_*.json files in {bench_dir}")
+        try:
+            ledgers = [load_ledger(path) for path in paths]
+        except TelemetryError as exc:
+            raise SystemExit(f"error: {exc}") from exc
+        if args.format == "json":
+            print(_json.dumps(ledgers, indent=2, sort_keys=True))
+        else:
+            print(render_ledger(ledgers), end="")
+        return 0
+
+    baseline_dir = Path(args.baseline_dir)
+    failures: list[str] = []
+    try:
+        if args.fresh:
+            for fresh_path in map(Path, args.fresh):
+                baseline_path = baseline_dir / fresh_path.name
+                if not baseline_path.exists():
+                    raise SystemExit(
+                        f"error: no committed baseline {baseline_path} "
+                        f"for {fresh_path}"
+                    )
+                found = compare_bench(
+                    load_ledger(fresh_path), load_ledger(baseline_path)
+                )
+                label = fresh_path.name
+                if found:
+                    failures += [f"{label}: {msg}" for msg in found]
+                else:
+                    print(f"ok: {label} within the gate vs baseline")
+        else:
+            paths = sorted(baseline_dir.glob("BENCH_*.json"))
+            if not paths:
+                raise SystemExit(
+                    f"error: no BENCH_*.json baselines in {baseline_dir}"
+                )
+            for path in paths:
+                found = self_check_bench(load_ledger(path))
+                if found:
+                    failures += [f"{path.name}: {msg}" for msg in found]
+                else:
+                    print(f"ok: {path.name} passes its own checks")
+    except TelemetryError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    for message in failures:
+        print(f"FAIL: {message}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def _dispatch(args) -> int:
@@ -647,6 +796,8 @@ def main(argv: list[str] | None = None) -> int:
 
     args = build_parser().parse_args(argv)
     obs.configure_verbosity(args.verbose)
+    if args.command == "bench":
+        return _run_bench(args)
     if args.command == "report":
         try:
             print(_run_report(args))

@@ -211,6 +211,9 @@ def _fit_vb1(
         obs.observe("vb1.outer_iterations", iteration)
         obs.observe("vb1.inner_iterations", inner_iterations)
         obs.observe("vb1.lambda_star", lam)
+        obs.fit_health(
+            "VB1", iterations=iteration, elbo=elbo, lambda_star=lam
+        )
         if aitken_accepted:
             obs.counter_add("vb1.aitken_accepted", aitken_accepted)
         if sp.collecting:

@@ -223,6 +223,15 @@ def _fit_vb2(
         )
         if clamped:
             obs.counter_add("vb2.truncation_clamped")
+        # Tail mass stands in for a residual: the fixed-point solves
+        # converge per lane, and what remains is truncation error.
+        obs.fit_health(
+            "VB2",
+            iterations=diagnostics["fixed_point_iterations"],
+            residual=diagnostics["tail_mass"],
+            elbo=elbo,
+            nmax=diagnostics["nmax"],
+        )
         if sp.collecting:
             diagnostics["telemetry"] = sp.telemetry()
     posterior = VBPosterior(

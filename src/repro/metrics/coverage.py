@@ -276,9 +276,13 @@ def interval_coverage_study(
         seed,
     )
     indices = list(range(replications))
+    heartbeat = obs.Heartbeat("coverage.replications", len(indices))
+    on_result = lambda done, _result: heartbeat.tick(done)  # noqa: E731
     col = obs.active()
     if col is None:
-        per_replication = parallel_map(worker, indices, workers=workers)
+        per_replication = parallel_map(
+            worker, indices, workers=workers, on_result=on_result
+        )
     else:
         # Same capture-and-merge path serially and on a process pool:
         # the merged trace is byte-identical for any worker count.
@@ -286,6 +290,7 @@ def interval_coverage_study(
             partial(obs.traced_task, worker, col.level),
             indices,
             workers=workers,
+            on_result=on_result,
         )
         per_replication = []
         for index, (outcome, payload) in zip(indices, pairs):

@@ -41,6 +41,7 @@ from collections.abc import Callable, Iterator
 from contextlib import contextmanager
 
 from repro.obs.events import SCHEMA_VERSION, sanitise_value
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = [
     "TRACE_LEVELS",
@@ -53,6 +54,12 @@ __all__ = [
     "event",
     "span",
     "timing_sample",
+    "metric_counter",
+    "metric_gauge",
+    "metric_observe",
+    "metric_latency",
+    "fit_health",
+    "progress",
     "capture",
     "tracing",
     "traced_task",
@@ -243,6 +250,7 @@ class Collector:
         self.counters: dict[str, float] = {}
         self.histograms: dict[str, Histogram] = {}
         self.span_stats: dict[str, dict] = {}
+        self.metrics = MetricsRegistry()
         self._stack: list[str] = []
         self._collecting: list[_Span] = []
         self._seq = 0
@@ -331,6 +339,16 @@ class Collector:
         """Emit the aggregate view as a ``summary`` event."""
         return self.emit("summary", **self.summary())
 
+    def emit_metrics(self) -> dict | None:
+        """Emit the metrics registry as a ``metrics`` snapshot event.
+
+        Skipped entirely when the registry is empty so traces from code
+        that records no labeled metrics keep their pre-schema-2 shape.
+        """
+        if self.metrics.empty:
+            return None
+        return self.emit("metrics", **self.metrics.snapshot())
+
     def export(self) -> dict:
         """Serialisable payload for merging into a parent collector.
 
@@ -347,6 +365,7 @@ class Collector:
             "spans": {
                 name: dict(stats) for name, stats in self.span_stats.items()
             },
+            "metrics": self.metrics.export(),
         }
 
     def merge(self, payload: dict, *, rep: int | None = None) -> None:
@@ -378,6 +397,10 @@ class Collector:
             mine["errors"] += stats["errors"]
             if "wall_s" in stats:
                 mine["wall_s"] = mine.get("wall_s", 0.0) + stats["wall_s"]
+        # Payloads from pre-metrics exports simply lack the key.
+        metrics_state = payload.get("metrics")
+        if metrics_state:
+            self.metrics.merge(metrics_state)
 
 
 # -- module-level API (all no-ops when no collector is installed) ------
@@ -451,6 +474,81 @@ def timing_sample(label: str, samples) -> None:
     )
 
 
+def metric_counter(name: str, value: float = 1, **labels) -> None:
+    """Add to a labeled campaign metric counter (no-op when disabled)."""
+    col = _COLLECTOR
+    if col is not None:
+        col.metrics.counter_add(name, value, labels or None)
+
+
+def metric_gauge(name: str, value: float, **labels) -> None:
+    """Set a labeled last-write-wins gauge (no-op when disabled)."""
+    col = _COLLECTOR
+    if col is not None:
+        col.metrics.gauge_set(name, value, labels or None)
+
+
+def metric_observe(name: str, value: float, **labels) -> None:
+    """Record into a labeled log-bucket histogram (no-op when off).
+
+    For deterministic solver quantities (iterations, residuals, ELBO).
+    Wall-clock latencies must go through :func:`metric_latency` instead
+    so the default summary-level trace stays byte-identical between
+    serial and parallel campaign runs.
+    """
+    col = _COLLECTOR
+    if col is not None:
+        col.metrics.observe(name, value, labels or None)
+
+
+def metric_latency(name: str, seconds: float, **labels) -> None:
+    """Record a wall-clock latency histogram sample.
+
+    Only recorded at the ``timing`` level and above — like
+    :func:`timing_sample`, wall-clock values are non-deterministic and
+    would break campaign byte-identity at the default level.
+    """
+    col = _COLLECTOR
+    if col is not None and col.timing:
+        col.metrics.observe(name, seconds, labels or None)
+
+
+def fit_health(method: str, **values) -> None:
+    """Record per-fit solver-health metrics for one posterior method.
+
+    Each keyword becomes both a ``fit.<key>{method=...}`` gauge (the
+    latest fit's value) and a histogram observation (the campaign-wide
+    distribution). ``None`` values are skipped, so callers can pass
+    optional quantities (e.g. an ELBO that is undefined under improper
+    priors) unconditionally.
+    """
+    col = _COLLECTOR
+    if col is None:
+        return
+    for key, value in values.items():
+        if value is None:
+            continue
+        value = float(value)
+        name = f"fit.{key}"
+        labels = {"method": method}
+        col.metrics.gauge_set(name, value, labels)
+        col.metrics.observe(name, value, labels)
+
+
+def progress(label: str, done: int, total: int, **extra) -> None:
+    """Emit a campaign ``progress`` heartbeat event.
+
+    Timing-level only: the *cadence* of heartbeats depends on the wall
+    clock (they are rate-limited), so even rate-free progress events
+    would make summary traces differ between serial and parallel runs.
+    """
+    col = _COLLECTOR
+    if col is None or not col.timing:
+        return
+    col.emit("progress", label=label, done=int(done), total=int(total),
+             **extra)
+
+
 @contextmanager
 def capture(level: str = "summary", sink=None) -> Iterator[Collector]:
     """Install a fresh collector for the duration of the block.
@@ -473,9 +571,11 @@ def capture(level: str = "summary", sink=None) -> Iterator[Collector]:
 def tracing(path, level: str = "summary", **meta) -> Iterator[Collector]:
     """Capture telemetry and stream it to a JSONL trace file.
 
-    Writes a ``meta`` header event first and a ``summary`` event (the
-    aggregated counters/histograms/span stats) last, then closes the
-    file. ``meta`` keyword arguments land in the header event.
+    Writes a ``meta`` header event first, then — after the block — a
+    ``metrics`` snapshot (when any labeled metrics were recorded) and a
+    ``summary`` event (the aggregated counters/histograms/span stats),
+    then closes the file. ``meta`` keyword arguments land in the header
+    event.
     """
     from repro.obs.sink import JsonlSink
 
@@ -484,6 +584,7 @@ def tracing(path, level: str = "summary", **meta) -> Iterator[Collector]:
         with capture(level=level, sink=sink) as collector:
             collector.emit("meta", schema=SCHEMA_VERSION, level=level, **meta)
             yield collector
+            collector.emit_metrics()
             collector.emit_summary()
     finally:
         sink.close()

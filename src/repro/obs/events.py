@@ -25,6 +25,22 @@ The kinds and their required fields:
     Aggregate view, always last when written via ``obs.tracing``:
     ``counters`` (name → number), ``histograms`` (name → count/total/
     mean/std/min/max), ``spans`` (name → count/errors[/wall_s]).
+``metrics`` *(schema 2)*
+    Snapshot of the labeled metrics registry
+    (:class:`repro.obs.metrics.MetricsRegistry`), emitted just before
+    the summary: ``counters`` (key → number), ``gauges`` (key →
+    value/updates), ``histograms`` (key → count/total/mean/min/max/
+    p50/p90/p99). Keys are ``name`` or ``name{label=value,...}``.
+``progress`` *(schema 2)*
+    Campaign heartbeat: ``label``, ``done``, ``total``. Rate and ETA
+    fields (``elapsed_s``, ``rate_per_s``, ``eta_s``) are wall-clock
+    and therefore appear at the timing/debug levels only — progress
+    events themselves are timing-level, so the default summary trace
+    stays byte-identical between serial and parallel runs.
+
+Schema history: version 2 added the ``metrics`` and ``progress`` kinds
+(and the gauges/quantile layouts above); version 1 traces remain fully
+readable — every v1 event validates unchanged under this validator.
 
 The validator is deliberately dependency-free (no jsonschema): it
 checks required fields, types, name syntax, and that every extra
@@ -37,25 +53,34 @@ import re
 from collections.abc import Iterable
 
 from repro.exceptions import TelemetryError
+from repro.obs.metrics import METRIC_KEY_RE
 
 __all__ = [
     "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMAS",
     "EVENT_KINDS",
     "sanitise_value",
     "validate_event",
     "validate_trace",
 ]
 
-#: Bumped whenever the event layout changes incompatibly.
-SCHEMA_VERSION = 1
+#: Bumped whenever the event layout changes. Version 2 added the
+#: ``metrics`` and ``progress`` kinds; older versions stay readable.
+SCHEMA_VERSION = 2
+#: Schema versions this validator accepts in ``meta`` headers.
+SUPPORTED_SCHEMAS = (1, 2)
 
 _NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)*$")
 _STATUS_RE = re.compile(r"^(ok|error:[A-Za-z_][A-Za-z0-9_]*)$")
 
 _HIST_FIELDS = frozenset({"count", "total", "mean", "std", "min", "max"})
+_METRIC_HIST_FIELDS = frozenset(
+    {"count", "total", "mean", "min", "max", "p50", "p90", "p99"}
+)
 
 #: kind -> {field: type check}
-EVENT_KINDS = ("meta", "span", "point", "timing", "summary")
+EVENT_KINDS = ("meta", "span", "point", "timing", "summary", "metrics",
+               "progress")
 
 
 def sanitise_value(value):
@@ -122,7 +147,11 @@ def validate_event(event: dict) -> None:
         _fail(f"rep must be an integer spawn key: {event}")
 
     if kind == "meta":
-        _require(event, "schema", int, kind)
+        schema = _require(event, "schema", int, kind)
+        if schema not in SUPPORTED_SCHEMAS:
+            _fail(
+                f"meta schema must be one of {SUPPORTED_SCHEMAS}: {event}"
+            )
         level = _require(event, "level", str, kind)
         if level not in ("summary", "timing", "debug"):
             _fail(f"meta level must be a trace level: {event}")
@@ -174,6 +203,47 @@ def validate_event(event: dict) -> None:
             if not {"count", "errors"} <= set(stats):
                 _fail(f"span stats {name!r} must have count and errors")
         known |= {"counters", "histograms", "spans"}
+    elif kind == "metrics":
+        counters = _require(event, "counters", dict, kind)
+        for key, value in counters.items():
+            if not METRIC_KEY_RE.match(key) or not isinstance(
+                value, (int, float)
+            ):
+                _fail(f"bad metric counter entry {key!r}: {value!r}")
+        gauges = _require(event, "gauges", dict, kind)
+        for key, gauge in gauges.items():
+            if not METRIC_KEY_RE.match(key) or not isinstance(gauge, dict):
+                _fail(f"bad metric gauge entry {key!r}")
+            if set(gauge) != {"value", "updates"}:
+                _fail(
+                    f"gauge {key!r} must have fields ['updates', 'value'], "
+                    f"got {sorted(gauge)}"
+                )
+        histograms = _require(event, "histograms", dict, kind)
+        for key, hist in histograms.items():
+            if not METRIC_KEY_RE.match(key) or not isinstance(hist, dict):
+                _fail(f"bad metric histogram entry {key!r}")
+            if set(hist) != _METRIC_HIST_FIELDS:
+                _fail(
+                    f"metric histogram {key!r} must have fields "
+                    f"{sorted(_METRIC_HIST_FIELDS)}, got {sorted(hist)}"
+                )
+        known |= {"counters", "gauges", "histograms"}
+    elif kind == "progress":
+        label = _require(event, "label", str, kind)
+        if not _NAME_RE.match(label):
+            _fail(f"progress label {label!r} is not a dotted identifier")
+        done = _require(event, "done", int, kind)
+        total = _require(event, "total", int, kind)
+        if done < 0 or total < 0 or done > total:
+            _fail(f"progress needs 0 <= done <= total: {event}")
+        for field in ("elapsed_s", "rate_per_s", "eta_s"):
+            if field in event and not isinstance(
+                event[field], (int, float)
+            ):
+                _fail(f"progress {field} must be a number: {event}")
+        known |= {"label", "done", "total", "elapsed_s", "rate_per_s",
+                  "eta_s"}
 
     for key, value in event.items():
         if key in known:

@@ -1,0 +1,82 @@
+"""Campaign progress heartbeats: replications done, rate, and ETA.
+
+Long campaigns (SBC, coverage, robustness) can run for minutes with no
+output. A :class:`Heartbeat` gives them a pulse: the runner ticks it
+once per completed replication and the heartbeat — rate-limited to
+roughly one report per ``interval_s`` of wall time, plus a final
+report at completion — logs progress at INFO and emits a ``progress``
+trace event.
+
+Determinism: heartbeat *cadence* is wall-clock-driven, so progress
+events are only emitted at the ``timing``/``debug`` trace levels
+(enforced by :func:`repro.obs.core.progress`); the default summary
+level records nothing and campaign traces stay byte-identical between
+serial and parallel runs. The INFO log line is always produced —
+logging never touches the trace.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+
+from repro.obs import core as _core
+
+__all__ = ["Heartbeat"]
+
+_logger = logging.getLogger("repro.obs")
+
+
+class Heartbeat:
+    """Rate-limited progress reporter for a fixed-size campaign.
+
+    Parameters
+    ----------
+    label:
+        Dotted identifier for the campaign phase
+        (e.g. ``"sbc.replications"``).
+    total:
+        Number of work items expected.
+    interval_s:
+        Minimum wall-clock spacing between reports; ticks inside the
+        window are counted but not reported. The final tick always
+        reports.
+    clock:
+        Injectable monotonic clock (tests substitute a fake).
+    """
+
+    def __init__(self, label: str, total: int, *, interval_s: float = 1.0,
+                 clock=time.monotonic) -> None:
+        self.label = label
+        self.total = int(total)
+        self.done = 0
+        self._interval_s = float(interval_s)
+        self._clock = clock
+        self._start = clock()
+        self._last_report = self._start
+
+    def tick(self, done: int | None = None) -> None:
+        """Record progress; report if due (or if this is the last item)."""
+        self.done = self.done + 1 if done is None else int(done)
+        now = self._clock()
+        final = self.done >= self.total
+        if not final and now - self._last_report < self._interval_s:
+            return
+        self._last_report = now
+        self._report(now)
+
+    def _report(self, now: float) -> None:
+        elapsed = max(now - self._start, 0.0)
+        rate = self.done / elapsed if elapsed > 0 else 0.0
+        extra = {"elapsed_s": elapsed, "rate_per_s": rate}
+        message = (
+            f"{self.label}: {self.done}/{self.total} "
+            f"({rate:.1f}/s, {elapsed:.1f}s elapsed"
+        )
+        if rate > 0 and self.done < self.total:
+            eta = (self.total - self.done) / rate
+            extra["eta_s"] = eta
+            message += f", eta {eta:.1f}s"
+        message += ")"
+        _logger.info("%s", message)
+        _core.progress(self.label, self.done, self.total, **extra)

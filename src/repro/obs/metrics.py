@@ -1,0 +1,368 @@
+"""Campaign-scale metrics: labeled counters, gauges, and log histograms.
+
+The span/counter layer (:mod:`repro.obs.core`) accounts for one fit.
+Campaign workloads — SBC, coverage, and robustness sweeps of thousands
+of lane-batched replications — need an *aggregated* view: how many
+fits ran per method, how solver health (iterations, final residual,
+ELBO, sandwich kappa) is distributed across cells, where the latency
+mass sits. This module provides that as a registry of labeled metrics
+whose merge is **exact, associative, and order-independent**:
+
+* **Counters** and **histogram totals** accumulate as exact rationals
+  (:class:`fractions.Fraction`; every float is a dyadic rational, so
+  sums never round and never depend on addition order).
+* **Histograms** use *fixed* log-spaced buckets — the bucket grid is a
+  constant of the schema, never adapted to the data — so merging two
+  histograms is integer bucket-count addition. Order-independent by
+  construction.
+* **Gauges** are last-write-wins; campaign runners merge child
+  registries in spawn-key order, so the surviving value is the last
+  replication's — deterministic for any worker count.
+
+Together these preserve the serial-vs-parallel byte-identity guarantee
+the traces already have: a ``metrics`` snapshot event is a pure
+function of the merged registry state, which is a pure function of the
+per-replication states and the (spawn-key) merge order.
+
+Metric keys are ``name`` or ``name{label=value,...}`` with labels
+sorted by key — ``fit.elbo{method=VB2}`` — so snapshots are canonical.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from fractions import Fraction
+
+__all__ = [
+    "BUCKETS_PER_DECADE",
+    "BUCKET_MIN_EXP",
+    "BUCKET_MAX_EXP",
+    "METRIC_KEY_RE",
+    "LogHistogram",
+    "CounterMetric",
+    "GaugeMetric",
+    "MetricsRegistry",
+    "encode_metric_key",
+    "decode_metric_key",
+    "bucket_index",
+    "bucket_bounds",
+]
+
+#: Fixed bucket grid: 4 log-spaced buckets per decade …
+BUCKETS_PER_DECADE = 4
+#: … spanning 1e-9 (nanoseconds, tiny residuals) …
+BUCKET_MIN_EXP = -9
+#: … to 1e9 (large counts); values outside clamp into the edge buckets.
+BUCKET_MAX_EXP = 9
+
+_MIN_INDEX = BUCKET_MIN_EXP * BUCKETS_PER_DECADE
+_MAX_INDEX = BUCKET_MAX_EXP * BUCKETS_PER_DECADE - 1
+
+_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)*$")
+_LABEL_RE = re.compile(r"^[A-Za-z0-9_][A-Za-z0-9_.+-]*$")
+#: Canonical metric-key syntax; also used by the event-schema validator.
+METRIC_KEY_RE = re.compile(
+    r"^[a-z0-9_]+(\.[a-z0-9_]+)*"
+    r"(\{[A-Za-z0-9_][A-Za-z0-9_.+-]*=[A-Za-z0-9_.+-]+"
+    r"(,[A-Za-z0-9_][A-Za-z0-9_.+-]*=[A-Za-z0-9_.+-]+)*\})?$"
+)
+
+
+def encode_metric_key(name: str, labels: dict | None = None) -> str:
+    """Canonical ``name{k=v,...}`` key (labels sorted by key)."""
+    if not _NAME_RE.match(name):
+        raise ValueError(f"metric name {name!r} is not a dotted identifier")
+    if not labels:
+        return name
+    parts = []
+    for key in sorted(labels):
+        value = str(labels[key])
+        if not _LABEL_RE.match(key) or not _LABEL_RE.match(value):
+            raise ValueError(
+                f"bad metric label {key!r}={labels[key]!r} "
+                "(letters, digits, '_', '.', '+', '-' only)"
+            )
+        parts.append(f"{key}={value}")
+    return f"{name}{{{','.join(parts)}}}"
+
+
+def decode_metric_key(key: str) -> tuple[str, dict[str, str]]:
+    """Split a canonical key back into ``(name, labels)``."""
+    if not METRIC_KEY_RE.match(key):
+        raise ValueError(f"malformed metric key {key!r}")
+    name, brace, rest = key.partition("{")
+    if not brace:
+        return key, {}
+    labels = dict(
+        part.split("=", 1) for part in rest[:-1].split(",") if part
+    )
+    return name, labels
+
+
+def bucket_index(value: float) -> int:
+    """Fixed-grid bucket index of a positive value (clamped)."""
+    idx = math.floor(math.log10(value) * BUCKETS_PER_DECADE)
+    return min(max(idx, _MIN_INDEX), _MAX_INDEX)
+
+
+def bucket_bounds(index: int) -> tuple[float, float]:
+    """``[lo, hi)`` bounds of one bucket of the fixed grid."""
+    lo = 10.0 ** (index / BUCKETS_PER_DECADE)
+    hi = 10.0 ** ((index + 1) / BUCKETS_PER_DECADE)
+    return lo, hi
+
+
+def _fraction_str(value: Fraction) -> str:
+    return f"{value.numerator}/{value.denominator}"
+
+
+def _fraction_of(state) -> Fraction:
+    if isinstance(state, str):
+        num, _, den = state.partition("/")
+        return Fraction(int(num), int(den or 1))
+    return Fraction(state)
+
+
+class LogHistogram:
+    """Streaming scalar distribution with fixed log-spaced buckets.
+
+    Positive and negative values land in mirrored bucket grids keyed by
+    the magnitude's bucket index; zeros count separately. The exact
+    rational ``total`` plus integer bucket counts make ``merge_state``
+    exact, associative, and order-independent — the property the
+    campaign byte-identity tests pin.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "pos", "neg", "zero")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = Fraction(0)
+        self.min = math.inf
+        self.max = -math.inf
+        self.pos: dict[int, int] = {}
+        self.neg: dict[int, int] = {}
+        self.zero = 0
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValueError(f"histogram values must be finite, got {value}")
+        self.count += 1
+        self.total += Fraction(value)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value > 0.0:
+            idx = bucket_index(value)
+            self.pos[idx] = self.pos.get(idx, 0) + 1
+        elif value < 0.0:
+            idx = bucket_index(-value)
+            self.neg[idx] = self.neg.get(idx, 0) + 1
+        else:
+            self.zero += 1
+
+    @property
+    def mean(self) -> float:
+        return float(self.total / self.count) if self.count else 0.0
+
+    def quantile(self, q: float) -> float | None:
+        """Bucket-resolution quantile estimate (positive-only data).
+
+        Returns the geometric midpoint of the bucket holding the
+        ``q``-quantile, or ``None`` when the histogram holds any
+        non-positive values (log buckets only order positive mass) or
+        is empty.
+        """
+        if self.count == 0 or self.zero or self.neg:
+            return None
+        target = q * self.count
+        seen = 0
+        for idx in sorted(self.pos):
+            seen += self.pos[idx]
+            if seen >= target:
+                lo, hi = bucket_bounds(idx)
+                return math.sqrt(lo * hi)
+        lo, hi = bucket_bounds(max(self.pos))
+        return math.sqrt(lo * hi)
+
+    def state(self) -> dict:
+        """Exact mergeable state (JSON- and pickle-safe)."""
+        return {
+            "count": self.count,
+            "total": _fraction_str(self.total),
+            "min": self.min,
+            "max": self.max,
+            "pos": {str(k): v for k, v in sorted(self.pos.items())},
+            "neg": {str(k): v for k, v in sorted(self.neg.items())},
+            "zero": self.zero,
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another histogram's :meth:`state` into this one."""
+        self.count += int(state["count"])
+        self.total += _fraction_of(state["total"])
+        self.min = min(self.min, float(state["min"]))
+        self.max = max(self.max, float(state["max"]))
+        for key, count in state["pos"].items():
+            idx = int(key)
+            self.pos[idx] = self.pos.get(idx, 0) + int(count)
+        for key, count in state["neg"].items():
+            idx = int(key)
+            self.neg[idx] = self.neg.get(idx, 0) + int(count)
+        self.zero += int(state["zero"])
+
+    def summary(self) -> dict:
+        """JSON-ready summary for ``metrics`` snapshot events."""
+        out = {
+            "count": self.count,
+            "total": float(self.total),
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+        for label, q in (("p50", 0.5), ("p90", 0.9), ("p99", 0.99)):
+            out[label] = self.quantile(q)
+        return out
+
+
+class CounterMetric:
+    """Monotone accumulator with exact (rational) arithmetic."""
+
+    __slots__ = ("total",)
+
+    def __init__(self) -> None:
+        self.total = Fraction(0)
+
+    def add(self, value: float = 1) -> None:
+        self.total += Fraction(value)
+
+    def state(self) -> str:
+        return _fraction_str(self.total)
+
+    def merge_state(self, state) -> None:
+        self.total += _fraction_of(state)
+
+    def value(self) -> float | int:
+        if self.total.denominator == 1:
+            return int(self.total)
+        return float(self.total)
+
+
+class GaugeMetric:
+    """Last-write-wins scalar; merge order (spawn key) decides ties."""
+
+    __slots__ = ("value", "updates")
+
+    def __init__(self) -> None:
+        self.value: float | None = None
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.updates += 1
+
+    def state(self) -> dict:
+        return {"value": self.value, "updates": self.updates}
+
+    def merge_state(self, state: dict) -> None:
+        if state["updates"]:
+            self.value = state["value"]
+        self.updates += int(state["updates"])
+
+
+class MetricsRegistry:
+    """Labeled counters, gauges, and log histograms with exact merge."""
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, CounterMetric] = {}
+        self.gauges: dict[str, GaugeMetric] = {}
+        self.histograms: dict[str, LogHistogram] = {}
+
+    @property
+    def empty(self) -> bool:
+        return not (self.counters or self.gauges or self.histograms)
+
+    # -- recording -----------------------------------------------------
+    def counter_add(
+        self, name: str, value: float = 1, labels: dict | None = None
+    ) -> None:
+        key = encode_metric_key(name, labels)
+        counter = self.counters.get(key)
+        if counter is None:
+            counter = self.counters[key] = CounterMetric()
+        counter.add(value)
+
+    def gauge_set(
+        self, name: str, value: float, labels: dict | None = None
+    ) -> None:
+        key = encode_metric_key(name, labels)
+        gauge = self.gauges.get(key)
+        if gauge is None:
+            gauge = self.gauges[key] = GaugeMetric()
+        gauge.set(value)
+
+    def observe(
+        self, name: str, value: float, labels: dict | None = None
+    ) -> None:
+        key = encode_metric_key(name, labels)
+        hist = self.histograms.get(key)
+        if hist is None:
+            hist = self.histograms[key] = LogHistogram()
+        hist.record(value)
+
+    # -- merge and snapshots -------------------------------------------
+    def export(self) -> dict:
+        """Exact serialisable state (for shipping across processes)."""
+        return {
+            "counters": {
+                key: self.counters[key].state()
+                for key in sorted(self.counters)
+            },
+            "gauges": {
+                key: self.gauges[key].state() for key in sorted(self.gauges)
+            },
+            "histograms": {
+                key: self.histograms[key].state()
+                for key in sorted(self.histograms)
+            },
+        }
+
+    def merge(self, state: dict) -> None:
+        """Fold another registry's :meth:`export` into this one."""
+        for key, value in state.get("counters", {}).items():
+            counter = self.counters.get(key)
+            if counter is None:
+                counter = self.counters[key] = CounterMetric()
+            counter.merge_state(value)
+        for key, value in state.get("gauges", {}).items():
+            gauge = self.gauges.get(key)
+            if gauge is None:
+                gauge = self.gauges[key] = GaugeMetric()
+            gauge.merge_state(value)
+        for key, value in state.get("histograms", {}).items():
+            hist = self.histograms.get(key)
+            if hist is None:
+                hist = self.histograms[key] = LogHistogram()
+            hist.merge_state(value)
+
+    def snapshot(self) -> dict:
+        """Canonical JSON-ready view (keys sorted, exact state reduced
+        to floats) — what the ``metrics`` trace event carries."""
+        return {
+            "counters": {
+                key: self.counters[key].value()
+                for key in sorted(self.counters)
+            },
+            "gauges": {
+                key: self.gauges[key].state() for key in sorted(self.gauges)
+            },
+            "histograms": {
+                key: self.histograms[key].summary()
+                for key in sorted(self.histograms)
+            },
+        }

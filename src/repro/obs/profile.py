@@ -1,0 +1,194 @@
+"""Aggregated call-tree profiling from recorded span events.
+
+Span events are emitted at span *exit* (post-order) and carry the
+nesting ``depth`` at exit, so a trace encodes its call forest without
+any explicit parent pointers: scanning the events in order, a span at
+depth ``d`` adopts every not-yet-adopted span at depth ``d+1`` seen
+since the last depth-``d`` exit. Campaign traces concatenate many
+replications' span streams (each restarting at depth 0), so their
+fits aggregate naturally as siblings under the implicit root.
+
+The aggregation folds every span instance into one node per *path*
+(root→...→name), accumulating call counts, error counts, and — when
+the trace was recorded at the ``timing``/``debug`` level — cumulative
+and self wall time. Everything is keyed and rendered in deterministic
+order: two traces with the same events produce byte-identical profile
+renderings and folded-stack exports, preserving the obs layer's
+serial-vs-parallel identity guarantee at the summary level.
+
+The folded-stack export (``a;b;c <value>`` lines) is the input format
+of Brendan Gregg's ``flamegraph.pl`` and of most flamegraph viewers;
+values are self wall time in microseconds when available, call counts
+otherwise.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ProfileNode",
+    "build_profile",
+    "fold_stacks",
+    "render_profile",
+]
+
+
+class ProfileNode:
+    """One aggregated call-tree node (all span instances on one path)."""
+
+    __slots__ = ("name", "count", "errors", "wall_s", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.errors = 0
+        self.wall_s: float | None = None
+        self.children: dict[str, ProfileNode] = {}
+
+    def child(self, name: str) -> "ProfileNode":
+        node = self.children.get(name)
+        if node is None:
+            node = self.children[name] = ProfileNode(name)
+        return node
+
+    def add_instance(self, status: str, wall_s: float | None) -> None:
+        self.count += 1
+        if status != "ok":
+            self.errors += 1
+        if wall_s is not None:
+            self.wall_s = (self.wall_s or 0.0) + float(wall_s)
+
+    @property
+    def child_wall_s(self) -> float:
+        return sum(
+            node.wall_s or 0.0 for node in self.children.values()
+        )
+
+    @property
+    def self_wall_s(self) -> float | None:
+        """Cumulative wall minus children's wall (timing traces only)."""
+        if self.wall_s is None:
+            return None
+        return max(self.wall_s - self.child_wall_s, 0.0)
+
+    def merge(self, other: "ProfileNode") -> None:
+        """Fold another aggregated node (same path) into this one.
+
+        Associative and order-independent: counts and walls add, and
+        children merge recursively by name.
+        """
+        self.count += other.count
+        self.errors += other.errors
+        if other.wall_s is not None:
+            self.wall_s = (self.wall_s or 0.0) + other.wall_s
+        for name, child in other.children.items():
+            self.child(name).merge(child)
+
+    def to_dict(self) -> dict:
+        """JSON-ready view with deterministically ordered children."""
+        out = {"name": self.name, "count": self.count,
+               "errors": self.errors}
+        if self.wall_s is not None:
+            out["wall_s"] = self.wall_s
+            out["self_wall_s"] = self.self_wall_s
+        if self.children:
+            out["children"] = [
+                self.children[name].to_dict()
+                for name in sorted(self.children)
+            ]
+        return out
+
+
+def build_profile(events) -> ProfileNode:
+    """Aggregate a trace's span events into a call tree.
+
+    Returns the implicit root node (``name="root"``, zero count) whose
+    children are the depth-0 spans. Works on whole traces (non-span
+    events are skipped) from any schema version.
+    """
+    root = ProfileNode("root")
+    # pending[d] = depth-d span instances awaiting a depth-(d-1) parent,
+    # each as (name, status, wall_s, children_nodes).
+    pending: dict[int, list[tuple]] = {}
+    for ev in events:
+        if ev.get("kind") != "span":
+            continue
+        depth = ev["depth"]
+        children = pending.pop(depth + 1, [])
+        pending.setdefault(depth, []).append(
+            (ev["name"], ev["status"], ev.get("wall_s"), children)
+        )
+    if any(depth != 0 for depth in pending):
+        orphans = sorted(d for d in pending if d != 0)
+        raise ValueError(
+            f"span stream is unbalanced: orphaned spans at depths "
+            f"{orphans} never saw a parent exit"
+        )
+
+    def fold(parent: ProfileNode, instances) -> None:
+        for name, status, wall_s, children in instances:
+            node = parent.child(name)
+            node.add_instance(status, wall_s)
+            fold(node, children)
+
+    fold(root, pending.get(0, []))
+    return root
+
+
+def fold_stacks(root: ProfileNode) -> list[str]:
+    """Folded-stack (flamegraph) lines, deterministically ordered.
+
+    One ``path;to;span <value>`` line per call-tree node; values are
+    self wall time in integer microseconds for timing traces, call
+    counts for summary traces.
+    """
+    lines: list[str] = []
+
+    def walk(node: ProfileNode, prefix: str) -> None:
+        path = f"{prefix};{node.name}" if prefix else node.name
+        self_wall = node.self_wall_s
+        value = (
+            node.count if self_wall is None else round(self_wall * 1e6)
+        )
+        lines.append(f"{path} {value}")
+        for name in sorted(node.children):
+            walk(node.children[name], path)
+
+    for name in sorted(root.children):
+        walk(root.children[name], "")
+    return lines
+
+
+def _render_node(node: ProfileNode, indent: int, lines: list[str],
+                 timing: bool) -> None:
+    label = "  " * indent + node.name
+    cells = [f"{label:<44}", f"{node.count:>8}", f"{node.errors:>7}"]
+    if timing:
+        wall = node.wall_s or 0.0
+        self_wall = node.self_wall_s or 0.0
+        cells.append(f"{wall:>12.6f}")
+        cells.append(f"{self_wall:>12.6f}")
+    lines.append(" ".join(cells).rstrip())
+    for name in sorted(node.children):
+        _render_node(node.children[name], indent + 1, lines, timing)
+
+
+def render_profile(root: ProfileNode) -> str:
+    """Text rendering of the aggregated call tree."""
+    if not root.children:
+        return "profile: no spans recorded\n"
+
+    def has_wall(node: ProfileNode) -> bool:
+        return node.wall_s is not None or any(
+            has_wall(child) for child in node.children.values()
+        )
+
+    timing = any(has_wall(node) for node in root.children.values())
+    header = [f"{'span':<44}", f"{'calls':>8}", f"{'errors':>7}"]
+    if timing:
+        header.append(f"{'cum_s':>12}")
+        header.append(f"{'self_s':>12}")
+    lines = [" ".join(header).rstrip()]
+    lines.append("-" * len(lines[0]))
+    for name in sorted(root.children):
+        _render_node(root.children[name], 0, lines, timing)
+    return "\n".join(lines) + "\n"

@@ -38,6 +38,9 @@ class JsonlSink:
     def write(self, event: dict) -> None:
         self._fh.write(encode_event(event))
         self._fh.write("\n")
+        # Flush per event: the crash-readability guarantee above is
+        # only true if completed events never sit in the stdio buffer.
+        self._fh.flush()
 
     def close(self) -> None:
         if not self._fh.closed:

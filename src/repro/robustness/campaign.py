@@ -610,15 +610,21 @@ def run_robustness(
         for rep_index in range(spec.replications)
     ]
     task = partial(_robustness_replication, spec)
+    heartbeat = obs.Heartbeat("robustness.replications", len(jobs))
+    on_result = lambda done, _result: heartbeat.tick(done)  # noqa: E731
     col = obs.active()
     if col is None:
-        outcomes = parallel_map(task, jobs, workers=workers, chunk_size=chunk_size)
+        outcomes = parallel_map(
+            task, jobs, workers=workers, chunk_size=chunk_size,
+            on_result=on_result,
+        )
     else:
         pairs = parallel_map(
             partial(obs.traced_task, task, col.level),
             jobs,
             workers=workers,
             chunk_size=chunk_size,
+            on_result=on_result,
         )
         outcomes = []
         for position, (outcome, payload) in enumerate(pairs):

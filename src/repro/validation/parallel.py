@@ -46,12 +46,26 @@ def _chunk_size(n_items: int, workers: int) -> int:
     return max(1, n_items // (4 * workers) or 1)
 
 
+def _map_serial(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    on_result: Callable[[int, R], None] | None,
+) -> list[R]:
+    results = []
+    for item in items:
+        results.append(fn(item))
+        if on_result is not None:
+            on_result(len(results), results[-1])
+    return results
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Sequence[T],
     *,
     workers: int | None = 1,
     chunk_size: int | None = None,
+    on_result: Callable[[int, R], None] | None = None,
 ) -> list[R]:
     """Map ``fn`` over ``items``, optionally across processes.
 
@@ -67,6 +81,12 @@ def parallel_map(
         ``None`` uses :func:`default_workers`.
     chunk_size:
         Items per dispatched chunk; auto-sized when omitted.
+    on_result:
+        Optional progress callback, invoked in the parent process as
+        ``on_result(done_count, result)`` once per item, in input
+        order, as results become available (``Executor.map`` yields an
+        in-order stream). Used by the campaign runners for heartbeat
+        reporting; must not mutate the result.
 
     Returns
     -------
@@ -80,7 +100,7 @@ def parallel_map(
         raise ValueError("workers must be at least 1 (or None for auto)")
     workers = min(workers, len(items)) or 1
     if workers == 1 or len(items) < 2:
-        return [fn(item) for item in items]
+        return _map_serial(fn, items, on_result)
     if chunk_size is None:
         chunk_size = _chunk_size(len(items), workers)
     _logger.debug(
@@ -89,7 +109,12 @@ def parallel_map(
     )
     try:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, items, chunksize=chunk_size))
+            results = []
+            for result in pool.map(fn, items, chunksize=chunk_size):
+                results.append(result)
+                if on_result is not None:
+                    on_result(len(results), result)
+            return results
     except (OSError, PermissionError) as exc:
         # Sandboxes without fork/spawn support land here before any
         # work item ran; the serial path gives the identical result.
@@ -103,4 +128,4 @@ def parallel_map(
             RuntimeWarning,
             stacklevel=2,
         )
-        return [fn(item) for item in items]
+        return _map_serial(fn, items, on_result)

@@ -421,10 +421,13 @@ def run_sbc(
     ):
         return _run_sbc_lanes(spec, indices)
     task = partial(run_replication, spec)
+    heartbeat = obs.Heartbeat("sbc.replications", len(indices))
+    on_result = lambda done, _result: heartbeat.tick(done)  # noqa: E731
     col = obs.active()
     if col is None:
         outcomes = parallel_map(
-            task, indices, workers=workers, chunk_size=chunk_size
+            task, indices, workers=workers, chunk_size=chunk_size,
+            on_result=on_result,
         )
     else:
         pairs = parallel_map(
@@ -432,6 +435,7 @@ def run_sbc(
             indices,
             workers=workers,
             chunk_size=chunk_size,
+            on_result=on_result,
         )
         outcomes = []
         for index, (outcome, payload) in zip(indices, pairs):
@@ -486,7 +490,9 @@ def _run_sbc_lanes(spec: SBCSpec, indices: list[int]) -> SBCResult:
             settings=spec.scale.mcmc,
             rngs=rngs,
         )
+        heartbeat = obs.Heartbeat("sbc.lane_ranks", len(pending))
         for (index, truth, data), result in zip(pending, results):
+            heartbeat.tick()
             rank_rng = np.random.default_rng(
                 replication_seed(spec.seed, index, 2)
             )

@@ -264,5 +264,7 @@ class TestMerge:
     def test_traced_task_returns_result_and_export(self):
         result, payload = obs.traced_task(lambda x: x * 2, "summary", 21)
         assert result == 42
-        assert set(payload) == {"events", "counters", "histograms", "spans"}
+        assert set(payload) == {
+            "events", "counters", "histograms", "spans", "metrics",
+        }
         assert not obs.enabled()  # capture restored

@@ -1,0 +1,78 @@
+"""Tests for campaign progress heartbeats (repro.obs.heartbeat)."""
+
+import logging
+
+from repro import obs
+from repro.obs.heartbeat import Heartbeat
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+def _progress_events(col):
+    return [e for e in col.events if e["kind"] == "progress"]
+
+
+class TestHeartbeat:
+    def test_rate_limited(self):
+        clock = FakeClock()
+        with obs.capture(level="timing") as col:
+            hb = Heartbeat("sbc.replications", 100, interval_s=1.0,
+                           clock=clock)
+            for _ in range(10):
+                clock.now += 0.01  # 10 ticks inside one interval
+                hb.tick()
+        assert _progress_events(col) == []
+
+    def test_reports_after_interval(self):
+        clock = FakeClock()
+        with obs.capture(level="timing") as col:
+            hb = Heartbeat("sbc.replications", 100, interval_s=1.0,
+                           clock=clock)
+            clock.now += 2.0
+            hb.tick()
+        (ev,) = _progress_events(col)
+        assert ev["label"] == "sbc.replications"
+        assert ev["done"] == 1 and ev["total"] == 100
+        assert ev["elapsed_s"] == 2.0
+        assert ev["rate_per_s"] == 0.5
+        assert ev["eta_s"] == 99 / 0.5
+
+    def test_final_tick_always_reports(self):
+        clock = FakeClock()
+        with obs.capture(level="timing") as col:
+            hb = Heartbeat("cov.replications", 3, interval_s=60.0,
+                           clock=clock)
+            clock.now += 0.1
+            for done in (1, 2, 3):
+                hb.tick(done)
+        (ev,) = _progress_events(col)
+        assert ev["done"] == 3 and ev["total"] == 3
+        assert "eta_s" not in ev  # nothing left to estimate
+
+    def test_summary_level_emits_no_events(self):
+        clock = FakeClock()
+        with obs.capture(level="summary") as col:
+            hb = Heartbeat("sbc.replications", 2, clock=clock)
+            clock.now += 10.0
+            hb.tick(2)
+        assert _progress_events(col) == []
+
+    def test_logs_at_info(self, caplog):
+        clock = FakeClock()
+        with caplog.at_level(logging.INFO, logger="repro.obs"):
+            hb = Heartbeat("sbc.replications", 2, clock=clock)
+            clock.now += 5.0
+            hb.tick(2)
+        assert "sbc.replications: 2/2" in caplog.text
+
+    def test_tick_without_argument_increments(self):
+        hb = Heartbeat("x.y", 10, clock=FakeClock())
+        hb.tick()
+        hb.tick()
+        assert hb.done == 2

@@ -145,3 +145,47 @@ class TestCampaignTraces:
             result = run_sbc(SBCSpec(method="VB2", **_SMOKE))
         assert col.counters["vb2.solves"] > 0
         assert col.histograms["vb2.nmax"].count == result.used
+
+
+def _traced_campaign_bytes(path, workers):
+    """Full tracing() run (meta + spans + metrics + summary) to disk."""
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        with obs.tracing(path, level="summary", command="sbc"):
+            run_sbc(SBCSpec(method="VB2", **_SMOKE), workers=workers)
+    return path.read_bytes()
+
+
+class TestMetricsByteIdentity:
+    """The schema-2 additions must preserve the serial-vs-parallel
+    byte-identity guarantee: merged metrics registries (solver-health
+    gauges, labeled histograms) are part of the trace now."""
+
+    def test_serial_and_parallel_traces_identical(self, tmp_path):
+        serial = _traced_campaign_bytes(tmp_path / "serial.jsonl", 1)
+        parallel = _traced_campaign_bytes(tmp_path / "parallel.jsonl", 2)
+        assert serial == parallel
+
+    def test_trace_contains_merged_solver_health(self, tmp_path):
+        from repro.obs.sink import load_validated_trace
+
+        _traced_campaign_bytes(tmp_path / "trace.jsonl", 1)
+        events = load_validated_trace(tmp_path / "trace.jsonl")
+        (metrics,) = [e for e in events if e["kind"] == "metrics"]
+        hist = metrics["histograms"]["fit.iterations{method=VB2}"]
+        assert hist["count"] > 0
+        assert metrics["gauges"]["fit.nmax{method=VB2}"]["updates"] > 0
+
+    def test_merged_registry_equals_serial_registry(self):
+        import warnings
+
+        registries = []
+        for workers in (1, 2):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                with obs.capture(level="summary") as col:
+                    run_sbc(SBCSpec(method="VB2", **_SMOKE), workers=workers)
+            registries.append(col.metrics.export())
+        assert registries[0] == registries[1]

@@ -1,0 +1,141 @@
+"""Tests for span-tree profiling (repro.obs.profile)."""
+
+import pytest
+
+from repro import obs
+from repro.obs.profile import build_profile, fold_stacks, render_profile
+
+
+def _span(name, depth, status="ok", wall=None, **extra):
+    ev = {"kind": "span", "seq": 0, "name": name, "depth": depth,
+          "status": status}
+    if wall is not None:
+        ev["wall_s"] = wall
+    ev.update(extra)
+    return ev
+
+
+class TestBuildProfile:
+    def test_nesting_reconstructed_from_exit_depths(self):
+        # Exit order: child exits first (depth 1), then parent (depth 0).
+        events = [
+            _span("vb2.solve_n", 1),
+            _span("vb2.solve_n", 1),
+            _span("vb2.fit", 0),
+        ]
+        root = build_profile(events)
+        assert list(root.children) == ["vb2.fit"]
+        fit = root.children["vb2.fit"]
+        assert fit.count == 1
+        assert fit.children["vb2.solve_n"].count == 2
+
+    def test_sibling_replications_aggregate(self):
+        # Two merged replications restart at depth 0 — the fits become
+        # one aggregated node under the implicit root.
+        events = [
+            _span("vb2.solve_n", 1),
+            _span("vb2.fit", 0),
+            _span("vb2.solve_n", 1),
+            _span("vb2.fit", 0),
+        ]
+        root = build_profile(events)
+        fit = root.children["vb2.fit"]
+        assert fit.count == 2
+        assert fit.children["vb2.solve_n"].count == 2
+
+    def test_errors_counted(self):
+        events = [_span("vb1.fit", 0, status="error:ConvergenceError")]
+        root = build_profile(events)
+        assert root.children["vb1.fit"].errors == 1
+
+    def test_wall_and_self_wall(self):
+        events = [
+            _span("inner.a", 1, wall=0.25),
+            _span("outer.b", 0, wall=1.0),
+        ]
+        root = build_profile(events)
+        outer = root.children["outer.b"]
+        assert outer.wall_s == 1.0
+        assert outer.self_wall_s == pytest.approx(0.75)
+        assert outer.children["inner.a"].self_wall_s == 0.25
+
+    def test_summary_trace_has_no_wall(self):
+        root = build_profile([_span("vb2.fit", 0)])
+        assert root.children["vb2.fit"].wall_s is None
+        assert root.children["vb2.fit"].self_wall_s is None
+
+    def test_orphaned_depth_raises(self):
+        with pytest.raises(ValueError, match="unbalanced"):
+            build_profile([_span("lost.span", 2)])
+
+    def test_non_span_events_skipped(self):
+        events = [
+            {"kind": "meta", "seq": 0, "schema": 2, "level": "summary"},
+            _span("vb2.fit", 0),
+            {"kind": "summary", "seq": 2, "counters": {}, "histograms": {},
+             "spans": {}},
+        ]
+        root = build_profile(events)
+        assert root.children["vb2.fit"].count == 1
+
+    def test_merge_is_order_independent(self):
+        a = build_profile([_span("x.y", 1), _span("a.b", 0)])
+        b = build_profile([_span("a.b", 0), _span("c.d", 0)])
+        ab = build_profile([])
+        ab.merge(a)
+        ab.merge(b)
+        ba = build_profile([])
+        ba.merge(b)
+        ba.merge(a)
+        assert ab.to_dict() == ba.to_dict()
+        assert ab.children["a.b"].count == 2
+
+    def test_real_collector_stream(self, times_data, info_prior_times):
+        from repro.core.vb2 import fit_vb2
+
+        with obs.capture(level="timing") as col:
+            fit_vb2(times_data, info_prior_times, alpha0=1.0)
+        root = build_profile(col.events)
+        assert "vb2.fit" in root.children
+        assert root.children["vb2.fit"].wall_s > 0.0
+
+
+class TestFoldedStacks:
+    def test_paths_and_values(self):
+        events = [
+            _span("inner.a", 1, wall=0.25),
+            _span("outer.b", 0, wall=1.0),
+        ]
+        lines = fold_stacks(build_profile(events))
+        assert "outer.b 750000" in lines
+        assert "outer.b;inner.a 250000" in lines
+
+    def test_counts_when_no_timing(self):
+        lines = fold_stacks(build_profile([_span("a.b", 0), _span("a.b", 0)]))
+        assert lines == ["a.b 2"]
+
+    def test_deterministic_order(self):
+        events = [_span("z.z", 0), _span("a.a", 0)]
+        lines = fold_stacks(build_profile(events))
+        assert lines == sorted(lines)
+
+
+class TestRenderProfile:
+    def test_summary_has_no_wall_columns(self):
+        text = render_profile(build_profile([_span("vb2.fit", 0)]))
+        assert "calls" in text and "errors" in text
+        assert "cum_s" not in text
+
+    def test_timing_has_wall_columns(self):
+        text = render_profile(
+            build_profile([_span("vb2.fit", 0, wall=0.5)])
+        )
+        assert "cum_s" in text and "self_s" in text
+
+    def test_children_indented(self):
+        events = [_span("inner.a", 1), _span("outer.b", 0)]
+        text = render_profile(build_profile(events))
+        assert "\n  inner.a" in text
+
+    def test_empty(self):
+        assert "no spans" in render_profile(build_profile([]))

@@ -177,11 +177,84 @@ class TestCliTraceRoundTrip:
         assert not obs.enabled()
 
     def test_report_missing_file_exits_nonzero(self, tmp_path):
-        with pytest.raises(SystemExit):
+        with pytest.raises(SystemExit, match="error:"):
             main(["report", str(tmp_path / "missing.jsonl")])
 
     def test_report_invalid_trace_exits_nonzero(self, tmp_path):
         bad = tmp_path / "bad.jsonl"
         bad.write_text('{"kind":"mystery","seq":0}\n')
-        with pytest.raises(SystemExit):
+        with pytest.raises(SystemExit, match="invalid trace"):
             main(["report", str(bad)])
+
+
+@pytest.fixture()
+def fit_trace(sim_csv, tmp_path):
+    trace = tmp_path / "trace.jsonl"
+    code = main([
+        "fit", "--data", str(sim_csv), "--kind", "times",
+        "--omega-mean", "40", "--omega-std", "12",
+        "--beta-mean", "0.1", "--beta-std", "0.04",
+        "--trace", str(trace), "--trace-level", "timing",
+    ])
+    assert code == 0
+    return trace
+
+
+class TestReportFormats:
+    def test_json_format(self, fit_trace, capsys):
+        import json
+
+        assert main(["report", str(fit_trace), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == 2
+        assert payload["command"] == "fit"
+        assert "VB2" in payload["methods"]
+        assert payload["metrics"]["gauges"]
+        assert any(
+            key.startswith("fit.elbo") for key in payload["metrics"]["gauges"]
+        )
+
+    def test_json_format_with_profile(self, fit_trace, capsys):
+        import json
+
+        code = main([
+            "report", str(fit_trace), "--format", "json", "--profile",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = {c["name"] for c in payload["profile"]["children"]}
+        assert "vb2.fit" in names
+
+    def test_metrics_section(self, fit_trace, capsys):
+        assert main(["report", str(fit_trace), "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "## metrics snapshot" in out
+        assert "metric gauges" in out
+        assert "fit.elbo{method=VB2}" in out
+
+    def test_profile_section(self, fit_trace, capsys):
+        assert main(["report", str(fit_trace), "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "## span profile" in out
+        assert "vb2.fit" in out
+        assert "cum_s" in out  # timing-level trace carries wall time
+
+    def test_folded_export(self, fit_trace, tmp_path, capsys):
+        folded = tmp_path / "stacks.folded"
+        code = main(["report", str(fit_trace), "--folded", str(folded)])
+        assert code == 0
+        lines = folded.read_text().splitlines()
+        assert lines
+        for line in lines:
+            path, value = line.rsplit(" ", 1)
+            assert path
+            int(value)  # folded values are integers
+
+    def test_unbalanced_trace_profile_error(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text(
+            '{"kind":"meta","seq":0,"schema":2,"level":"summary"}\n'
+            '{"kind":"span","seq":1,"name":"a.b","depth":3,"status":"ok"}\n'
+        )
+        with pytest.raises(SystemExit, match="invalid trace"):
+            main(["report", str(bad), "--profile"])

@@ -1,5 +1,7 @@
 """Schema validation, JSONL round-trip, and canonical encoding tests."""
 
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -183,6 +185,112 @@ class TestJsonlRoundTrip:
         with JsonlSink(path) as sink:
             sink.write({"kind": "meta", "seq": 0})
         assert path.exists()
+
+
+class TestSchema2Events:
+    def test_metrics_event_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with obs.tracing(path, level="summary", command="fit"):
+            obs.metric_counter("vb2.fits", 3)
+            obs.fit_health("VB2", iterations=12, elbo=-5.0)
+        events = load_validated_trace(path)
+        assert events[0]["schema"] == 2
+        (metrics,) = [e for e in events if e["kind"] == "metrics"]
+        assert metrics["counters"]["vb2.fits"] == 3
+        assert metrics["gauges"]["fit.elbo{method=VB2}"]["value"] == -5.0
+        assert metrics["histograms"]["fit.iterations{method=VB2}"][
+            "count"
+        ] == 1
+
+    def test_progress_event_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with obs.tracing(path, level="timing"):
+            obs.progress("sbc.replications", 3, 10, elapsed_s=1.5,
+                         rate_per_s=2.0, eta_s=3.5)
+        events = load_validated_trace(path)
+        (progress,) = [e for e in events if e["kind"] == "progress"]
+        assert progress["done"] == 3 and progress["total"] == 10
+
+    def test_progress_gated_behind_timing(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with obs.tracing(path, level="summary"):
+            obs.progress("sbc.replications", 3, 10)
+        events = load_validated_trace(path)
+        assert not [e for e in events if e["kind"] == "progress"]
+
+    def test_no_metrics_event_when_registry_empty(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with obs.tracing(path, level="summary"):
+            obs.counter_add("legacy.counter")  # span-layer, not registry
+        events = load_validated_trace(path)
+        assert not [e for e in events if e["kind"] == "metrics"]
+
+    def test_schema_1_trace_still_valid(self):
+        events = [
+            {"kind": "meta", "seq": 0, "schema": 1, "level": "summary"},
+            {"kind": "point", "seq": 1, "name": "x"},
+        ]
+        assert validate_trace(events) == 2
+
+    def test_unsupported_schema_rejected(self):
+        with pytest.raises(TelemetryError, match="schema"):
+            validate_trace(
+                [{"kind": "meta", "seq": 0, "schema": 3, "level": "summary"}]
+            )
+
+    def test_bad_metric_key_rejected(self):
+        with pytest.raises(TelemetryError, match="metric counter"):
+            validate_event(
+                {"kind": "metrics", "seq": 0,
+                 "counters": {"Bad Key": 1}, "gauges": {},
+                 "histograms": {}}
+            )
+
+    def test_gauge_shape_checked(self):
+        with pytest.raises(TelemetryError, match="gauge"):
+            validate_event(
+                {"kind": "metrics", "seq": 0, "counters": {},
+                 "gauges": {"g.v": {"value": 1.0}}, "histograms": {}}
+            )
+
+    def test_progress_done_beyond_total_rejected(self):
+        with pytest.raises(TelemetryError, match="done"):
+            validate_event(
+                {"kind": "progress", "seq": 0, "label": "x.y",
+                 "done": 11, "total": 10}
+            )
+
+
+class TestCrashSafety:
+    def test_killed_writer_leaves_readable_trace(self, tmp_path):
+        """A process killed mid-trace (os._exit, no atexit, no flush
+        of Python-level buffers) must leave every completed event
+        readable — the JsonlSink flushes per event."""
+        import subprocess
+        import sys as _sys
+
+        path = tmp_path / "killed.jsonl"
+        script = (
+            "import os, sys\n"
+            "sys.path.insert(0, sys.argv[2])\n"
+            "from repro import obs\n"
+            "from repro.obs.sink import JsonlSink\n"
+            "sink = JsonlSink(sys.argv[1])\n"
+            "with obs.capture(level='summary', sink=sink) as col:\n"
+            "    col.emit('meta', schema=2, level='summary')\n"
+            "    with obs.span('vb2.fit'):\n"
+            "        obs.counter_add('vb2.solves')\n"
+            "    os._exit(1)  # simulated hard crash, nothing runs after\n"
+        )
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        proc = subprocess.run(
+            [_sys.executable, "-c", script, str(path), src],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert proc.returncode == 1, proc.stderr
+        events = read_trace(path)
+        assert [e["kind"] for e in events] == ["meta", "span"]
+        validate_trace(events)
 
 
 class TestTracingContext:
