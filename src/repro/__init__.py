@@ -38,6 +38,10 @@ from repro.core import (
     fit_vb1,
     fit_vb2,
     fit_vb2_weibull,
+    FleetResult,
+    fit_nint_fleet,
+    fit_vb1_fleet,
+    fit_vb2_fleet,
 )
 from repro.bayes import (
     EmpiricalPosterior,
@@ -102,6 +106,10 @@ __all__ = [
     "fit_vb1",
     "fit_vb2",
     "fit_vb2_weibull",
+    "FleetResult",
+    "fit_nint_fleet",
+    "fit_vb1_fleet",
+    "fit_vb2_fleet",
     # bayesian baselines
     "EmpiricalPosterior",
     "FlatPrior",

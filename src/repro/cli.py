@@ -97,7 +97,13 @@ def build_parser() -> argparse.ArgumentParser:
         )
 
     fit = subparsers.add_parser("fit", help="fit a posterior to a dataset")
-    fit.add_argument("--data", required=True, help="CSV file with the data")
+    fit.add_argument("--data", default=None, help="CSV file with the data")
+    fit.add_argument(
+        "--fleet", default=None, metavar="MANIFEST",
+        help="fit a whole portfolio in one vectorized sweep: JSON "
+        "manifest listing the datasets (mutually exclusive with --data; "
+        "methods vb2 and vb1 only)",
+    )
     fit.add_argument(
         "--kind", choices=["times", "grouped"], default="times",
         help="data structure of the CSV (one time per row, or "
@@ -358,6 +364,10 @@ def _run_fit(args) -> str:
     from repro.data.failure_data import FailureTimeData
     from repro.data.io import load_failure_times_csv, load_grouped_csv
 
+    if (args.data is None) == (args.fleet is None):
+        raise SystemExit("fit needs exactly one of --data or --fleet")
+    if args.fleet is not None:
+        return _run_fit_fleet(args)
     if args.kind == "times":
         data = load_failure_times_csv(args.data, horizon=args.horizon)
     else:
@@ -399,6 +409,44 @@ def _run_fit(args) -> str:
         lines.append(
             f"  predictive failures in window: mean {counts.mean():.3f}   {head}"
         )
+    return "\n".join(lines)
+
+
+def _run_fit_fleet(args) -> str:
+    from repro.core.fleet import fit_vb1_fleet, fit_vb2_fleet
+    from repro.data.fleet import load_fleet_manifest
+
+    if args.method not in ("vb2", "vb1"):
+        raise SystemExit(
+            f"--fleet supports methods vb2 and vb1, not {args.method}"
+        )
+    datasets = load_fleet_manifest(args.fleet)
+    prior = _build_prior(args)
+    fitter = fit_vb2_fleet if args.method == "vb2" else fit_vb1_fleet
+    fleet = fitter(datasets, prior, alpha0=args.alpha0)
+
+    lines = [
+        f"method: {fleet.method_name}    fleet: {len(fleet)} datasets "
+        f"({args.fleet})"
+    ]
+    omega_ci = fleet.credible_intervals("omega", args.level)
+    beta_ci = fleet.credible_intervals("beta", args.level)
+    omega_means = fleet.means("omega")
+    beta_means = fleet.means("beta")
+    for i in range(len(fleet)):
+        diag = fleet.diagnostics[i]
+        lines.append(
+            f"  [{i}] {diag['data_kind']}: "
+            f"omega {omega_means[i]:.6g} "
+            f"[{omega_ci[i, 0]:.6g}, {omega_ci[i, 1]:.6g}]   "
+            f"beta {beta_means[i]:.6g} "
+            f"[{beta_ci[i, 0]:.6g}, {beta_ci[i, 1]:.6g}]"
+        )
+    expected = fleet.expected_total_faults()
+    lines.append(
+        f"  portfolio: E[total faults] {float(expected.sum()):.6g} "
+        f"across {len(fleet)} projects at {args.level:.0%} intervals"
+    )
     return "\n".join(lines)
 
 

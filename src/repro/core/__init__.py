@@ -5,6 +5,12 @@ posterior reliability inference."""
 from repro.core.config import VBConfig
 from repro.core.vb2 import fit_vb2
 from repro.core.vb1 import fit_vb1
+from repro.core.fleet import (
+    FleetResult,
+    fit_nint_fleet,
+    fit_vb1_fleet,
+    fit_vb2_fleet,
+)
 from repro.core.posterior import VBPosterior
 from repro.core.reliability import (
     ReliabilityEstimate,
@@ -23,6 +29,10 @@ from repro.core.weibull_vb import WeibullVBPosterior, fit_vb2_weibull
 from repro.core.hpd import HPDInterval, hpd_interval
 
 __all__ = [
+    "FleetResult",
+    "fit_vb2_fleet",
+    "fit_vb1_fleet",
+    "fit_nint_fleet",
     "HPDInterval",
     "hpd_interval",
     "ReliabilityTracker",

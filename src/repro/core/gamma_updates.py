@@ -57,11 +57,15 @@ __all__ = [
     "TimesStats",
     "GroupedStats",
     "ConditionalSolution",
+    "LaneSolutions",
     "solve_conditional_times",
     "solve_conditional_times_range",
     "solve_conditional_times_exponential_range",
     "solve_conditional_grouped",
     "solve_conditional_grouped_range",
+    "solve_times_exponential_lanes",
+    "solve_times_lanes",
+    "solve_grouped_lanes",
     "elbo_constant",
 ]
 
@@ -618,6 +622,316 @@ def solve_conditional_grouped_range(
         )
         for i in range(n.size)
     ]
+
+
+# ----------------------------------------------------------------------
+# Dataset-lane solvers (fleet fitting)
+# ----------------------------------------------------------------------
+# The range solvers above batch over the latent-count axis of ONE
+# dataset. The lane solvers below generalise the lane axis to
+# ``(dataset, N)`` pairs: every per-dataset quantity (sufficient
+# statistics, prior hyper-parameters) arrives as a per-lane array, so a
+# whole portfolio's conditional posteriors collapse into one batched
+# fixed-point solve. ``alpha0`` stays a *Python scalar* per call —
+# the truncated/censored gamma means branch on ``shape == 1.0`` at the
+# Python level, so fleets mix shapes by grouping datasets per shape.
+#
+# Bit-identity with the scalar range solvers holds lane-wise because
+# (a) every transcendental is the same elementwise ufunc, (b) the
+# frozen-lane fixed point reproduces each lane's scalar iteration
+# regardless of lane composition, and (c) interval sums accumulate
+# through ``np.ufunc.at`` — an unbuffered, strictly in-order
+# scatter-add, matching the scalar Python loop's left-to-right sums
+# (``np.add.reduceat`` would NOT: its segment reduction is pairwise).
+
+
+@dataclass(frozen=True)
+class LaneSolutions:
+    """Columnar :class:`ConditionalSolution` for many lanes at once.
+
+    Same fields, as per-lane arrays; ``solution(i)`` unpacks one lane
+    for the scalar consumers.
+    """
+
+    n: np.ndarray
+    zeta: np.ndarray
+    xi: np.ndarray
+    a_omega: np.ndarray
+    b_omega: np.ndarray
+    a_beta: np.ndarray
+    b_beta: np.ndarray
+    log_weight: np.ndarray
+    iterations: np.ndarray
+
+    def __len__(self) -> int:
+        return self.n.size
+
+    def __getitem__(self, sl: slice) -> "LaneSolutions":
+        """View of a contiguous lane range (no copies)."""
+        return LaneSolutions(
+            n=self.n[sl],
+            zeta=self.zeta[sl],
+            xi=self.xi[sl],
+            a_omega=self.a_omega[sl],
+            b_omega=self.b_omega[sl],
+            a_beta=self.a_beta[sl],
+            b_beta=self.b_beta[sl],
+            log_weight=self.log_weight[sl],
+            iterations=self.iterations[sl],
+        )
+
+    def solution(self, i: int) -> ConditionalSolution:
+        return ConditionalSolution(
+            n=int(self.n[i]),
+            zeta=float(self.zeta[i]),
+            xi=float(self.xi[i]),
+            a_omega=float(self.a_omega[i]),
+            b_omega=float(self.b_omega[i]),
+            a_beta=float(self.a_beta[i]),
+            b_beta=float(self.b_beta[i]),
+            log_weight=float(self.log_weight[i]),
+            iterations=int(self.iterations[i]),
+        )
+
+
+def _validate_lanes(
+    n: np.ndarray, observed: np.ndarray, a_beta: np.ndarray
+) -> None:
+    if np.any(n < observed):
+        lane = int(np.argmax(n < observed))
+        raise ValueError(
+            f"n_start={int(n[lane])} is below the observed failure count "
+            f"{int(observed[lane])} (lane {lane})"
+        )
+    if np.any(a_beta <= 0.0):
+        raise ValueError("m_beta + N*alpha0 must be positive")
+
+
+def solve_times_exponential_lanes(
+    n: np.ndarray,
+    me: np.ndarray,
+    sum_times: np.ndarray,
+    horizon: np.ndarray,
+    m_omega: np.ndarray,
+    phi_omega: np.ndarray,
+    m_beta: np.ndarray,
+    phi_beta: np.ndarray,
+) -> LaneSolutions:
+    """Closed-form Goel–Okumoto lanes: the dataset-lane generalisation
+    of :func:`solve_conditional_times_exponential_range`.
+
+    Every argument is a per-lane array (a lane is one ``(dataset, N)``
+    pair). Bit-identical per lane to the scalar range solver run on
+    that lane's dataset.
+    """
+    n = np.asarray(n, dtype=float)
+    residual = n - me
+    a_beta = m_beta + n
+    _validate_lanes(n, me, a_beta)
+    denom = phi_beta + sum_times + residual * horizon
+    xi = (m_beta + me) / denom
+    zeta = sum_times + residual * (horizon + 1.0 / xi)
+    b_beta = phi_beta + zeta
+    log_weight = (
+        log_gamma_fn(m_omega + n)
+        - (m_omega + n) * np.log(phi_omega + 1.0)
+        + log_gamma_fn(a_beta)
+        - a_beta * np.log(b_beta)
+        + residual * (1.0 - np.log(xi))
+        - log_factorial(residual)
+    )
+    return LaneSolutions(
+        n=n,
+        zeta=zeta,
+        xi=xi,
+        a_omega=m_omega + n,
+        b_omega=phi_omega + 1.0,
+        a_beta=a_beta,
+        b_beta=b_beta,
+        log_weight=log_weight,
+        iterations=np.zeros(n.size, dtype=np.int64),
+    )
+
+
+def solve_times_lanes(
+    n: np.ndarray,
+    alpha0: float,
+    me: np.ndarray,
+    sum_times: np.ndarray,
+    horizon: np.ndarray,
+    m_omega: np.ndarray,
+    phi_omega: np.ndarray,
+    m_beta: np.ndarray,
+    phi_beta: np.ndarray,
+    config: VBConfig,
+    lane_labels=None,
+) -> LaneSolutions:
+    """Failure-time lanes for a general gamma shape: the dataset-lane
+    generalisation of :func:`solve_conditional_times_range`.
+
+    ``alpha0`` must be a Python scalar shared by every lane (callers
+    group datasets per shape); all other arguments are per-lane arrays.
+    ``lane_labels`` names lanes in divergence errors (fleet callers
+    label each lane with its dataset).
+    """
+    if alpha0 == 1.0:
+        return solve_times_exponential_lanes(
+            n, me, sum_times, horizon, m_omega, phi_omega, m_beta, phi_beta
+        )
+    n = np.asarray(n, dtype=float)
+    residual = n - me
+    has_resid = residual > 0
+    a_beta = m_beta + n * alpha0
+    _validate_lanes(n, me, a_beta)
+
+    def zeta_of(xi: np.ndarray) -> np.ndarray:
+        total = sum_times.copy()
+        if np.any(has_resid):
+            eta = censored_gamma_mean(
+                horizon[has_resid], alpha0, xi[has_resid]
+            )
+            total[has_resid] = sum_times[has_resid] + residual[has_resid] * eta
+        return total
+
+    def update(xi: np.ndarray) -> np.ndarray:
+        return a_beta / (phi_beta + zeta_of(xi))
+
+    xi_seed = a_beta / (phi_beta + sum_times + residual * horizon + 1e-300)
+    solve = solve_fixed_point_batch(
+        update,
+        xi_seed,
+        rtol=config.fixed_point_rtol,
+        max_iter=config.fixed_point_max_iter,
+        use_aitken=config.use_aitken,
+        lane_labels=lane_labels,
+    )
+    xi = solve.values
+    zeta = zeta_of(xi)
+    b_beta = phi_beta + zeta
+    log_weight = (
+        log_gamma_fn(m_omega + n)
+        - (m_omega + n) * np.log(phi_omega + 1.0)
+        + log_gamma_fn(a_beta)
+        - a_beta * np.log(b_beta)
+    )
+    if np.any(has_resid):
+        xm = xi[has_resid]
+        eta = censored_gamma_mean(horizon[has_resid], alpha0, xm)
+        log_weight[has_resid] += residual[has_resid] * (
+            log_gamma_sf(horizon[has_resid], alpha0, xm)
+            - alpha0 * np.log(xm)
+            + xm * eta
+        )
+        log_weight[has_resid] -= log_factorial(residual[has_resid])
+    return LaneSolutions(
+        n=n,
+        zeta=zeta,
+        xi=xi,
+        a_omega=m_omega + n,
+        b_omega=phi_omega + 1.0,
+        a_beta=a_beta,
+        b_beta=b_beta,
+        log_weight=log_weight,
+        iterations=solve.iterations,
+    )
+
+
+def solve_grouped_lanes(
+    n: np.ndarray,
+    alpha0: float,
+    total_observed: np.ndarray,
+    horizon: np.ndarray,
+    pair_lane: np.ndarray,
+    pair_lo: np.ndarray,
+    pair_hi: np.ndarray,
+    pair_count: np.ndarray,
+    seed_dot: np.ndarray,
+    m_omega: np.ndarray,
+    phi_omega: np.ndarray,
+    m_beta: np.ndarray,
+    phi_beta: np.ndarray,
+    config: VBConfig,
+    lane_labels=None,
+) -> LaneSolutions:
+    """Grouped-data lanes: the dataset-lane generalisation of
+    :func:`solve_conditional_grouped_range`.
+
+    The ragged per-dataset interval structure arrives flattened as
+    ``(lane, interval)`` pairs: ``pair_lane[j]`` is the lane index of
+    pair ``j`` and ``pair_lo/hi/count`` its interval geometry. Pairs
+    MUST be laid out lane-major with intervals in ascending order
+    within each lane — the scatter-adds below then accumulate each
+    lane's interval sum in exactly the scalar loop's order.
+    ``seed_dot[i]`` is the lane's dataset-level
+    ``float(np.dot(counts, edges[1:]))`` (the scalar solver's
+    upper-bound zeta seed).
+    """
+    n = np.asarray(n, dtype=float)
+    residual = n - total_observed
+    has_resid = residual > 0
+    a_beta = m_beta + n * alpha0
+    _validate_lanes(n, total_observed, a_beta)
+
+    def zeta_of(xi: np.ndarray) -> np.ndarray:
+        total = np.zeros(xi.shape)
+        if pair_lane.size:
+            terms = pair_count * truncated_gamma_mean(
+                pair_lo, pair_hi, alpha0, xi[pair_lane]
+            )
+            np.add.at(total, pair_lane, terms)
+        if np.any(has_resid):
+            total[has_resid] = total[has_resid] + residual[has_resid] * (
+                censored_gamma_mean(
+                    horizon[has_resid], alpha0, xi[has_resid]
+                )
+            )
+        return total
+
+    def update(xi: np.ndarray) -> np.ndarray:
+        return a_beta / (phi_beta + zeta_of(xi))
+
+    zeta_hi = seed_dot + residual * 2.0 * horizon
+    solve = solve_fixed_point_batch(
+        update,
+        a_beta / (phi_beta + zeta_hi),
+        rtol=config.fixed_point_rtol,
+        max_iter=config.fixed_point_max_iter,
+        use_aitken=config.use_aitken,
+        lane_labels=lane_labels,
+    )
+    xi = solve.values
+    zeta = zeta_of(xi)
+    b_beta = phi_beta + zeta
+
+    log_weight = (
+        log_gamma_fn(m_omega + n)
+        - (m_omega + n) * np.log(phi_omega + 1.0)
+        + log_gamma_fn(a_beta)
+        - a_beta * np.log(b_beta)
+        - n * alpha0 * np.log(xi)
+        + xi * zeta
+    )
+    if pair_lane.size:
+        incs = pair_count * log_gamma_cdf_increment(
+            pair_lo, pair_hi, alpha0, xi[pair_lane]
+        )
+        np.add.at(log_weight, pair_lane, incs)
+    if np.any(has_resid):
+        log_weight[has_resid] += residual[has_resid] * (
+            log_gamma_sf(horizon[has_resid], alpha0, xi[has_resid])
+        )
+        log_weight[has_resid] -= log_factorial(residual[has_resid])
+    return LaneSolutions(
+        n=n,
+        zeta=zeta,
+        xi=xi,
+        a_omega=m_omega + n,
+        b_omega=phi_omega + 1.0,
+        a_beta=a_beta,
+        b_beta=b_beta,
+        log_weight=log_weight,
+        iterations=solve.iterations,
+    )
 
 
 # ----------------------------------------------------------------------

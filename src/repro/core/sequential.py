@@ -70,6 +70,10 @@ class ReliabilityTracker:
     level:
         Credible level of the lower bound (two-sided level; the lower
         endpoint is used).
+
+    The ``history`` attribute accumulates every record ever observed by
+    this tracker instance; the ``replay_*`` helpers return only the
+    records each call produced.
     """
 
     def __init__(
@@ -120,20 +124,30 @@ class ReliabilityTracker:
     def replay_grouped(
         self, data: GroupedData, period: int = 1
     ) -> list[TrackingRecord]:
-        """Replay a grouped campaign ``period`` intervals at a time."""
+        """Replay a grouped campaign ``period`` intervals at a time.
+
+        Returns only the records produced by *this* call;
+        ``self.history`` keeps accumulating across calls.
+        """
         if period < 1:
             raise ValueError("period must be at least 1")
-        for end in range(period, data.n_intervals + 1, period):
+        return [
             self.observe(data.truncate(end))
-        return self.history
+            for end in range(period, data.n_intervals + 1, period)
+        ]
 
     def replay_times(
         self, data: FailureTimeData, checkpoints
     ) -> list[TrackingRecord]:
-        """Replay failure-time data at the given horizon checkpoints."""
-        for horizon in np.asarray(checkpoints, dtype=float):
+        """Replay failure-time data at the given horizon checkpoints.
+
+        Returns only the records produced by *this* call;
+        ``self.history`` keeps accumulating across calls.
+        """
+        return [
             self.observe(data.truncate(float(horizon)))
-        return self.history
+            for horizon in np.asarray(checkpoints, dtype=float)
+        ]
 
     def first_ship_record(self) -> TrackingRecord | None:
         """Earliest record meeting the target, if any."""

@@ -141,14 +141,20 @@ def _fit_vb1(
         xi = xi_inner
         zeta = zeta_of(xi, lam)
         b_beta = phi_beta + zeta
-        log_u = float(digamma(a_omega)) - math.log(b_omega)
-        log_v = float(digamma(a_beta)) - math.log(b_beta)
+        # Transcendentals via the numpy ufuncs (not math.*): the fleet
+        # driver replays this iteration with per-dataset lanes, and the
+        # libm behind math.log/exp is not guaranteed to agree with
+        # numpy's to the last ulp. Same ufuncs on 0-d and 1-d inputs
+        # ARE guaranteed identical, which is what the lane-vs-scalar
+        # bit-identity contract needs.
+        log_u = float(digamma(a_omega)) - float(np.log(b_omega))
+        log_v = float(digamma(a_beta)) - float(np.log(b_beta))
         log_lam = (
             log_u
-            + alpha0 * (log_v - math.log(xi))
+            + alpha0 * (log_v - float(np.log(xi)))
             + log_gamma_sf(cut, alpha0, xi)
         )
-        lam_new = math.exp(log_lam)
+        lam_new = float(np.exp(log_lam))
         if abs(lam_new - lam) <= config.fixed_point_rtol * max(lam_new, 1e-300):
             lam = lam_new
             break

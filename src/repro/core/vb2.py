@@ -15,7 +15,6 @@ Implements the general algorithm of Section 5.1:
 from __future__ import annotations
 
 import numpy as np
-from scipy import special as sc
 
 from repro import obs
 from repro.bayes.priors import ModelPrior
@@ -36,8 +35,22 @@ from repro.core.posterior import VBPosterior
 from repro.data.failure_data import FailureTimeData, GroupedData
 from repro.exceptions import TruncationError
 from repro.stats.gamma_dist import GammaDistribution
+from repro.stats.special import log_sum_exp
 
-__all__ = ["fit_vb2"]
+__all__ = ["fit_vb2", "next_truncation_bound"]
+
+
+def next_truncation_bound(observed: int, bound: int, config: VBConfig) -> int:
+    """Step 4's "increase nmax": grow the increment above ``observed``
+    by ``config.nmax_growth``, always advancing by at least one.
+
+    Shared by the scalar fit and the fleet driver so every dataset's
+    truncation-growth schedule is decided by the same arithmetic.
+    """
+    increment = bound - observed
+    return observed + max(
+        int(np.ceil(increment * config.nmax_growth)), increment + 1
+    )
 
 
 def fit_vb2(
@@ -165,7 +178,7 @@ def _fit_vb2(
             )
         if nmax is not None or clamped:
             break
-        tail = float(np.exp(log_w[-1] - sc.logsumexp(log_w)))
+        tail = float(np.exp(log_w[-1] - log_sum_exp(log_w)))
         if tail < config.tail_tolerance:
             break
         obs.event(
@@ -173,10 +186,7 @@ def _fit_vb2(
             round=growth_rounds + 1, bound=bound, tail_mass=tail,
         )
         growth_rounds += 1
-        increment = bound - observed
-        bound = observed + max(
-            int(np.ceil(increment * config.nmax_growth)), increment + 1
-        )
+        bound = next_truncation_bound(observed, bound, config)
         if bound > config.nmax_ceiling:
             if config.truncation_policy == "clamp":
                 bound = config.nmax_ceiling
@@ -196,7 +206,7 @@ def _fit_vb2(
                 f"{config.tail_tolerance:.3e}"
             )
 
-    log_norm = float(sc.logsumexp(log_w))
+    log_norm = float(log_sum_exp(log_w))
     weights = np.exp(log_w - log_norm)
     if prior.is_proper:
         elbo = log_norm + elbo_constant(stats, prior, alpha0)

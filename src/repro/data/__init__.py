@@ -13,8 +13,22 @@ from repro.data.datasets import (
     dataset_registry,
 )
 from repro.data.musa_format import load_musa, save_musa
+from repro.data.fleet import (
+    FleetGroupedStats,
+    FleetTimesStats,
+    dedupe_datasets,
+    load_fleet_manifest,
+    pack_grouped,
+    pack_times,
+)
 
 __all__ = [
+    "FleetTimesStats",
+    "FleetGroupedStats",
+    "pack_times",
+    "pack_grouped",
+    "dedupe_datasets",
+    "load_fleet_manifest",
     "load_musa",
     "save_musa",
     "FailureTimeData",

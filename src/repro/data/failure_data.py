@@ -30,7 +30,7 @@ def _as_float_array(values, name: str) -> np.ndarray:
     return arr
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class FailureTimeData:
     """Ordered failure times with an observation horizon.
 
@@ -123,11 +123,37 @@ class FailureTimeData:
             raise DataValidationError(
                 "last boundary precedes the last observed failure"
             )
+        if bounds[-1] < self.horizon:
+            # Grouping must cover the whole observed period: truncating
+            # at the last failure would silently drop the failure-free
+            # tail (s_k, te], which changes the grouped likelihood.
+            raise DataValidationError(
+                f"last boundary {bounds[-1]} precedes the data horizon "
+                f"{self.horizon}; the grouped view would silently drop "
+                f"the failure-free tail"
+            )
         # searchsorted with side='left' assigns a time equal to a boundary
         # to the interval it closes, matching the (s_{i-1}, s_i] convention.
         idx = np.searchsorted(bounds, self.times, side="left")
         counts = np.bincount(idx, minlength=bounds.size)[: bounds.size]
         return GroupedData(counts=counts, boundaries=bounds, unit=self.unit)
+
+    # The generated dataclass ``__eq__``/``__hash__`` choke on ndarray
+    # fields (`==` broadcasts to an array whose truth value is
+    # ambiguous; arrays are unhashable), so equality and hashing are
+    # array-aware and value-based — fleet-level dedup and posterior
+    # caches key on them.
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FailureTimeData):
+            return NotImplemented
+        return (
+            self.horizon == other.horizon
+            and self.unit == other.unit
+            and np.array_equal(self.times, other.times)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.times.tobytes(), self.horizon, self.unit))
 
     def interarrival_times(self) -> np.ndarray:
         """Differences between successive failure times (first one from 0)."""
@@ -154,7 +180,7 @@ class FailureTimeData:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class GroupedData:
     """Per-interval failure counts (paper's grouped data ``D_G``).
 
@@ -220,6 +246,22 @@ class GroupedData:
     def cumulative_counts(self) -> np.ndarray:
         """Cumulative failure counts at each boundary (copy)."""
         return self._cum.copy()
+
+    # Array-aware value equality/hashing, mirroring FailureTimeData
+    # (the generated dataclass methods raise on ndarray fields).
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GroupedData):
+            return NotImplemented
+        return (
+            self.unit == other.unit
+            and np.array_equal(self.counts, other.counts)
+            and np.array_equal(self.boundaries, other.boundaries)
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.counts.tobytes(), self.boundaries.tobytes(), self.unit)
+        )
 
     def interval_edges(self) -> np.ndarray:
         """All ``k+1`` edges ``[0, s_1, ..., s_k]``."""

@@ -38,8 +38,15 @@ def load_failure_times_csv(
     horizon: float | None = None,
     unit: str = "seconds",
 ) -> FailureTimeData:
-    """Read one failure time per row (header optional)."""
+    """Read one failure time per row (at most one header line).
+
+    Only the *first* non-numeric row is treated as a header; any later
+    non-numeric value raises :class:`DataValidationError` instead of
+    silently vanishing (a typo'd reading in row 3 of a headerless file
+    must not be swallowed as "another header").
+    """
     times: list[float] = []
+    header_seen = False
     with open(path, newline="") as fh:
         for row in csv.reader(fh):
             if not row or not row[0].strip():
@@ -47,11 +54,12 @@ def load_failure_times_csv(
             try:
                 times.append(float(row[0]))
             except ValueError:
-                if times:
+                if header_seen or times:
                     raise DataValidationError(
-                        f"non-numeric value {row[0]!r} after data rows in {path}"
+                        f"non-numeric value {row[0]!r} in {path} "
+                        f"(only one header line is allowed)"
                     )
-                continue  # header line
+                header_seen = True  # the single permitted header line
     return FailureTimeData(np.asarray(times), horizon=horizon, unit=unit)
 
 
@@ -65,9 +73,15 @@ def save_failure_times_csv(data: FailureTimeData, path: str | Path) -> None:
 
 
 def load_grouped_csv(path: str | Path, *, unit: str = "days") -> GroupedData:
-    """Read ``boundary,count`` rows (header optional)."""
+    """Read ``boundary,count`` rows (at most one header line).
+
+    Mirrors :func:`load_failure_times_csv`: only the first non-numeric
+    row can be a header, every later one raises
+    :class:`DataValidationError` so malformed rows never vanish.
+    """
     boundaries: list[float] = []
     counts: list[int] = []
+    header_seen = False
     with open(path, newline="") as fh:
         for row in csv.reader(fh):
             if not row or not row[0].strip():
@@ -75,11 +89,13 @@ def load_grouped_csv(path: str | Path, *, unit: str = "days") -> GroupedData:
             try:
                 boundary = float(row[0])
             except ValueError:
-                if boundaries:
+                if header_seen or boundaries:
                     raise DataValidationError(
-                        f"non-numeric value {row[0]!r} after data rows in {path}"
+                        f"non-numeric value {row[0]!r} in {path} "
+                        f"(only one header line is allowed)"
                     )
-                continue  # header line
+                header_seen = True  # the single permitted header line
+                continue
             if len(row) < 2:
                 raise DataValidationError(f"grouped CSV row needs two columns: {row}")
             boundaries.append(boundary)

@@ -21,8 +21,9 @@ calibrates against.
 
 from __future__ import annotations
 
+import dataclasses
 import math
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -276,12 +277,16 @@ class BatchFixedPointResult:
     residuals: np.ndarray
     residual_histories: tuple[tuple[float, ...], ...]
     aitken_steps: np.ndarray
+    lane_labels: tuple[str, ...] | None = None
 
     def lane_error(self, lane: int, max_iter: int) -> ConvergenceError:
         """Build the scalar-contract :class:`ConvergenceError` for a
         failed lane, carrying that lane's own statistics."""
+        label = ""
+        if self.lane_labels is not None:
+            label = f" ({self.lane_labels[lane]})"
         return ConvergenceError(
-            f"fixed point did not converge in lane {lane} within "
+            f"fixed point did not converge in lane {lane}{label} within "
             f"{max_iter} evaluations "
             f"(last relative step {self.residuals[lane]:.3e})",
             iterations=int(self.iterations[lane]),
@@ -315,6 +320,7 @@ def solve_fixed_point_batch(
     max_iter: int = 500,
     use_aitken: bool = True,
     raise_on_failure: bool = True,
+    lane_labels: Sequence[str] | None = None,
 ) -> BatchFixedPointResult:
     """Solve ``x = f(x)`` lane-wise for many positive fixed points at once.
 
@@ -353,6 +359,11 @@ def solve_fixed_point_batch(
     evaluations, maximum final residual, and accepted Aitken steps;
     failed lanes emit the same ``fixed_point.divergence`` event as the
     scalar solver.
+
+    ``lane_labels`` (optional, one string per lane) names the lanes in
+    failure messages — fleet callers label lanes with their dataset so
+    a diverging project is attributable in a thousand-lane solve. The
+    labels do not affect the iteration in any way.
     """
     x = np.array(x0, dtype=float)
     if x.ndim != 1:
@@ -360,9 +371,18 @@ def solve_fixed_point_batch(
     if np.any(~(x > 0.0)):
         bad = int(np.argmax(~(x > 0.0)))
         raise ValueError(f"x0 must be positive, got {x[bad]} in lane {bad}")
+    if lane_labels is not None and len(lane_labels) != x.size:
+        raise ValueError(
+            f"lane_labels must match the lane count {x.size}, "
+            f"got {len(lane_labels)}"
+        )
     n = x.size
     with obs.span("fixed_point.batch", level="debug", lanes=n) as sp:
         result = _solve_batch_inner(f, x, rtol, max_iter, use_aitken)
+        if lane_labels is not None:
+            result = dataclasses.replace(
+                result, lane_labels=tuple(str(s) for s in lane_labels)
+            )
         # The span is the shared no-op handle when the collector sits
         # below the debug level, so attrs only exist on the live span.
         if getattr(sp, "attrs", None) is not None:

@@ -34,6 +34,8 @@ from scipy import special as sc
 __all__ = [
     "log1mexp",
     "logsumexp",
+    "log_sum_exp",
+    "log_sum_exp_stream",
     "log_gamma_cdf",
     "log_gamma_sf",
     "gamma_sf_ratio",
@@ -82,6 +84,44 @@ def logsumexp(values: np.ndarray, weights: np.ndarray | None = None) -> float:
     if weights is None:
         return float(sc.logsumexp(values))
     return float(sc.logsumexp(values, b=np.asarray(weights, dtype=float)))
+
+
+def log_sum_exp_stream(values: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    """Per-segment ``log(sum(exp(v)))`` over contiguous slices of a flat
+    array, one result per entry of ``starts`` (reduceat convention: the
+    segment ``k`` runs from ``starts[k]`` to ``starts[k+1]``, the last to
+    the end of ``values``).
+
+    Every segment reduces through ``np.{maximum,add}.reduceat``, whose
+    accumulation depends only on the segment's own values — a segment of
+    a large concatenation produces the same float as reducing that slice
+    alone. :func:`log_sum_exp` is defined as the one-segment case of this
+    function, so a batched engine normalising many weight vectors in one
+    call is *bit-identical* to a scalar loop normalising each with
+    :func:`log_sum_exp` (pinned by ``tests/stats/test_special.py``).
+    """
+    values = np.asarray(values, dtype=float)
+    starts = np.asarray(starts, dtype=np.intp)
+    maxima = np.maximum.reduceat(values, starts)
+    sizes = np.diff(np.append(starts, values.size))
+    with np.errstate(invalid="ignore", divide="ignore"):
+        shifted = np.exp(values - np.repeat(maxima, sizes))
+        out = maxima + np.log(np.add.reduceat(shifted, starts))
+    # A segment whose max is not finite (all -inf, or a +inf entry)
+    # reduces to nan above; the limit value is the max itself.
+    return np.where(np.isfinite(maxima), out, maxima)
+
+
+def log_sum_exp(values: np.ndarray) -> float:
+    """Stable ``log(sum(exp(v)))`` over a 1-D array as a plain float.
+
+    Unlike :func:`logsumexp` this avoids scipy's array-API dispatch
+    (which costs ~100x the reduction itself on short arrays) and shares
+    its accumulation order with :func:`log_sum_exp_stream`, making
+    scalar and batched normalisation bit-identical by construction.
+    """
+    values = np.asarray(values, dtype=float)
+    return float(log_sum_exp_stream(values, np.zeros(1, dtype=np.intp))[0])
 
 
 def _broadcast(*args):

@@ -60,6 +60,27 @@ class TestTracker:
         history = tracker.replay_grouped(grouped_data, period=16)
         assert history[-1].expected_residual < history[0].expected_residual + 5.0
 
+    def test_second_replay_does_not_double_count(self, tracker, grouped_data):
+        # Regression: replay_* used to return the cumulative
+        # ``self.history``, so a second call reported the first call's
+        # records again.
+        first = tracker.replay_grouped(grouped_data, period=16)
+        second = tracker.replay_grouped(grouped_data, period=16)
+        assert len(first) == len(second) == grouped_data.n_intervals // 16
+        # history is where accumulation happens, by contract
+        assert len(tracker.history) == len(first) + len(second)
+
+    def test_replay_times_returns_only_own_records(
+        self, times_data, info_prior_times
+    ):
+        tracker = ReliabilityTracker(info_prior_times, prediction_window=1000.0)
+        checkpoints = [float(times_data.times[5]), float(times_data.horizon)]
+        first = tracker.replay_times(times_data, checkpoints)
+        second = tracker.replay_times(times_data, checkpoints)
+        assert len(first) == 2
+        assert len(second) == 2
+        assert len(tracker.history) == 4
+
     def test_validation(self, info_prior_grouped, grouped_data):
         with pytest.raises(ValueError):
             ReliabilityTracker(info_prior_grouped, reliability_target=1.5)

@@ -100,6 +100,24 @@ class TestToGrouped:
         with pytest.raises(DataValidationError):
             data.to_grouped([2.0, 4.0])
 
+    def test_rejects_boundaries_short_of_horizon(self):
+        # Regression: boundaries covering every failure but stopping
+        # before the horizon used to pass, silently dropping the
+        # failure-free tail (s_k, te] from the grouped likelihood.
+        data = FailureTimeData([1.0, 2.0], horizon=10.0)
+        with pytest.raises(DataValidationError, match="horizon"):
+            data.to_grouped([1.0, 2.0])
+
+    def test_boundary_at_horizon_accepted(self):
+        data = FailureTimeData([1.0, 2.0], horizon=10.0)
+        grouped = data.to_grouped([2.0, 10.0])
+        assert grouped.horizon == data.horizon
+
+    def test_empty_data_still_checks_horizon(self):
+        data = FailureTimeData([], horizon=10.0)
+        with pytest.raises(DataValidationError, match="horizon"):
+            data.to_grouped([5.0])
+
     @given(
         times=st.lists(
             st.floats(min_value=0.01, max_value=9.99), min_size=0, max_size=30
@@ -110,6 +128,50 @@ class TestToGrouped:
         data = FailureTimeData(np.sort(times), horizon=10.0)
         grouped = data.to_grouped(np.linspace(1.0, 10.0, 10))
         assert grouped.total_count == data.count
+
+
+class TestEqualityAndHashing:
+    # Regression: the generated dataclass __eq__/__hash__ raised
+    # ValueError/TypeError on the ndarray fields; equality and hashing
+    # are now value-based, which fleet-level dedup relies on.
+
+    def test_times_equality(self):
+        a = FailureTimeData([1.0, 2.0], horizon=5.0)
+        b = FailureTimeData([1.0, 2.0], horizon=5.0)
+        c = FailureTimeData([1.0, 2.5], horizon=5.0)
+        assert a == b
+        assert a != c
+        assert a != FailureTimeData([1.0, 2.0], horizon=6.0)
+        assert a != FailureTimeData([1.0, 2.0], horizon=5.0, unit="hours")
+        assert a != "not data"
+
+    def test_times_hash(self):
+        a = FailureTimeData([1.0, 2.0], horizon=5.0)
+        b = FailureTimeData([1.0, 2.0], horizon=5.0)
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_grouped_equality(self):
+        a = GroupedData(counts=[1, 2], boundaries=[1.0, 2.0])
+        b = GroupedData(counts=[1, 2], boundaries=[1.0, 2.0])
+        c = GroupedData(counts=[1, 3], boundaries=[1.0, 2.0])
+        assert a == b
+        assert a != c
+        assert a != GroupedData(counts=[1, 2], boundaries=[1.0, 3.0])
+        assert a != "not data"
+
+    def test_grouped_hash_dedup(self):
+        a = GroupedData(counts=[1, 2], boundaries=[1.0, 2.0])
+        b = GroupedData(counts=[1, 2], boundaries=[1.0, 2.0])
+        c = GroupedData(counts=[0, 2], boundaries=[1.0, 2.0])
+        assert hash(a) == hash(b)
+        assert len({a, b, c}) == 2
+
+    def test_cross_type_never_equal(self):
+        times = FailureTimeData([1.0], horizon=1.0)
+        grouped = GroupedData(counts=[1], boundaries=[1.0])
+        assert times != grouped
+        assert grouped != times
 
 
 class TestGroupedData:

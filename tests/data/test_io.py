@@ -51,6 +51,53 @@ class TestCsvRoundTrip:
         with pytest.raises(DataValidationError):
             load_grouped_csv(path)
 
+    def test_empty_file_times(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        loaded = load_failure_times_csv(path, horizon=5.0)
+        assert loaded.count == 0
+        assert loaded.horizon == 5.0
+
+    def test_header_only_file_times(self, tmp_path):
+        path = tmp_path / "h.csv"
+        path.write_text("time\n")
+        loaded = load_failure_times_csv(path, horizon=5.0)
+        assert loaded.count == 0
+
+    def test_second_header_line_rejected(self, tmp_path):
+        # Regression: only ONE header line is allowed. Previously every
+        # non-numeric row before the first data row was swallowed, so a
+        # typo'd value in an early row simply vanished.
+        path = tmp_path / "x.csv"
+        path.write_text("time\noops\n1.5\n2.5\n")
+        with pytest.raises(DataValidationError):
+            load_failure_times_csv(path)
+
+    def test_grouped_second_header_line_rejected(self, tmp_path):
+        path = tmp_path / "g.csv"
+        path.write_text("boundary,count\ntypo,3\n1.0,2\n")
+        with pytest.raises(DataValidationError):
+            load_grouped_csv(path)
+
+    def test_grouped_header_then_data(self, tmp_path):
+        path = tmp_path / "g.csv"
+        path.write_text("boundary,count\n1.0,2\n2.0,0\n")
+        loaded = load_grouped_csv(path)
+        assert loaded.counts.tolist() == [2, 0]
+        assert loaded.boundaries.tolist() == [1.0, 2.0]
+
+    def test_grouped_garbage_after_data_rejected(self, tmp_path):
+        path = tmp_path / "g.csv"
+        path.write_text("1.0,2\nwhat,1\n")
+        with pytest.raises(DataValidationError):
+            load_grouped_csv(path)
+
+    def test_blank_lines_still_skipped(self, tmp_path):
+        path = tmp_path / "x.csv"
+        path.write_text("time\n\n1.5\n\n2.5\n")
+        loaded = load_failure_times_csv(path)
+        assert loaded.times.tolist() == [1.5, 2.5]
+
 
 class TestJsonRoundTrip:
     def test_failure_times(self, tmp_path):

@@ -19,6 +19,8 @@ from repro.stats.special import (
     log_gamma_cdf_increment,
     log_gamma_fn,
     log_gamma_sf,
+    log_sum_exp,
+    log_sum_exp_stream,
     logsumexp,
 )
 
@@ -77,6 +79,44 @@ class TestLogSumExp:
         arr = np.asarray(values)
         shifted = logsumexp(arr + 5.0)
         assert shifted == pytest.approx(logsumexp(arr) + 5.0, rel=1e-9, abs=1e-9)
+
+
+class TestLogSumExpStream:
+    """The scalar/segmented bit-identity contract the fleet engine
+    rests on: a segment of a large concatenation must reduce to the
+    same float as the scalar helper applied to that slice alone."""
+
+    def test_matches_scipy_to_rounding(self):
+        rng = np.random.default_rng(11)
+        for _ in range(50):
+            x = rng.normal(scale=rng.uniform(0.5, 40.0), size=rng.integers(1, 200))
+            assert log_sum_exp(x) == pytest.approx(float(sc.logsumexp(x)), rel=1e-13)
+
+    def test_segments_bit_identical_to_scalar_calls(self):
+        rng = np.random.default_rng(12)
+        for _ in range(20):
+            sizes = rng.integers(1, 300, size=rng.integers(1, 30))
+            flat = rng.normal(scale=30.0, size=int(sizes.sum()))
+            stops = np.cumsum(sizes)
+            starts = (stops - sizes).astype(np.intp)
+            out = log_sum_exp_stream(flat, starts)
+            for k, (a, b) in enumerate(zip(starts, stops)):
+                assert out[k] == log_sum_exp(flat[a:b])
+
+    def test_scalar_is_the_one_segment_case(self):
+        x = np.log([1.0, 2.0, 3.0])
+        assert log_sum_exp(x) == pytest.approx(math.log(6.0))
+        assert log_sum_exp(x) == float(
+            log_sum_exp_stream(x, np.zeros(1, dtype=np.intp))[0]
+        )
+
+    def test_minus_infinity_entries(self):
+        assert log_sum_exp(np.array([-math.inf, 0.0])) == pytest.approx(0.0)
+        # An all--inf segment must not poison its neighbours.
+        flat = np.array([-math.inf, -math.inf, 0.0, 1.0])
+        out = log_sum_exp_stream(flat, np.array([0, 2], dtype=np.intp))
+        assert out[0] == -math.inf
+        assert out[1] == pytest.approx(float(sc.logsumexp(flat[2:])))
 
 
 class TestGammaTails:
