@@ -1,0 +1,408 @@
+"""Benchmark: warm-start incremental refits + posterior cache hits.
+
+Sequential reliability tracking refits the full posterior every
+observation period. Two mechanisms make replaying a campaign cheap
+(see docs/METHOD.md §4.5 and docs/PERFORMANCE.md §5):
+
+* **Warm starts** — each period's fit seeds its per-``N`` fixed points
+  from the previous posterior and relaxes the solver tolerance on
+  weight-negligible lanes, collapsing the fixed-point iteration count;
+* **Content-addressed caching** — refitting inputs the cache has
+  already seen loads the stored posterior byte-identically without
+  touching the solver.
+
+This benchmark replays a synthetic grouped test campaign through
+:class:`~repro.core.sequential.ReliabilityTracker` cold
+(``warm_start=False``) and warm, for α0 ∈ {1, 2}, and emits
+``benchmarks/results/BENCH_warmstart.json`` (native schema-2 ledger):
+
+* **tracker50/a0=1** — the acceptance workload: 50 periods, iteration
+  ratio ≥ 3x and wall ratio ≥ 2x warm over cold;
+* **tracker50/a0=2** — the delayed S-shaped lifetime, same campaign;
+* **cache hit** — a disk hit must be byte-identical to the fit it
+  replaces, run zero solver calls, and load ≥ 10x faster than
+  refitting.
+
+Iteration counts are deterministic (machine-independent), so those
+ratios gate exactly; wall-clock ratios are gated loosely and the
+absolute targets are asserted by full runs only.
+
+As a script:
+
+    PYTHONPATH=src python benchmarks/bench_warmstart.py          # full + quick
+    PYTHONPATH=src python benchmarks/bench_warmstart.py --quick  # CI mode
+    PYTHONPATH=src python benchmarks/bench_warmstart.py --quick \\
+        --out /tmp/BENCH_warmstart.json \\
+        --baseline benchmarks/results/BENCH_warmstart.json
+
+With ``--baseline`` the run fails (exit 1) if any speedup regresses
+below 80% of the committed baseline's (``repro bench check`` applies
+the same gate in CI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+# Script-mode bootstrap: pytest injects these roots via benchmarks/
+# conftest.py, a bare `python benchmarks/bench_warmstart.py` does not.
+_HERE = Path(__file__).resolve().parent
+for _root in (_HERE, _HERE.parent / "src"):
+    if str(_root) not in sys.path:
+        sys.path.insert(0, str(_root))
+
+from conftest import RESULTS_DIR
+from repro import obs
+from repro.bayes.priors import ModelPrior
+from repro.core.sequential import ReliabilityTracker
+from repro.core.vb2 import fit_vb2
+from repro.data.failure_data import GroupedData
+
+ITERATION_RATIO_TARGET = 3.0
+WALL_RATIO_TARGET = 2.0
+CACHE_HIT_SPEEDUP_FLOOR = 10.0
+AGREEMENT_TOLERANCE = 1e-8
+REGRESSION_FRACTION = 0.8
+
+_MODE_SETTINGS = {
+    # Both α0 values replay the same campaign; quick trims the period
+    # count for CI wall-clock (the absolute ratio targets are asserted
+    # by the full run, which produces the committed baseline).
+    "full": {"periods": 50},
+    "quick": {"periods": 20},
+}
+
+PRIOR = ModelPrior.informative(100.0, 50.0, 0.2, 0.1)
+
+
+def _campaign(periods: int, seed: int = 7) -> GroupedData:
+    """A decaying grouped test campaign: per-period failure counts
+    Poisson(6 e^(-t/25)) on unit intervals."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(periods)
+    counts = rng.poisson(6.0 * np.exp(-t / 25.0))
+    return GroupedData(
+        counts=counts, boundaries=np.arange(1.0, periods + 1.0)
+    )
+
+
+def _replay(data: GroupedData, alpha0: float, warm: bool) -> dict:
+    tracker = ReliabilityTracker(
+        PRIOR, alpha0=alpha0, prediction_window=1.0,
+        reliability_target=0.9, warm_start=warm,
+    )
+    start = time.perf_counter()
+    records = tracker.replay_grouped(data)
+    wall = time.perf_counter() - start
+    return {
+        "wall_s": wall,
+        "iterations": int(sum(r.fit_iterations for r in records)),
+        "periods": len(records),
+        "warm_periods": sum(1 for r in records if r.warm_started),
+    }
+
+
+# -- agreement ----------------------------------------------------------
+
+
+def _summary_diff(a, b) -> float:
+    """Max |diff| over the quantities a tracking decision reads: mixture
+    weights on the common support, parameter means, and 99% interval
+    endpoints. (Per-lane gamma parameters are *not* compared raw: the
+    stratified warm solver intentionally leaves weight-negligible lanes
+    at a looser tolerance — see docs/METHOD.md §4.5.)"""
+    common = min(a.weights.size, b.weights.size)
+    diffs = [float(np.max(np.abs(a.weights[:common] - b.weights[:common])))]
+    for param in ("omega", "beta"):
+        diffs.append(abs(a.mean(param) - b.mean(param)))
+        lo_a, hi_a = a.credible_interval(param, 0.99)
+        lo_b, hi_b = b.credible_interval(param, 0.99)
+        diffs.append(abs(lo_a - lo_b))
+        diffs.append(abs(hi_a - hi_b))
+    return max(diffs)
+
+
+def _agreement(data: GroupedData) -> float:
+    """Warm-chained final posterior vs the cold fit of the same data."""
+    from dataclasses import replace
+
+    from repro.core.config import VBConfig
+    from repro.core.warmstart import warm_start_from
+
+    worst = 0.0
+    base = VBConfig()
+    for alpha0 in (1.0, 2.0):
+        state = None
+        warm_posterior = None
+        for end in range(1, data.n_intervals + 1):
+            config = base if state is None else replace(
+                base, warm_start=state
+            )
+            warm_posterior = fit_vb2(
+                data.truncate(end), PRIOR, alpha0, config
+            )
+            state = warm_start_from(warm_posterior)
+        cold_posterior = fit_vb2(data, PRIOR, alpha0)
+        worst = max(worst, _summary_diff(warm_posterior, cold_posterior))
+    return worst
+
+
+# -- cache --------------------------------------------------------------
+
+
+def _cache_block(data: GroupedData) -> dict:
+    """Disk-hit identity, solver-call count, and hit latency."""
+    from repro.cache.fitting import fit_vb2_cached
+    from repro.cache.store import PosteriorCache
+
+    with tempfile.TemporaryDirectory(prefix="bench_warmstart_") as tmp:
+        writer = PosteriorCache(tmp)
+        fit_start = time.perf_counter()
+        fitted = fit_vb2_cached(data, PRIOR, 1.0, cache=writer)
+        fit_s = time.perf_counter() - fit_start
+
+        hit_s = float("inf")
+        solver_calls = 0
+        loaded = None
+        for _ in range(5):
+            reader = PosteriorCache(tmp)  # cold memory tier: disk hits
+            with obs.capture() as collector:
+                start = time.perf_counter()
+                loaded = fit_vb2_cached(data, PRIOR, 1.0, cache=reader)
+                hit_s = min(hit_s, time.perf_counter() - start)
+            solver_calls += int(collector.counters.get("vb2.solves", 0))
+
+        identical = (
+            np.array_equal(fitted.weights, loaded.weights)
+            and np.array_equal(fitted.n_values, loaded.n_values)
+            and all(
+                fa.shape == la.shape and fa.rate == la.rate
+                for fa, la in zip(
+                    fitted._omega_components, loaded._omega_components
+                )
+            )
+            and all(
+                fa.shape == la.shape and fa.rate == la.rate
+                for fa, la in zip(
+                    fitted._beta_components, loaded._beta_components
+                )
+            )
+            and fitted.elbo == loaded.elbo
+            and {
+                k: v for k, v in fitted.diagnostics.items()
+                if k != "telemetry"
+            } == loaded.diagnostics
+        )
+    return {
+        "identical": bool(identical),
+        "solver_calls": solver_calls,
+        "fit_s": fit_s,
+        "hit_s": hit_s,
+        "hit_speedup": fit_s / hit_s,
+    }
+
+
+# -- measurement --------------------------------------------------------
+
+
+def _measure_mode(mode: str) -> dict:
+    periods = _MODE_SETTINGS[mode]["periods"]
+    data = _campaign(periods)
+    workloads: dict[str, dict] = {}
+    for alpha0 in (1.0, 2.0):
+        cold = _replay(data, alpha0, warm=False)
+        warm = _replay(data, alpha0, warm=True)
+        workloads[f"tracker{periods}/a0={alpha0:g}"] = {
+            "cold": cold,
+            "warm": warm,
+            "iteration_ratio": cold["iterations"] / warm["iterations"],
+            "wall_ratio": cold["wall_s"] / warm["wall_s"],
+        }
+    return workloads
+
+
+def measure(modes: tuple[str, ...]) -> dict:
+    full_data = _campaign(_MODE_SETTINGS["full"]["periods"])
+    agreement = _agreement(full_data)
+    cache = _cache_block(full_data)
+
+    speedups: dict[str, float] = {}
+    info: dict = {"modes": {}, "cache": cache}
+    for mode in modes:
+        workloads = _measure_mode(mode)
+        info["modes"][mode] = workloads
+        for key, w in workloads.items():
+            speedups[f"{mode}/{key}/iterations"] = w["iteration_ratio"]
+            speedups[f"{mode}/{key}/wall"] = w["wall_ratio"]
+
+    checks = {
+        "warm_cold_summary_max_abs_diff": {
+            "value": agreement, "max": AGREEMENT_TOLERANCE,
+        },
+        "cache_hit_byte_identical": {
+            "value": cache["identical"], "expect": True,
+        },
+        "cache_hit_solver_calls": {
+            "value": cache["solver_calls"], "exact": 0,
+        },
+        "cache_hit_speedup": {
+            "value": cache["hit_speedup"], "min": CACHE_HIT_SPEEDUP_FLOOR,
+        },
+    }
+    if "full" in modes:
+        # The absolute ratio targets are asserted by full runs (which
+        # produce the committed baseline). The iteration ratio is a
+        # deterministic solver property so it gates on any host; quick
+        # CI runs cover it through the 80% speedup-ratio gate against
+        # the baseline instead.
+        acceptance = info["modes"]["full"][
+            f"tracker{_MODE_SETTINGS['full']['periods']}/a0=1"
+        ]
+        checks["warm_iteration_ratio"] = {
+            "value": acceptance["iteration_ratio"],
+            "min": ITERATION_RATIO_TARGET,
+        }
+        checks["warm_wall_ratio_target_met"] = {
+            "value": bool(acceptance["wall_ratio"] >= WALL_RATIO_TARGET),
+            "expect": True,
+        }
+    return {
+        "schema": 2,
+        "kind": "bench",
+        "suite": "warmstart",
+        "generated_by": "benchmarks/bench_warmstart.py",
+        "speedups": speedups,
+        "checks": checks,
+        "info": info,
+    }
+
+
+# -- reporting and regression gate --------------------------------------
+
+
+def render(result: dict) -> str:
+    lines = ["sequential refits: cold vs warm-started tracker replay"]
+    for mode, workloads in result["info"]["modes"].items():
+        lines.append(f"  [{mode}]")
+        for key, w in workloads.items():
+            lines.append(
+                f"    {key:<18} cold {w['cold']['iterations']:>8} it "
+                f"{w['cold']['wall_s'] * 1e3:9.1f} ms   warm "
+                f"{w['warm']['iterations']:>8} it "
+                f"{w['warm']['wall_s'] * 1e3:9.1f} ms   "
+                f"it x{w['iteration_ratio']:.2f}  wall x{w['wall_ratio']:.2f}"
+            )
+    cache = result["info"]["cache"]
+    lines.append(
+        f"  cache: fit {cache['fit_s'] * 1e3:.1f} ms, disk hit "
+        f"{cache['hit_s'] * 1e3:.2f} ms ({cache['hit_speedup']:.0f}x), "
+        f"byte-identical {cache['identical']}, "
+        f"solver calls on hit {cache['solver_calls']}"
+    )
+    checks = result["checks"]
+    lines.append(
+        "  agreement (warm vs cold final posterior, max |diff|): "
+        f"{checks['warm_cold_summary_max_abs_diff']['value']:.1e} "
+        f"(gate <= {AGREEMENT_TOLERANCE:.0e})"
+    )
+    if "warm_iteration_ratio" in checks:
+        lines.append(
+            "  acceptance: iteration ratio "
+            f"{checks['warm_iteration_ratio']['value']:.2f}x "
+            f"(target >= {ITERATION_RATIO_TARGET:.0f}x), wall target "
+            f">= {WALL_RATIO_TARGET:.0f}x met: "
+            f"{checks['warm_wall_ratio_target_met']['value']}"
+        )
+    return "\n".join(lines)
+
+
+def check_regression(result: dict, baseline: dict) -> list[str]:
+    """Speedup-ratio gate against a committed baseline (machine-free);
+    same criterion as ``repro bench check``."""
+    failures = []
+    for key, measured in result["speedups"].items():
+        base = baseline.get("speedups", {}).get(key)
+        if base is None:
+            continue
+        floor = REGRESSION_FRACTION * base
+        if measured < floor:
+            failures.append(
+                f"{key}: speedup {measured:.2f}x fell below {floor:.2f}x "
+                f"(= {REGRESSION_FRACTION:.0%} of baseline {base:.2f}x)"
+            )
+    return failures
+
+
+def _check_failures(result: dict) -> list[str]:
+    from repro.obs import self_check_bench
+
+    return self_check_bench(result)
+
+
+# -- pytest entry point -------------------------------------------------
+
+
+def test_warmstart_quick(results_dir):
+    result = measure(modes=("quick",))
+    print("\n" + render(result))
+    assert _check_failures(result) == []
+    quick = result["info"]["modes"]["quick"]
+    for key, w in quick.items():
+        # Conservative floor; the committed baseline documents the
+        # >= 3x acceptance number on the 50-period campaign.
+        assert w["iteration_ratio"] >= 1.5, (key, w["iteration_ratio"])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="measure only the quick (shorter campaign) mode, for CI",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=RESULTS_DIR / "BENCH_warmstart.json",
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="committed BENCH_warmstart.json to gate regressions against",
+    )
+    args = parser.parse_args(argv)
+    modes = ("quick",) if args.quick else ("full", "quick")
+    result = measure(modes=modes)
+    text = render(result)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(result, indent=2) + "\n")
+    print(text)
+    print(f"[written to {args.out}]")
+    status = 0
+    failures = _check_failures(result)
+    for message in failures:
+        print(f"FAIL: {message}", file=sys.stderr)
+        status = 1
+    if args.baseline is not None:
+        baseline = json.loads(args.baseline.read_text())
+        regressions = check_regression(result, baseline)
+        for message in regressions:
+            print(f"FAIL: {message}", file=sys.stderr)
+        if regressions:
+            status = 1
+        else:
+            print("speedups within the regression gate vs baseline")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -47,6 +47,10 @@ class GammaPrior:
             raise PriorSpecificationError(f"rate must be >= 0, got {self.rate}")
 
     # ------------------------------------------------------------------
+    def canonical(self) -> dict:
+        """Stable content view for cache-key serialization."""
+        return {"shape": float(self.shape), "rate": float(self.rate)}
+
     @property
     def is_proper(self) -> bool:
         """True when the prior integrates to one."""
@@ -140,6 +144,10 @@ class ModelPrior:
     def noninformative(cls) -> "ModelPrior":
         """Flat priors on both parameters (paper's "NoInfo" scenario)."""
         return cls(omega=FlatPrior(), beta=FlatPrior())
+
+    def canonical(self) -> dict:
+        """Stable content view for cache-key serialization."""
+        return {"omega": self.omega.canonical(), "beta": self.beta.canonical()}
 
     @property
     def is_proper(self) -> bool:

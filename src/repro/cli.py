@@ -15,6 +15,11 @@ Two families of commands:
       python -m repro simulate --model goel-okumoto --omega 40 \
           --beta 1e-5 --horizon 250000 --out sim.csv
 
+  ``fit --cache-dir PATH`` routes VB fits through the content-addressed
+  posterior cache (a repeat fit of identical inputs loads the stored
+  posterior byte-identically instead of solving); ``repro cache stats``
+  and ``repro cache clear`` inspect and empty such a directory.
+
 * posterior-method validation campaigns (parallel across cores)::
 
       python -m repro validate sbc --model goel-okumoto --method VB2 \
@@ -128,6 +133,13 @@ def build_parser() -> argparse.ArgumentParser:
     fit.add_argument("--omega-std", type=float, default=None)
     fit.add_argument("--beta-mean", type=float, default=None)
     fit.add_argument("--beta-std", type=float, default=None)
+    fit.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="content-addressed posterior cache: refitting already-seen "
+        "(data, prior, config) inputs loads the stored posterior "
+        "byte-identically instead of running the solver "
+        "(methods vb2/vb1 with --data only)",
+    )
     fit.add_argument("--level", type=float, default=0.99,
                      help="credible level for the reported intervals")
     fit.add_argument("--predict", type=float, default=None, metavar="U",
@@ -269,6 +281,34 @@ def build_parser() -> argparse.ArgumentParser:
         "to PATH",
     )
 
+    cache_cmd = subparsers.add_parser(
+        "cache",
+        help="inspect or clear a content-addressed posterior cache "
+        "directory (as used by `fit --cache-dir`)",
+    )
+    cache_kind = cache_cmd.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_kind.add_parser(
+        "stats", help="artifact count and disk footprint of a cache"
+    )
+    cache_stats.add_argument(
+        "cache_dir", metavar="DIR",
+        help="cache directory (the path passed to fit --cache-dir)",
+    )
+    cache_stats.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="output format (json is what the nightly CI artifact "
+        "collects)",
+    )
+    cache_clear = cache_kind.add_parser(
+        "clear",
+        help="delete every cached artifact; files the cache did not "
+        "write are left alone",
+    )
+    cache_clear.add_argument(
+        "cache_dir", metavar="DIR",
+        help="cache directory (the path passed to fit --cache-dir)",
+    )
+
     bench = subparsers.add_parser(
         "bench",
         help="perf ledger over the BENCH_*.json benchmark artifacts",
@@ -366,6 +406,14 @@ def _run_fit(args) -> str:
 
     if (args.data is None) == (args.fleet is None):
         raise SystemExit("fit needs exactly one of --data or --fleet")
+    if args.cache_dir is not None:
+        if args.fleet is not None:
+            raise SystemExit("--cache-dir applies to --data fits only")
+        if args.method not in ("vb2", "vb1"):
+            raise SystemExit(
+                f"--cache-dir supports methods vb2 and vb1, "
+                f"not {args.method}"
+            )
     if args.fleet is not None:
         return _run_fit_fleet(args)
     if args.kind == "times":
@@ -374,10 +422,30 @@ def _run_fit(args) -> str:
         data = load_grouped_csv(args.data)
     prior = _build_prior(args)
 
+    cache = None
+    if args.cache_dir is not None:
+        from repro.cache.store import PosteriorCache
+
+        cache = PosteriorCache(args.cache_dir)
+
     if args.method == "vb2":
-        posterior = fit_vb2(data, prior, alpha0=args.alpha0)
+        if cache is not None:
+            from repro.cache.fitting import fit_vb2_cached
+
+            posterior = fit_vb2_cached(
+                data, prior, args.alpha0, cache=cache
+            )
+        else:
+            posterior = fit_vb2(data, prior, alpha0=args.alpha0)
     elif args.method == "vb1":
-        posterior = fit_vb1(data, prior, alpha0=args.alpha0)
+        if cache is not None:
+            from repro.cache.fitting import fit_vb1_cached
+
+            posterior = fit_vb1_cached(
+                data, prior, args.alpha0, cache=cache
+            )
+        else:
+            posterior = fit_vb1(data, prior, alpha0=args.alpha0)
     elif args.method == "laplace":
         posterior = fit_laplace(data, prior, alpha0=args.alpha0)
     else:
@@ -387,6 +455,17 @@ def _run_fit(args) -> str:
         posterior = sampler(data, prior, alpha0=args.alpha0).posterior()
 
     lines = [f"method: {posterior.method_name}    data: {data!r}"]
+    if cache is not None:
+        stats = cache.stats
+        outcome = (
+            "hit (memory)" if stats.hits_memory
+            else "hit (disk)" if stats.hits_disk
+            else "miss (fitted and stored)"
+        )
+        lines.append(
+            f"  cache: {outcome} — {len(cache.disk_entries())} artifacts, "
+            f"{cache.disk_bytes()} bytes in {args.cache_dir}"
+        )
     for param in ("omega", "beta"):
         lo, hi = posterior.credible_interval(param, args.level)
         lines.append(
@@ -747,6 +826,31 @@ def _run_report(args) -> str:
     return "\n".join(parts).rstrip()
 
 
+def _run_cache(args) -> int:
+    import json as _json
+
+    from repro.cache.store import PosteriorCache
+
+    cache = PosteriorCache(args.cache_dir)
+    if args.cache_command == "stats":
+        payload = {
+            "cache_dir": str(args.cache_dir),
+            "entries": len(cache.disk_entries()),
+            "disk_bytes": cache.disk_bytes(),
+        }
+        if args.format == "json":
+            print(_json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(
+                f"cache {payload['cache_dir']}: {payload['entries']} "
+                f"artifacts, {payload['disk_bytes']} bytes on disk"
+            )
+        return 0
+    removed = cache.clear()
+    print(f"cache {args.cache_dir}: removed {removed} artifacts")
+    return 0
+
+
 def _run_bench(args) -> int:
     import json as _json
     from pathlib import Path
@@ -846,6 +950,8 @@ def main(argv: list[str] | None = None) -> int:
     obs.configure_verbosity(args.verbose)
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "cache":
+        return _run_cache(args)
     if args.command == "report":
         try:
             print(_run_report(args))

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+from repro.core.warmstart import WarmStart
 
 __all__ = ["VBConfig"]
 
@@ -62,6 +64,15 @@ class VBConfig:
         misspecification-robust interval mode: asymptotically a no-op
         under the true model, wider when the mean-value function is
         misfit. See ``docs/METHOD.md`` (robustness section).
+    warm_start:
+        Optional :class:`~repro.core.warmstart.WarmStart` state from a
+        previous fit of (an earlier prefix of) the same data. Seeds the
+        fixed-point lanes with the cached variational parameters and
+        floors the initial truncation bound at the cached ``nmax``
+        (truncation-growth replay extends a warm grid, never shrinks
+        it). Warm starting changes the iteration path only — warm and
+        cold fits agree on the final posterior to solver tolerance.
+        See ``docs/METHOD.md`` §4.5.
     """
 
     tail_tolerance: float = 1e-12
@@ -74,8 +85,16 @@ class VBConfig:
     truncation_policy: str = "error"
     batched_solver: bool = True
     variance_correction: str = "none"
+    warm_start: WarmStart | None = field(default=None)
 
     def __post_init__(self) -> None:
+        if self.warm_start is not None and not isinstance(
+            self.warm_start, WarmStart
+        ):
+            raise TypeError(
+                "warm_start must be a WarmStart (use "
+                "repro.core.warmstart.warm_start_from) or None"
+            )
         if self.truncation_policy not in ("error", "clamp"):
             raise ValueError(
                 f"truncation_policy must be 'error' or 'clamp', "
@@ -98,3 +117,30 @@ class VBConfig:
             raise ValueError("fixed_point_rtol must be positive")
         if self.fixed_point_max_iter < 1:
             raise ValueError("fixed_point_max_iter must be at least 1")
+
+    def canonical(self) -> dict:
+        """Stable content view of every result-affecting field.
+
+        Consumed by :mod:`repro.cache.keys` when deriving cache keys.
+        Field order is fixed here — by declaration order, not call-site
+        dict order — so keys cannot drift across runs or refactors.
+        ``warm_start`` *is* part of the canonical content: warm seeds
+        perturb last-ulp bits of the converged parameters, and the
+        cache promises byte-exact hits, so differently-seeded fits get
+        distinct keys.
+        """
+        return {
+            "tail_tolerance": float(self.tail_tolerance),
+            "nmax_initial": int(self.nmax_initial),
+            "nmax_growth": float(self.nmax_growth),
+            "nmax_ceiling": int(self.nmax_ceiling),
+            "fixed_point_rtol": float(self.fixed_point_rtol),
+            "fixed_point_max_iter": int(self.fixed_point_max_iter),
+            "use_aitken": bool(self.use_aitken),
+            "truncation_policy": str(self.truncation_policy),
+            "batched_solver": bool(self.batched_solver),
+            "variance_correction": str(self.variance_correction),
+            "warm_start": (
+                None if self.warm_start is None else self.warm_start.canonical()
+            ),
+        }

@@ -51,7 +51,12 @@ from repro.core.gamma_updates import (
 )
 from repro.core.posterior import VBPosterior
 from repro.core.vb1 import _vb1_elbo
-from repro.core.vb2 import next_truncation_bound
+from repro.core.vb2 import (
+    WARM_LOOSE_RTOL,
+    WARM_LOOSE_WEIGHT,
+    next_truncation_bound,
+)
+from repro.core.warmstart import WarmStart
 from repro.data.failure_data import FailureTimeData, GroupedData
 from repro.data.fleet import pack_grouped, pack_times
 from repro.exceptions import ConvergenceError, TruncationError
@@ -167,6 +172,18 @@ def _per_dataset(value, count: int, name: str) -> list:
     return [value] * count
 
 
+def _per_dataset_warm(warm_start, count: int) -> list:
+    """Validate the per-dataset warm-start sequence (``None`` = all cold)."""
+    warms = _per_dataset(warm_start, count, "warm_start")
+    for i, w in enumerate(warms):
+        if w is not None and not isinstance(w, WarmStart):
+            raise TypeError(
+                f"warm_start[{i}] must be a WarmStart or None, "
+                f"got {type(w).__name__}"
+            )
+    return warms
+
+
 # ----------------------------------------------------------------------
 # VB2
 # ----------------------------------------------------------------------
@@ -180,12 +197,12 @@ class _Vb2State:
 
     __slots__ = (
         "index", "data", "prior", "alpha0", "stats", "observed", "kind",
-        "nmax_fixed", "bound", "clamped", "growth_rounds",
+        "nmax_fixed", "bound", "clamped", "growth_rounds", "warm",
         "gpos", "lanes_done", "last_n", "_parts",
         "n", "a_omega", "b_omega", "a_beta", "b_beta",
     )
 
-    def __init__(self, index, data, prior, alpha0, nmax, config):
+    def __init__(self, index, data, prior, alpha0, nmax, config, warm=None):
         if alpha0 <= 0.0:
             raise ValueError(f"alpha0 must be positive, got {alpha0}")
         if isinstance(data, FailureTimeData):
@@ -203,10 +220,18 @@ class _Vb2State:
                 f"dataset {index}: N = 0 with an improper beta prior "
                 f"leaves Pv(beta | N) improper"
             )
+        if warm is not None and float(warm.alpha0) != float(alpha0):
+            raise ValueError(
+                f"dataset {index}: warm_start was extracted at "
+                f"alpha0={warm.alpha0:g} but this fit uses "
+                f"alpha0={alpha0:g}; warm seeds only transfer within one "
+                f"gamma shape"
+            )
         self.index = index
         self.data = data
         self.prior = prior
         self.alpha0 = alpha0
+        self.warm = warm
         self.nmax_fixed = nmax
         if nmax is not None:
             nmax = int(nmax)
@@ -218,6 +243,15 @@ class _Vb2State:
             self.bound = nmax
         else:
             self.bound = self.observed + config.nmax_initial
+            if warm is not None:
+                # Same truncation-growth replay as the scalar fit: floor
+                # the initial bound at the cached grid's effective
+                # support plus a drift pad.
+                eff = warm.effective_nmax(config.tail_tolerance)
+                pad = max(16, (eff - self.observed) // 8)
+                self.bound = max(
+                    self.bound, min(eff + pad, config.nmax_ceiling)
+                )
         self.clamped = False
         self.growth_rounds = 0
         # Solved lanes accumulate as (solutions, slice) references and
@@ -344,6 +378,34 @@ def _solve_vb2_lanes(lanes, kind, alpha0, config, static):
     m_beta = static.m_beta[idx]
     phi_beta = static.phi_beta[idx]
 
+    # Per-lane warm seeds and stratified tolerances, assembled dataset
+    # by dataset exactly as the scalar warm fit builds them — cold
+    # datasets sharing the sweep contribute nan seeds (solver default)
+    # and the tight tolerance.
+    xi_warm = None
+    rtol_lanes = None
+    if any(st.warm is not None for st, _, _ in lanes):
+        xi_parts, rtol_parts = [], []
+        for k, (st, start, stop) in enumerate(lanes):
+            if st.warm is None:
+                xi_parts.append(np.full(int(sizes[k]), np.nan))
+                rtol_parts.append(
+                    np.full(int(sizes[k]), config.fixed_point_rtol)
+                )
+            else:
+                xi_parts.append(st.warm.seeds_for_range(start, stop))
+                rtol_parts.append(
+                    st.warm.lane_rtols(
+                        start,
+                        stop,
+                        rtol=config.fixed_point_rtol,
+                        loose_rtol=WARM_LOOSE_RTOL,
+                        weight_tolerance=WARM_LOOSE_WEIGHT,
+                    )
+                )
+        xi_warm = np.concatenate(xi_parts)
+        rtol_lanes = np.concatenate(rtol_parts)
+
     if kind == "times":
         me = static.me[idx]
         sum_times = static.sum_times[idx]
@@ -363,6 +425,8 @@ def _solve_vb2_lanes(lanes, kind, alpha0, config, static):
                 n, alpha0, me, sum_times, horizon,
                 m_omega, phi_omega, m_beta, phi_beta, config,
                 lane_labels=labels,
+                xi_warm=xi_warm,
+                rtol_lanes=rtol_lanes,
             )
     else:
         packed = static.packed
@@ -398,6 +462,8 @@ def _solve_vb2_lanes(lanes, kind, alpha0, config, static):
             np.concatenate(count_parts) if count_parts else np.empty(0),
             seed_dot, m_omega, phi_omega, m_beta, phi_beta, config,
             lane_labels=labels,
+            xi_warm=xi_warm,
+            rtol_lanes=rtol_lanes,
         )
     return sols, offsets
 
@@ -488,6 +554,7 @@ def fit_vb2_fleet(
     config: VBConfig | None = None,
     *,
     nmax=None,
+    warm_start=None,
 ) -> FleetResult:
     """Fit VB2 posteriors for a whole portfolio in one vectorized sweep.
 
@@ -501,13 +568,22 @@ def fit_vb2_fleet(
         entry per dataset.
     config:
         Shared algorithm tuning (one :class:`VBConfig` for the fleet).
+    warm_start:
+        Optional per-dataset sequence of
+        :class:`~repro.core.warmstart.WarmStart` states (``None``
+        entries stay cold). A re-sweep after a few datasets gained data
+        passes the previous sweep's states: unchanged lanes converge in
+        one residual evaluation each, so only the dirty datasets pay
+        for iteration.
 
     Returns
     -------
     FleetResult
         Lazy per-dataset posteriors. Every dataset's posterior —
         weights, components, ELBO, diagnostics — is bit-identical to
-        ``fit_vb2(datasets[i], prior_i, alpha0_i, config, nmax=nmax_i)``.
+        ``fit_vb2(datasets[i], prior_i, alpha0_i, config_i,
+        nmax=nmax_i)`` where ``config_i`` carries that dataset's
+        warm-start state.
 
     Raises exactly where the scalar loop would: a diverging or
     ceiling-hitting dataset raises (with its index in the message)
@@ -520,11 +596,15 @@ def fit_vb2_fleet(
     priors = _per_dataset(prior, count, "prior")
     alpha0s = [float(a) for a in _per_dataset(alpha0, count, "alpha0")]
     nmaxes = _per_dataset(nmax, count, "nmax")
+    warms = _per_dataset_warm(warm_start, count)
     config = config or VBConfig()
 
     with obs.span("fleet.vb2.fit", datasets=count):
         states = [
-            _Vb2State(i, datasets[i], priors[i], alpha0s[i], nmaxes[i], config)
+            _Vb2State(
+                i, datasets[i], priors[i], alpha0s[i], nmaxes[i], config,
+                warm=warms[i],
+            )
             for i in range(count)
         ]
         heartbeat = obs.Heartbeat("fleet.vb2.datasets", count)
@@ -590,6 +670,7 @@ def fit_vb2_fleet(
                 "n_growth_rounds": st.growth_rounds,
                 "alpha0": st.alpha0,
                 "data_kind": type(st.data).__name__,
+                "warm_started": st.warm is not None,
             }
             builders.append(_vb2_builder(st, weights, elbo, diagnostics, config))
             diags.append(diagnostics)
@@ -620,6 +701,8 @@ def fit_vb1_fleet(
     prior,
     alpha0=1.0,
     config: VBConfig | None = None,
+    *,
+    warm_start=None,
 ) -> FleetResult:
     """Fit VB1 posteriors for a whole portfolio in lock-step.
 
@@ -630,6 +713,13 @@ def fit_vb1_fleet(
     exactly the same iterations). Bit-identical per dataset to the
     scalar fit. Datasets partition by ``alpha0`` (kinds may mix — the
     interval scatter-add is empty for failure-time lanes).
+
+    ``warm_start`` optionally carries one
+    :class:`~repro.core.warmstart.WarmStart` (or ``None``) per dataset:
+    warm lanes seed their outer ``λ`` and inner ``ξ`` from the previous
+    fit, cold lanes keep the defaults, and the lock-step iteration
+    stays bit-identical per lane to the correspondingly warm scalar
+    fit.
     """
     datasets = list(datasets)
     if not datasets:
@@ -637,10 +727,19 @@ def fit_vb1_fleet(
     count = len(datasets)
     priors = _per_dataset(prior, count, "prior")
     alpha0s = [float(a) for a in _per_dataset(alpha0, count, "alpha0")]
+    warms = _per_dataset_warm(warm_start, count)
     config = config or VBConfig()
     for a0 in alpha0s:
         if a0 <= 0.0:
             raise ValueError(f"alpha0 must be positive, got {a0}")
+    for i, w in enumerate(warms):
+        if w is not None and float(w.alpha0) != alpha0s[i]:
+            raise ValueError(
+                f"dataset {i}: warm_start was extracted at "
+                f"alpha0={w.alpha0:g} but this fit uses "
+                f"alpha0={alpha0s[i]:g}; warm seeds only transfer within "
+                f"one gamma shape"
+            )
 
     with obs.span("fleet.vb1.fit", datasets=count):
         heartbeat = obs.Heartbeat("fleet.vb1.datasets", count)
@@ -655,6 +754,7 @@ def fit_vb1_fleet(
             results = _fit_vb1_group(
                 members, [datasets[i] for i in members],
                 [priors[i] for i in members], a0, config, heartbeat,
+                [warms[i] for i in members],
             )
             for i, (builder, diagnostics, elbo) in zip(members, results):
                 builders[i] = builder
@@ -670,9 +770,11 @@ def fit_vb1_fleet(
 
 
 def _fit_vb1_group(indices, group_data, group_priors, alpha0, config,
-                   heartbeat):
+                   heartbeat, group_warms=None):
     """Lock-step VB1 outer iteration for one ``alpha0`` partition."""
     lanes = len(group_data)
+    if group_warms is None:
+        group_warms = [None] * lanes
     observed = np.empty(lanes)
     cut = np.empty(lanes)
     sum_observed = np.empty(lanes)
@@ -734,6 +836,19 @@ def _fit_vb1_group(indices, group_data, group_priors, alpha0, config,
 
     lam = np.maximum(0.1 * observed, 1.0)
     xi = np.empty(lanes)
+    # Per-lane warm seeds, mirroring the scalar fit's warm branch: a
+    # valid cached lam replaces the cold default, a valid cached
+    # xi_mean pre-seeds the first inner solve.
+    xi_seeded = np.zeros(lanes, dtype=bool)
+    xi_seed_values = np.empty(lanes)
+    for pos, w in enumerate(group_warms):
+        if w is None:
+            continue
+        if w.lam > 0.0 and np.isfinite(w.lam):
+            lam[pos] = w.lam
+        if w.xi_mean > 0.0 and np.isfinite(w.xi_mean):
+            xi_seeded[pos] = True
+            xi_seed_values[pos] = w.xi_mean
     frozen = np.zeros(lanes, dtype=bool)
     iterations_out = np.zeros(lanes, dtype=np.int64)
     seed_rate = 1.0 / np.maximum(cut, 1.0)
@@ -750,6 +865,8 @@ def _fit_vb1_group(indices, group_data, group_priors, alpha0, config,
         a_beta = m_beta + expected_n * alpha0
         if iteration == 1:
             xi_inner = a_beta / (phi_beta + zeta_of(seed_rate, lam))
+            if np.any(xi_seeded):
+                xi_inner = np.where(xi_seeded, xi_seed_values, xi_inner)
         else:
             xi_inner = xi.copy()
         inner_frozen = frozen.copy()
@@ -852,6 +969,7 @@ def _fit_vb1_group(indices, group_data, group_priors, alpha0, config,
             "iterations": int(iterations_out[pos]),
             "alpha0": alpha0,
             "data_kind": type(data).__name__,
+            "warm_started": group_warms[pos] is not None,
         }
         results.append((
             _vb1_builder(

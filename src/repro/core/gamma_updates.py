@@ -270,6 +270,29 @@ def _validate_range(n_start: int, n_end: int, observed: int,
         )
 
 
+def _apply_warm_seeds(
+    xi_seed: np.ndarray, xi_warm: np.ndarray | None
+) -> np.ndarray:
+    """Overlay warm fixed-point seeds onto the default seed array.
+
+    ``xi_warm`` entries that are finite and positive replace the default
+    seed for that lane; ``nan`` (or non-positive) entries keep the
+    default. ``None`` is a no-op, so cold paths stay bit-identical.
+    """
+    if xi_warm is None:
+        return xi_seed
+    xi_warm = np.asarray(xi_warm, dtype=np.float64)
+    if xi_warm.shape != xi_seed.shape:
+        raise ValueError(
+            f"xi_warm shape {xi_warm.shape} does not match the "
+            f"{xi_seed.shape} lane grid"
+        )
+    usable = np.isfinite(xi_warm) & (xi_warm > 0.0)
+    if not np.any(usable):
+        return xi_seed
+    return np.where(usable, xi_warm, xi_seed)
+
+
 def solve_conditional_times_range(
     n_start: int,
     n_end: int,
@@ -277,6 +300,8 @@ def solve_conditional_times_range(
     prior: ModelPrior,
     stats: TimesStats,
     config: VBConfig,
+    xi_warm: np.ndarray | None = None,
+    rtol_lanes: np.ndarray | None = None,
 ) -> list[ConditionalSolution]:
     """Solve the conditional posteriors for every ``N ∈ [n_start, n_end]``
     on failure-time data with one lane-parallel fixed-point solve.
@@ -287,6 +312,13 @@ def solve_conditional_times_range(
     Bit-identical to looping :func:`solve_conditional_times` with the
     default (closed-form) seed. ``α0 = 1`` short-circuits to the fully
     closed-form :func:`solve_conditional_times_exponential_range`.
+
+    ``xi_warm`` optionally replaces the default prior-moment seed per
+    lane: finite entries are used as-is (warm starts from a previous
+    fit), ``nan`` entries keep the default. The seed only changes the
+    iteration path, never the fixed point. ``rtol_lanes`` optionally
+    overrides ``config.fixed_point_rtol`` with one tolerance per lane
+    (warm refits loosen weight-negligible tail lanes).
     """
     if alpha0 == 1.0:
         return solve_conditional_times_exponential_range(
@@ -316,10 +348,13 @@ def solve_conditional_times_range(
     xi_seed = a_beta / (
         phi_beta + stats.sum_times + residual * stats.horizon + 1e-300
     )
+    xi_seed = _apply_warm_seeds(xi_seed, xi_warm)
     solve = solve_fixed_point_batch(
         update,
         xi_seed,
-        rtol=config.fixed_point_rtol,
+        rtol=(
+            config.fixed_point_rtol if rtol_lanes is None else rtol_lanes
+        ),
         max_iter=config.fixed_point_max_iter,
         use_aitken=config.use_aitken,
     )
@@ -545,6 +580,8 @@ def solve_conditional_grouped_range(
     prior: ModelPrior,
     stats: GroupedStats,
     config: VBConfig,
+    xi_warm: np.ndarray | None = None,
+    rtol_lanes: np.ndarray | None = None,
 ) -> list[ConditionalSolution]:
     """Solve the conditional posteriors for every ``N ∈ [n_start, n_end]``
     on grouped data with one lane-parallel fixed-point solve.
@@ -555,7 +592,10 @@ def solve_conditional_grouped_range(
     :func:`repro.stats.rootfind.solve_fixed_point_batch` call whose
     update map evaluates paper Eq. 26 for all lanes at once.
     Bit-identical to looping :func:`solve_conditional_grouped` with the
-    default seed.
+    default seed. ``xi_warm`` optionally replaces the default seed per
+    lane (finite entries only; ``nan`` keeps the default) and
+    ``rtol_lanes`` optionally replaces the shared stopping tolerance
+    with a per-lane one — see :func:`solve_conditional_times_range`.
     """
     _validate_range(n_start, n_end, stats.total, prior)
     m_omega, phi_omega = prior.omega.shape, prior.omega.rate
@@ -579,8 +619,10 @@ def solve_conditional_grouped_range(
     )
     solve = solve_fixed_point_batch(
         update,
-        a_beta / (phi_beta + zeta_hi),
-        rtol=config.fixed_point_rtol,
+        _apply_warm_seeds(a_beta / (phi_beta + zeta_hi), xi_warm),
+        rtol=(
+            config.fixed_point_rtol if rtol_lanes is None else rtol_lanes
+        ),
         max_iter=config.fixed_point_max_iter,
         use_aitken=config.use_aitken,
     )
@@ -765,6 +807,8 @@ def solve_times_lanes(
     phi_beta: np.ndarray,
     config: VBConfig,
     lane_labels=None,
+    xi_warm: np.ndarray | None = None,
+    rtol_lanes: np.ndarray | None = None,
 ) -> LaneSolutions:
     """Failure-time lanes for a general gamma shape: the dataset-lane
     generalisation of :func:`solve_conditional_times_range`.
@@ -772,7 +816,11 @@ def solve_times_lanes(
     ``alpha0`` must be a Python scalar shared by every lane (callers
     group datasets per shape); all other arguments are per-lane arrays.
     ``lane_labels`` names lanes in divergence errors (fleet callers
-    label each lane with its dataset).
+    label each lane with its dataset). ``xi_warm`` optionally replaces
+    the default seed per lane (finite entries only; ``nan`` keeps the
+    default) and ``rtol_lanes`` the shared stopping tolerance; the
+    exponential short-circuit ignores both (closed form, nothing to
+    iterate).
     """
     if alpha0 == 1.0:
         return solve_times_exponential_lanes(
@@ -799,8 +847,10 @@ def solve_times_lanes(
     xi_seed = a_beta / (phi_beta + sum_times + residual * horizon + 1e-300)
     solve = solve_fixed_point_batch(
         update,
-        xi_seed,
-        rtol=config.fixed_point_rtol,
+        _apply_warm_seeds(xi_seed, xi_warm),
+        rtol=(
+            config.fixed_point_rtol if rtol_lanes is None else rtol_lanes
+        ),
         max_iter=config.fixed_point_max_iter,
         use_aitken=config.use_aitken,
         lane_labels=lane_labels,
@@ -852,6 +902,8 @@ def solve_grouped_lanes(
     phi_beta: np.ndarray,
     config: VBConfig,
     lane_labels=None,
+    xi_warm: np.ndarray | None = None,
+    rtol_lanes: np.ndarray | None = None,
 ) -> LaneSolutions:
     """Grouped-data lanes: the dataset-lane generalisation of
     :func:`solve_conditional_grouped_range`.
@@ -864,7 +916,9 @@ def solve_grouped_lanes(
     lane's interval sum in exactly the scalar loop's order.
     ``seed_dot[i]`` is the lane's dataset-level
     ``float(np.dot(counts, edges[1:]))`` (the scalar solver's
-    upper-bound zeta seed).
+    upper-bound zeta seed). ``xi_warm`` optionally replaces the
+    default seed per lane (finite entries only; ``nan`` keeps the
+    default) and ``rtol_lanes`` the shared stopping tolerance.
     """
     n = np.asarray(n, dtype=float)
     residual = n - total_observed
@@ -893,8 +947,10 @@ def solve_grouped_lanes(
     zeta_hi = seed_dot + residual * 2.0 * horizon
     solve = solve_fixed_point_batch(
         update,
-        a_beta / (phi_beta + zeta_hi),
-        rtol=config.fixed_point_rtol,
+        _apply_warm_seeds(a_beta / (phi_beta + zeta_hi), xi_warm),
+        rtol=(
+            config.fixed_point_rtol if rtol_lanes is None else rtol_lanes
+        ),
         max_iter=config.fixed_point_max_iter,
         use_aitken=config.use_aitken,
         lane_labels=lane_labels,

@@ -7,12 +7,21 @@ and a ship/keep-testing verdict against a target.
 
 VB2's speed (milliseconds per refit) is what makes per-period refitting
 practical; the same loop with paper-scale MCMC would take hours, which
-is exactly the operational argument of the paper's Tables 6–7.
+is exactly the operational argument of the paper's Tables 6–7. Two
+mechanisms keep the loop linear in campaign length:
+
+* **Warm starts** (default on): each period's fit seeds its per-``N``
+  fixed points from the previous period's posterior, so a refit one
+  data point away from the answer converges in a few lane evaluations
+  instead of a full cold solve (see docs/METHOD.md §4.5).
+* **View-based truncation**: the ``truncate`` slices handed to each
+  period share the full campaign's validated buffers, so slicing costs
+  O(1)/O(log n) per period instead of re-scanning the whole history.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -20,6 +29,7 @@ from repro.bayes.priors import ModelPrior
 from repro.core.config import VBConfig
 from repro.core.reliability import estimate_reliability
 from repro.core.vb2 import fit_vb2
+from repro.core.warmstart import warm_start_from
 from repro.data.failure_data import FailureTimeData, GroupedData
 
 __all__ = ["TrackingRecord", "ReliabilityTracker"]
@@ -42,6 +52,11 @@ class TrackingRecord:
         reliability over the next prediction window.
     meets_target:
         Whether the lower bound reaches the tracker's target.
+    fit_iterations:
+        Fixed-point iterations the period's refit consumed (the
+        quantity warm starting collapses).
+    warm_started:
+        Whether the refit was seeded from the previous period.
     """
 
     horizon: float
@@ -50,6 +65,19 @@ class TrackingRecord:
     reliability_point: float
     reliability_lower: float
     meets_target: bool
+    fit_iterations: int = 0
+    warm_started: bool = False
+
+
+def _fit_diagnostics(posterior) -> dict:
+    """The fit diagnostics, looking through a sandwich wrapper."""
+    diagnostics = getattr(posterior, "diagnostics", None)
+    if diagnostics:
+        return diagnostics
+    base = getattr(posterior, "base", None)
+    if base is not None:
+        return getattr(base, "diagnostics", None) or {}
+    return {}
 
 
 class ReliabilityTracker:
@@ -70,6 +98,16 @@ class ReliabilityTracker:
     level:
         Credible level of the lower bound (two-sided level; the lower
         endpoint is used).
+    warm_start:
+        Seed each period's fit from the previous period's posterior
+        (default). Warm starts change only the iteration path, never
+        the fixed point — records agree with cold refits to solver
+        tolerance. Set ``False`` to force cold refits every period.
+    cache:
+        Optional :class:`~repro.cache.store.PosteriorCache`; each
+        period's fit then goes through the content-addressed cache, so
+        replaying an already-seen campaign prefix skips the solver
+        entirely.
 
     The ``history`` attribute accumulates every record ever observed by
     this tracker instance; the ``replay_*`` helpers return only the
@@ -85,6 +123,8 @@ class ReliabilityTracker:
         reliability_target: float = 0.9,
         level: float = 0.99,
         config: VBConfig | None = None,
+        warm_start: bool = True,
+        cache=None,
     ) -> None:
         if not 0.0 < reliability_target < 1.0:
             raise ValueError("reliability_target must be in (0, 1)")
@@ -94,11 +134,17 @@ class ReliabilityTracker:
         self._target = reliability_target
         self._level = level
         self._config = config or VBConfig()
+        self._warm = bool(warm_start)
+        self._cache = cache
+        self._state = self._config.warm_start  # carried across periods
         self.history: list[TrackingRecord] = []
 
     def observe(self, data: FailureTimeData | GroupedData) -> TrackingRecord:
         """Refit on the data observed so far and append a record."""
-        posterior = fit_vb2(data, self._prior, self._alpha0, self._config)
+        config = self._config
+        if self._state is not None and config.warm_start is not self._state:
+            config = replace(config, warm_start=self._state)
+        posterior = self._fit(data, config)
         if isinstance(data, FailureTimeData):
             observed = data.count
         else:
@@ -110,6 +156,7 @@ class ReliabilityTracker:
             alpha0=self._alpha0,
             level=self._level,
         )
+        diagnostics = _fit_diagnostics(posterior)
         record = TrackingRecord(
             horizon=data.horizon,
             observed_failures=observed,
@@ -117,9 +164,24 @@ class ReliabilityTracker:
             reliability_point=estimate.point,
             reliability_lower=estimate.lower,
             meets_target=estimate.lower >= self._target,
+            fit_iterations=int(
+                diagnostics.get("fixed_point_iterations", 0)
+            ),
+            warm_started=bool(diagnostics.get("warm_started", False)),
         )
         self.history.append(record)
+        if self._warm:
+            self._state = warm_start_from(posterior)
         return record
+
+    def _fit(self, data, config: VBConfig):
+        if self._cache is not None:
+            from repro.cache.fitting import fit_vb2_cached
+
+            return fit_vb2_cached(
+                data, self._prior, self._alpha0, config, cache=self._cache
+            )
+        return fit_vb2(data, self._prior, self._alpha0, config)
 
     def replay_grouped(
         self, data: GroupedData, period: int = 1

@@ -118,8 +118,24 @@ def _fit_vb1(
             total += lam * censored_gamma_mean(cut, alpha0, xi)
         return total
 
+    warm = config.warm_start
+    if warm is not None and float(warm.alpha0) != float(alpha0):
+        raise ValueError(
+            f"warm_start was extracted at alpha0={warm.alpha0:g} but this "
+            f"fit uses alpha0={alpha0:g}; warm seeds only transfer within "
+            f"one gamma shape"
+        )
     lam = max(0.1 * observed, 1.0)
     xi = None
+    if warm is not None:
+        # Seed the outer residual intensity and the inner rate mean from
+        # the previous fit; both loops then start next to their fixed
+        # points instead of at the cold defaults. Seeds change the
+        # iteration path only, never the converged values.
+        if warm.lam > 0.0 and math.isfinite(warm.lam):
+            lam = warm.lam
+        if warm.xi_mean > 0.0 and math.isfinite(warm.xi_mean):
+            xi = warm.xi_mean
     lam_history: list[float] = []
     inner_iterations = 0
     aitken_accepted = 0
@@ -212,13 +228,18 @@ def _fit_vb1(
         "iterations": iteration,
         "alpha0": alpha0,
         "data_kind": type(data).__name__,
+        "warm_started": warm is not None,
     }
     if obs.enabled():
         obs.observe("vb1.outer_iterations", iteration)
         obs.observe("vb1.inner_iterations", inner_iterations)
         obs.observe("vb1.lambda_star", lam)
+        if warm is not None:
+            obs.counter_add("vb1.warm_fits")
+            obs.observe("vb1.warm.outer_iterations", iteration)
         obs.fit_health(
-            "VB1", iterations=iteration, elbo=elbo, lambda_star=lam
+            "VB1", iterations=iteration, elbo=elbo, lambda_star=lam,
+            warm_start=float(warm is not None),
         )
         if aitken_accepted:
             obs.counter_add("vb1.aitken_accepted", aitken_accepted)

@@ -39,6 +39,22 @@ from repro.stats.special import log_sum_exp
 
 __all__ = ["fit_vb2", "next_truncation_bound"]
 
+#: Cached-weight threshold below which a warm refit solves a lane at
+#: :data:`WARM_LOOSE_RTOL` instead of ``config.fixed_point_rtol``.
+#: Safe because lane log-weights are stationary at the variational
+#: fixed point (second-order in the solve error — see
+#: :meth:`repro.core.warmstart.WarmStart.lane_rtols` and
+#: docs/METHOD.md §4.5).
+WARM_LOOSE_WEIGHT = 1e-5
+
+#: Loose stopping tolerance for weight-negligible warm lanes. At
+#: ``1e-4`` the induced log-weight perturbation is second-order
+#: (~1e-7) on lanes carrying < :data:`WARM_LOOSE_WEIGHT` posterior
+#: mass, and the first-order parameter contribution is bounded by
+#: ``weight × rtol ≈ 1e-9`` — both below the warm-vs-cold agreement
+#: gate.
+WARM_LOOSE_RTOL = 1e-4
+
 
 def next_truncation_bound(observed: int, bound: int, config: VBConfig) -> int:
     """Step 4's "increase nmax": grow the increment above ``observed``
@@ -106,16 +122,59 @@ def _fit_vb2(
     nmax: int | None,
     sp,
 ) -> VBPosterior:
+    warm = config.warm_start
+    if warm is not None and float(warm.alpha0) != float(alpha0):
+        raise ValueError(
+            f"warm_start was extracted at alpha0={warm.alpha0:g} but this "
+            f"fit uses alpha0={alpha0:g}; warm seeds only transfer within "
+            f"one gamma shape"
+        )
+
+    def warm_seeds(lo: int, hi: int) -> np.ndarray | None:
+        # Per-lane fixed-point seeds from the previous posterior: rows
+        # the cached grid covers take its converged xi, the rest stay
+        # nan (= the solver's default prior-moment seed).
+        if warm is None:
+            return None
+        return warm.seeds_for_range(lo, hi)
+
+    def warm_seed_scalar(n: int) -> float | None:
+        seeds = warm_seeds(n, n)
+        if seeds is None:
+            return None
+        seed = float(seeds[0])
+        return seed if np.isfinite(seed) and seed > 0.0 else None
+
+    def warm_rtols(lo: int, hi: int) -> np.ndarray | None:
+        # Weight-stratified tolerances: cached-negligible tail lanes
+        # stop at the loose tolerance. Batched path only — the scalar
+        # per-N escape hatch (batched_solver=False) keeps every lane
+        # tight.
+        if warm is None:
+            return None
+        return warm.lane_rtols(
+            lo,
+            hi,
+            rtol=config.fixed_point_rtol,
+            loose_rtol=WARM_LOOSE_RTOL,
+            weight_tolerance=WARM_LOOSE_WEIGHT,
+        )
+
     if isinstance(data, FailureTimeData):
         stats = TimesStats.from_data(data)
         observed = stats.me
 
         def solve(n: int) -> ConditionalSolution:
-            return solve_conditional_times(n, alpha0, prior, stats, config)
+            return solve_conditional_times(
+                n, alpha0, prior, stats, config,
+                xi_start=warm_seed_scalar(n),
+            )
 
         def solve_range(lo: int, hi: int) -> list[ConditionalSolution]:
             return solve_conditional_times_range(
-                lo, hi, alpha0, prior, stats, config
+                lo, hi, alpha0, prior, stats, config,
+                xi_warm=warm_seeds(lo, hi),
+                rtol_lanes=warm_rtols(lo, hi),
             )
 
     elif isinstance(data, GroupedData):
@@ -123,11 +182,16 @@ def _fit_vb2(
         observed = stats.total
 
         def solve(n: int) -> ConditionalSolution:
-            return solve_conditional_grouped(n, alpha0, prior, stats, config)
+            return solve_conditional_grouped(
+                n, alpha0, prior, stats, config,
+                xi_start=warm_seed_scalar(n),
+            )
 
         def solve_range(lo: int, hi: int) -> list[ConditionalSolution]:
             return solve_conditional_grouped_range(
-                lo, hi, alpha0, prior, stats, config
+                lo, hi, alpha0, prior, stats, config,
+                xi_warm=warm_seeds(lo, hi),
+                rtol_lanes=warm_rtols(lo, hi),
             )
 
     else:
@@ -143,6 +207,17 @@ def _fit_vb2(
         bound = nmax
     else:
         bound = observed + config.nmax_initial
+        if warm is not None:
+            # Truncation-growth replay: a warm fit starts from at least
+            # the cached grid's effective support (plus a pad for the
+            # drift one period of data causes), never below what the
+            # previous posterior needed — so the cold growth schedule
+            # is not re-run, and the stale schedule's overshoot is not
+            # inherited either. If the pad under-shoots, the normal
+            # growth loop resumes from there.
+            eff = warm.effective_nmax(config.tail_tolerance)
+            pad = max(16, (eff - observed) // 8)
+            bound = max(bound, min(eff + pad, config.nmax_ceiling))
 
     # Fast path: the Goel-Okumoto failure-time case is fully closed-form,
     # so whole ranges of N are solved with array arithmetic. Every other
@@ -221,6 +296,7 @@ def _fit_vb2(
         "n_growth_rounds": growth_rounds,
         "alpha0": alpha0,
         "data_kind": type(data).__name__,
+        "warm_started": warm is not None,
     }
     if obs.enabled():
         obs.counter_add("vb2.solves", len(solutions))
@@ -233,6 +309,12 @@ def _fit_vb2(
         )
         if clamped:
             obs.counter_add("vb2.truncation_clamped")
+        if warm is not None:
+            obs.counter_add("vb2.warm_fits")
+            obs.observe(
+                "vb2.warm.fixed_point_iterations",
+                diagnostics["fixed_point_iterations"],
+            )
         # Tail mass stands in for a residual: the fixed-point solves
         # converge per lane, and what remains is truncation error.
         obs.fit_health(
@@ -241,6 +323,7 @@ def _fit_vb2(
             residual=diagnostics["tail_mass"],
             elbo=elbo,
             nmax=diagnostics["nmax"],
+            warm_start=float(warm is not None),
         )
         if sp.collecting:
             diagnostics["telemetry"] = sp.telemetry()

@@ -227,6 +227,15 @@ def fit_vb2_weibull(
         for ``θ``, not for ``β`` itself.)
     shape:
         The fixed Weibull shape ``c > 0``.
+
+    A ``config.warm_start`` state flows straight through to the inner
+    :func:`fit_vb2` call and therefore lives in ``θ``-space: extract it
+    (via :func:`repro.core.warmstart.warm_start_from`) from a posterior
+    fitted at the *same* shape ``c``, since the transformed clock
+    ``t^c`` — and with it the fixed-point geometry — changes with the
+    shape. No transform of the state itself is needed;
+    ``warm_start_from`` on a :class:`WeibullVBPosterior` already reads
+    the inner ``θ``-space mixture.
     """
     if shape <= 0.0:
         raise ValueError("shape must be positive")

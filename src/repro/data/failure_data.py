@@ -94,15 +94,27 @@ class FailureTimeData:
         return float(np.log(self.times).sum()) if self.count else 0.0
 
     def truncate(self, horizon: float) -> "FailureTimeData":
-        """Restrict the data to failures occurring at or before ``horizon``."""
+        """Restrict the data to failures occurring at or before ``horizon``.
+
+        The result is a *view*: the times are already validated and
+        sorted, so the cut point comes from one binary search and the
+        kept prefix shares this instance's (read-only) buffer. Replaying
+        a campaign period by period therefore costs O(log n) per
+        period instead of re-scanning the full history every time.
+        """
+        horizon = float(horizon)
         if horizon <= 0:
             raise DataValidationError("truncation horizon must be positive")
         if horizon > self.horizon:
             raise DataValidationError(
                 "cannot extend the horizon beyond the observed period"
             )
-        kept = self.times[self.times <= horizon]
-        return FailureTimeData(kept, horizon=horizon, unit=self.unit)
+        kept = self.times[: np.searchsorted(self.times, horizon, side="right")]
+        view = object.__new__(FailureTimeData)
+        object.__setattr__(view, "times", kept)
+        object.__setattr__(view, "horizon", horizon)
+        object.__setattr__(view, "unit", self.unit)
+        return view
 
     def to_grouped(self, boundaries) -> "GroupedData":
         """Bucket the failure times into intervals ``(s_{i-1}, s_i]``.
@@ -224,7 +236,9 @@ class GroupedData:
         object.__setattr__(self, "counts", counts_arr)
         object.__setattr__(self, "boundaries", bounds)
         object.__setattr__(self, "unit", unit)
-        object.__setattr__(self, "_cum", np.cumsum(counts_arr))
+        cum = np.cumsum(counts_arr)
+        cum.setflags(write=False)
+        object.__setattr__(self, "_cum", cum)
 
     # ------------------------------------------------------------------
     @property
@@ -235,7 +249,7 @@ class GroupedData:
     @property
     def total_count(self) -> int:
         """Total number of observed failures ``Σ x_i``."""
-        return int(self.counts.sum())
+        return int(self._cum[-1])
 
     @property
     def horizon(self) -> float:
@@ -287,16 +301,23 @@ class GroupedData:
         return cls(counts=counts_arr, boundaries=bounds, unit=unit)
 
     def truncate(self, n_intervals: int) -> "GroupedData":
-        """Keep the first ``n_intervals`` intervals."""
+        """Keep the first ``n_intervals`` intervals.
+
+        The result is a *view*: counts, boundaries, and the cumulative-
+        count cache are prefixes of this instance's (read-only, already
+        validated) buffers, so truncation is O(1) — replaying a
+        campaign period by period costs O(periods), not O(periods²).
+        """
         if not 1 <= n_intervals <= self.n_intervals:
             raise DataValidationError(
                 f"n_intervals must be in [1, {self.n_intervals}], got {n_intervals}"
             )
-        return GroupedData(
-            counts=self.counts[:n_intervals],
-            boundaries=self.boundaries[:n_intervals],
-            unit=self.unit,
-        )
+        view = object.__new__(GroupedData)
+        object.__setattr__(view, "counts", self.counts[:n_intervals])
+        object.__setattr__(view, "boundaries", self.boundaries[:n_intervals])
+        object.__setattr__(view, "unit", self.unit)
+        object.__setattr__(view, "_cum", self._cum[:n_intervals])
+        return view
 
     def merge_intervals(self, factor: int) -> "GroupedData":
         """Coarsen the data by summing each run of ``factor`` intervals.

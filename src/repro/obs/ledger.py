@@ -32,8 +32,11 @@ Unified document layout (``schema: 2, kind: "bench"``)::
     }
 
 ``checks`` entries carry their own pass criterion: ``exact`` (equal),
-``max`` (value <= bound), or ``expect`` (equal, for booleans). The CLI
-surface is ``repro bench check`` / ``repro bench report``.
+``max`` (value <= bound), ``min`` (value >= bound, for speedup floors),
+or ``expect`` (equal, for booleans). Every failure message names the
+check and gives both the observed value and the expected bound on one
+line. The CLI surface is ``repro bench check`` / ``repro bench
+report``.
 """
 
 from __future__ import annotations
@@ -177,32 +180,41 @@ def normalise(doc: dict) -> dict:
 
 
 def _check_failures(suite: str, checks: dict) -> list[str]:
+    # One line per failing check, always "observed ..., expected ..." so
+    # a CI log names every violated gate with both sides of the bound.
     failures = []
     for name, entry in checks.items():
         value = entry.get("value")
         if "exact" in entry:
             if value != entry["exact"]:
                 failures.append(
-                    f"{suite}: check {name} = {value!r}, expected exactly "
-                    f"{entry['exact']!r}"
+                    f"{suite}: check {name}: observed {value!r}, "
+                    f"expected exactly {entry['exact']!r}"
                 )
         elif "max" in entry:
             if not (isinstance(value, (int, float))
                     and value <= entry["max"]):
                 failures.append(
-                    f"{suite}: check {name} = {value!r} exceeds bound "
-                    f"{entry['max']!r}"
+                    f"{suite}: check {name}: observed {value!r}, "
+                    f"expected <= {entry['max']!r}"
+                )
+        elif "min" in entry:
+            if not (isinstance(value, (int, float))
+                    and value >= entry["min"]):
+                failures.append(
+                    f"{suite}: check {name}: observed {value!r}, "
+                    f"expected >= {entry['min']!r}"
                 )
         elif "expect" in entry:
             if value != entry["expect"]:
                 failures.append(
-                    f"{suite}: check {name} = {value!r}, expected "
-                    f"{entry['expect']!r}"
+                    f"{suite}: check {name}: observed {value!r}, "
+                    f"expected {entry['expect']!r}"
                 )
         else:
             failures.append(
                 f"{suite}: check {name} declares no criterion "
-                f"(exact/max/expect)"
+                f"(exact/max/min/expect)"
             )
     return failures
 
@@ -265,7 +277,7 @@ def render_ledger(ledgers: list[dict]) -> str:
         checks = ledger["checks"]
         for name in sorted(checks):
             entry = checks[name]
-            for criterion in ("exact", "max", "expect"):
+            for criterion in ("exact", "max", "min", "expect"):
                 if criterion in entry:
                     bound = f"{criterion} {entry[criterion]!r}"
                     break

@@ -316,7 +316,7 @@ def solve_fixed_point_batch(
     f: Callable[[np.ndarray], np.ndarray],
     x0: np.ndarray,
     *,
-    rtol: float = 1e-12,
+    rtol: float | np.ndarray = 1e-12,
     max_iter: int = 500,
     use_aitken: bool = True,
     raise_on_failure: bool = True,
@@ -364,6 +364,14 @@ def solve_fixed_point_batch(
     failure messages — fleet callers label lanes with their dataset so
     a diverging project is attributable in a thousand-lane solve. The
     labels do not affect the iteration in any way.
+
+    ``rtol`` may be a scalar (every lane shares it — the historical
+    behaviour, bit-identical to before) or a 1-D array with one
+    positive tolerance per lane. Per-lane tolerances are how warm
+    refits stratify work by posterior weight: lanes that carry
+    negligible mixture mass stop early at a loose tolerance while the
+    lanes that matter iterate to the tight one. Each lane remains
+    bit-identical to the scalar solver run at *that lane's* tolerance.
     """
     x = np.array(x0, dtype=float)
     if x.ndim != 1:
@@ -376,6 +384,19 @@ def solve_fixed_point_batch(
             f"lane_labels must match the lane count {x.size}, "
             f"got {len(lane_labels)}"
         )
+    if isinstance(rtol, np.ndarray):
+        rtol = np.asarray(rtol, dtype=float)
+        if rtol.shape != x.shape:
+            raise ValueError(
+                f"per-lane rtol shape {rtol.shape} does not match the "
+                f"lane count {x.size}"
+            )
+        if np.any(~(rtol > 0.0) | ~np.isfinite(rtol)):
+            bad = int(np.argmax(~(rtol > 0.0) | ~np.isfinite(rtol)))
+            raise ValueError(
+                f"per-lane rtol must be positive and finite, "
+                f"got {rtol[bad]} in lane {bad}"
+            )
     n = x.size
     with obs.span("fixed_point.batch", level="debug", lanes=n) as sp:
         result = _solve_batch_inner(f, x, rtol, max_iter, use_aitken)
@@ -400,7 +421,7 @@ def solve_fixed_point_batch(
 def _solve_batch_inner(
     f: Callable[[np.ndarray], np.ndarray],
     x: np.ndarray,
-    rtol: float,
+    rtol: float | np.ndarray,  # scalar or per-lane; `<=` broadcasts
     max_iter: int,
     use_aitken: bool,
 ) -> BatchFixedPointResult:

@@ -1,0 +1,130 @@
+"""Canonical serialization and cache-key invariance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bayes.priors import ModelPrior
+from repro.cache.keys import canonical_bytes, canonical_key, fit_cache_key
+from repro.core.config import VBConfig
+from repro.data.failure_data import FailureTimeData, GroupedData
+
+
+@pytest.fixture()
+def data():
+    return FailureTimeData(np.array([1.0, 2.5, 4.0]), horizon=5.0)
+
+
+@pytest.fixture()
+def prior():
+    return ModelPrior.informative(50.0, 15.8, 1.0e-5, 3.2e-6)
+
+
+class TestCanonicalEncoding:
+    def test_deterministic(self, prior):
+        assert canonical_bytes(prior) == canonical_bytes(prior)
+        assert canonical_key(prior) == canonical_key(prior)
+
+    def test_dict_key_order_invariant(self):
+        assert canonical_key({"a": 1, "b": 2.0}) == canonical_key(
+            {"b": 2.0, "a": 1}
+        )
+
+    def test_type_tags_disambiguate(self):
+        # 1 (int), 1.0 (float), True and "1" must all hash apart —
+        # a tagless encoding would collide some of these.
+        keys = {
+            canonical_key(1),
+            canonical_key(1.0),
+            canonical_key(True),
+            canonical_key("1"),
+        }
+        assert len(keys) == 4
+
+    def test_array_dtype_and_shape_matter(self):
+        flat = np.arange(4, dtype=np.float64)
+        assert canonical_key(flat) != canonical_key(flat.reshape(2, 2))
+        assert canonical_key(flat) != canonical_key(flat.astype(np.int64))
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(TypeError, match="canonically serialize"):
+            canonical_key(object())
+
+
+class TestConfigAndPriorValueSemantics:
+    def test_config_default_vs_explicit(self):
+        assert VBConfig() == VBConfig(nmax_initial=VBConfig().nmax_initial)
+        assert hash(VBConfig()) == hash(
+            VBConfig(nmax_initial=VBConfig().nmax_initial)
+        )
+
+    def test_config_canonical_covers_every_field(self):
+        from dataclasses import fields
+
+        assert set(VBConfig().canonical()) == {
+            f.name for f in fields(VBConfig)
+        }
+
+    def test_prior_equality_and_hash(self, prior):
+        twin = ModelPrior.informative(50.0, 15.8, 1.0e-5, 3.2e-6)
+        assert prior == twin
+        assert hash(prior) == hash(twin)
+        assert prior != ModelPrior.informative(50.0, 15.8, 1.0e-5, 3.3e-6)
+
+
+class TestFitCacheKey:
+    def test_kwarg_spelling_invariance(self, data, prior):
+        # default config, explicitly-constructed default config, and
+        # None all produce the same key
+        base = fit_cache_key("VB2", data, prior)
+        assert fit_cache_key("VB2", data, prior, 1.0, VBConfig()) == base
+        assert fit_cache_key(
+            "VB2", data, prior, alpha0=1.0, config=None
+        ) == base
+
+    def test_every_input_perturbs_the_key(self, data, prior):
+        base = fit_cache_key("VB2", data, prior)
+        bumped_data = FailureTimeData(
+            np.array([1.0, 2.5, 4.000001]), horizon=5.0
+        )
+        variants = [
+            fit_cache_key("VB1", data, prior),
+            fit_cache_key("VB2", bumped_data, prior),
+            fit_cache_key("VB2", data, prior, alpha0=2.0),
+            fit_cache_key(
+                "VB2", data, prior,
+                config=VBConfig(fixed_point_rtol=1e-8),
+            ),
+            fit_cache_key("VB2", data, prior, nmax=80),
+            fit_cache_key(
+                "VB2", data,
+                ModelPrior.informative(50.0, 15.8, 1.0e-5, 3.3e-6),
+            ),
+        ]
+        assert len({base, *variants}) == len(variants) + 1
+
+    def test_data_kind_disambiguated(self, prior):
+        times = FailureTimeData(np.array([1.0, 2.0]), horizon=2.0)
+        grouped = GroupedData(
+            counts=np.array([1, 1]), boundaries=np.array([1.0, 2.0])
+        )
+        assert fit_cache_key("VB2", times, prior) != fit_cache_key(
+            "VB2", grouped, prior
+        )
+
+    def test_warm_start_content_in_key(self, data, prior):
+        from repro.core.vb2 import fit_vb2
+        from repro.core.warmstart import warm_start_from
+
+        warm = warm_start_from(fit_vb2(data, prior, 1.0))
+        cold_key = fit_cache_key("VB2", data, prior)
+        warm_key = fit_cache_key(
+            "VB2", data, prior, config=VBConfig(warm_start=warm)
+        )
+        assert warm_key != cold_key
+
+    def test_key_is_hex_sha256(self, data, prior):
+        key = fit_cache_key("VB2", data, prior)
+        assert len(key) == 64
+        assert set(key) <= set("0123456789abcdef")

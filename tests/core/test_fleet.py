@@ -136,6 +136,31 @@ class TestVB2Identity:
         with pytest.raises(ValueError, match="below the observed"):
             fit_vb2_fleet(portfolio[:1], prior, 1.0, nmax=1)
 
+    def test_per_dataset_warm_states_stay_identical(self, portfolio, prior):
+        from repro.core.warmstart import warm_start_from
+
+        subset = portfolio[:4]
+        # mixed warm/cold lanes: datasets 0 and 2 warm-start from their
+        # own converged posteriors, 1 and 3 stay cold
+        warms = [
+            warm_start_from(fit_vb2(subset[0], prior, 1.0)),
+            None,
+            warm_start_from(fit_vb2(subset[2], prior, 1.0)),
+            None,
+        ]
+        fleet = fit_vb2_fleet(subset, prior, 1.0, warm_start=warms)
+        for i, data in enumerate(subset):
+            config = VBConfig(warm_start=warms[i])
+            assert_identical(fleet.posterior(i), fit_vb2(data, prior, 1.0, config))
+            assert fleet.diagnostics[i]["warm_started"] is (warms[i] is not None)
+
+    def test_warm_state_alpha0_mismatch_names_dataset(self, portfolio, prior):
+        from repro.core.warmstart import warm_start_from
+
+        warm = warm_start_from(fit_vb2(portfolio[0], prior, 1.0))
+        with pytest.raises(ValueError, match="dataset 1.*alpha0"):
+            fit_vb2_fleet(portfolio[:2], prior, 2.0, warm_start=[None, warm])
+
 
 class TestVB1Identity:
     def test_mixed_portfolio(self, portfolio, prior):

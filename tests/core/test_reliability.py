@@ -94,3 +94,70 @@ class TestEstimateReliability:
         text = str(estimate)
         assert "VB2" in text
         assert "99%" in text
+
+
+class TestNewtonReliabilityQuantile:
+    """VBPosterior's safeguarded-Newton quantile path vs the generic
+    bisection it replaces (docs/PERFORMANCE.md §5)."""
+
+    def _early_posterior(self, alpha0):
+        from repro.bayes.priors import ModelPrior
+        from repro.core.vb2 import fit_vb2
+        from repro.data.failure_data import GroupedData
+
+        # an early-campaign posterior puts the lower reliability
+        # quantile deep in the tail (r ~ 1e-4) — the regime where
+        # plain Newton on F degenerates to bisection
+        data = GroupedData(
+            counts=np.array([5, 7, 4]), boundaries=np.array([1.0, 2.0, 3.0])
+        )
+        prior = ModelPrior.informative(100.0, 50.0, 0.2, 0.1)
+        return fit_vb2(data, prior, alpha0), data
+
+    @pytest.mark.parametrize("alpha0", [1.0, 2.0])
+    @pytest.mark.parametrize("u", [0.5, 1.0, 5.0])
+    def test_matches_generic_bisection(self, alpha0, u):
+        from repro.bayes.joint import JointPosterior
+
+        posterior, data = self._early_posterior(alpha0)
+        c = reliability_increment(alpha0, data.horizon, u)
+        levels = np.array([0.005, 0.025, 0.5, 0.975, 0.995])
+        fast = posterior.reliability_quantile_batch(levels, c)
+        for q, value in zip(levels, fast):
+            slow = JointPosterior.reliability_quantile(posterior, q, c)
+            # both paths promise xtol = 1e-10 in r
+            assert value == pytest.approx(slow, abs=5e-10)
+
+    def test_matches_on_late_posterior(self, vb2_times, times_data):
+        from repro.bayes.joint import JointPosterior
+
+        c = reliability_increment(1.0, times_data.horizon, 1000.0)
+        levels = np.array([0.005, 0.5, 0.995])
+        fast = vb2_times.reliability_quantile_batch(levels, c)
+        for q, value in zip(levels, fast):
+            slow = JointPosterior.reliability_quantile(vb2_times, q, c)
+            assert value == pytest.approx(slow, abs=5e-10)
+
+    def test_scalar_delegates_to_batch(self, vb2_times, times_data):
+        c = reliability_increment(1.0, times_data.horizon, 1000.0)
+        batch = vb2_times.reliability_quantile_batch(np.array([0.25]), c)
+        assert vb2_times.reliability_quantile(0.25, c) == batch[0]
+
+    def test_monotone_in_level(self, vb2_times, times_data):
+        c = reliability_increment(1.0, times_data.horizon, 1000.0)
+        levels = np.linspace(0.01, 0.99, 9)
+        values = vb2_times.reliability_quantile_batch(levels, c)
+        assert np.all(np.diff(values) > 0)
+
+    def test_zero_window_is_certain(self, vb2_times, times_data):
+        c = reliability_increment(1.0, times_data.horizon, 0.0)
+        values = vb2_times.reliability_quantile_batch(
+            np.array([0.025, 0.975]), c
+        )
+        np.testing.assert_array_equal(values, 1.0)
+
+    def test_level_validation(self, vb2_times, times_data):
+        c = reliability_increment(1.0, times_data.horizon, 1000.0)
+        for bad in (0.0, 1.0, -0.1, 1.1):
+            with pytest.raises(ValueError, match="quantile levels"):
+                vb2_times.reliability_quantile_batch(np.array([bad]), c)

@@ -87,3 +87,60 @@ class TestTracker:
         tracker = ReliabilityTracker(info_prior_grouped)
         with pytest.raises(ValueError):
             tracker.replay_grouped(grouped_data, period=0)
+
+
+class TestCampaignScale:
+    def test_200_period_campaign(self):
+        """A long campaign stays linear: 200 truncate views share the
+        full campaign's buffers and every period warm-starts."""
+        rng = np.random.default_rng(11)
+        counts = rng.poisson(4.0 * np.exp(-np.arange(200) / 80.0))
+        from repro.data.failure_data import GroupedData
+
+        campaign = GroupedData(
+            counts=counts, boundaries=np.arange(1.0, 201.0)
+        )
+        # truncate views alias the parent's validated buffers
+        view = campaign.truncate(120)
+        assert view.counts.base is not None
+        assert np.shares_memory(view.counts, campaign.counts)
+        assert np.shares_memory(view.boundaries, campaign.boundaries)
+
+        prior = ModelPrior.informative(60.0, 25.0, 0.05, 0.02)
+        tracker = ReliabilityTracker(
+            prior, prediction_window=1.0, reliability_target=0.9
+        )
+        history = tracker.replay_grouped(campaign)
+        assert len(history) == 200
+        assert [r.horizon for r in history] == list(
+            np.arange(1.0, 201.0)
+        )
+        assert history[-1].observed_failures == campaign.total_count
+        # every period after the first must have warm-started
+        assert all(r.warm_started for r in history[1:])
+        assert not history[0].warm_started
+
+    def test_cold_tracker_never_flags_warm(self, info_prior_grouped, grouped_data):
+        tracker = ReliabilityTracker(info_prior_grouped, warm_start=False)
+        history = tracker.replay_grouped(grouped_data, period=16)
+        assert not any(r.warm_started for r in history)
+
+    def test_cached_tracker_replays_prefix_without_solving(
+        self, info_prior_grouped, grouped_data, tmp_path
+    ):
+        from repro import obs
+        from repro.cache.store import PosteriorCache
+
+        def replay(cache):
+            tracker = ReliabilityTracker(
+                info_prior_grouped, warm_start=False, cache=cache
+            )
+            return tracker.replay_grouped(grouped_data, period=16)
+
+        first = replay(PosteriorCache(tmp_path))
+        with obs.capture() as counters:
+            second = replay(PosteriorCache(tmp_path))
+        assert counters.counters.get("vb2.solves", 0) == 0
+        assert [r.reliability_lower for r in first] == [
+            r.reliability_lower for r in second
+        ]

@@ -136,3 +136,62 @@ class TestMain:
         capsys.readouterr()
         with pytest.raises(SystemExit):
             main(["fit", "--data", str(csv_path), "--omega-mean", "50"])
+
+
+class TestCacheCommands:
+    def _simulate(self, tmp_path, capsys):
+        csv_path = tmp_path / "sim.csv"
+        main(["simulate", "--omega", "60", "--beta", "0.1",
+              "--horizon", "30", "--seed", "3", "--out", str(csv_path)])
+        capsys.readouterr()
+        return csv_path
+
+    def _fit_args(self, csv_path, cache_dir):
+        return ["fit", "--data", str(csv_path), "--kind", "times",
+                "--horizon", "30",
+                "--omega-mean", "55", "--omega-std", "25",
+                "--beta-mean", "0.1", "--beta-std", "0.06",
+                "--cache-dir", str(cache_dir)]
+
+    def test_fit_cache_miss_then_hit(self, capsys, tmp_path):
+        csv_path = self._simulate(tmp_path, capsys)
+        cache_dir = tmp_path / "pcache"
+
+        assert main(self._fit_args(csv_path, cache_dir)) == 0
+        first = capsys.readouterr().out
+        assert "cache: miss" in first
+
+        assert main(self._fit_args(csv_path, cache_dir)) == 0
+        second = capsys.readouterr().out
+        assert "cache: hit (disk)" in second
+        # identical posterior output, modulo the cache line itself
+        strip = lambda out: [l for l in out.splitlines() if "cache:" not in l]
+        assert strip(first) == strip(second)
+
+    def test_cache_stats_and_clear(self, capsys, tmp_path):
+        import json
+
+        csv_path = self._simulate(tmp_path, capsys)
+        cache_dir = tmp_path / "pcache"
+        main(self._fit_args(csv_path, cache_dir))
+        capsys.readouterr()
+
+        assert main(["cache", "stats", str(cache_dir)]) == 0
+        text = capsys.readouterr().out
+        assert "1" in text
+
+        assert main(
+            ["cache", "stats", str(cache_dir), "--format", "json"]
+        ) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 1
+        assert stats["disk_bytes"] > 0
+
+        assert main(["cache", "clear", str(cache_dir)]) == 0
+        assert "removed 1" in capsys.readouterr().out
+
+    def test_cache_dir_requires_vb_method(self, capsys, tmp_path):
+        csv_path = self._simulate(tmp_path, capsys)
+        with pytest.raises(SystemExit):
+            main(["fit", "--data", str(csv_path), "--horizon", "30",
+                  "--method", "laplace", "--cache-dir", str(tmp_path / "c")])

@@ -119,6 +119,39 @@ class TestSelfCheck:
             doc = json.loads(path.read_text())
             assert self_check(doc) == [], path.name
 
+    def _min_doc(self, value):
+        doc = _v2_doc()
+        doc["checks"]["warm_iteration_ratio"] = {"value": value, "min": 3.0}
+        return doc
+
+    def test_min_criterion(self):
+        assert self_check(self._min_doc(3.15)) == []
+        assert self_check(self._min_doc(3.0)) == []
+        failures = self_check(self._min_doc(2.4))
+        assert failures == [
+            "robustness: check warm_iteration_ratio: observed 2.4, "
+            "expected >= 3.0"
+        ]
+        # a non-numeric value can never satisfy a floor
+        assert len(self_check(self._min_doc("fast"))) == 1
+
+    def test_failure_messages_name_both_sides(self):
+        # every criterion reports observed and expected on one line
+        doc = _v2_doc(identical=False)
+        doc["checks"]["diff"] = {"value": 2e-9, "max": 1e-9}
+        doc["checks"]["count"] = {"value": 1, "exact": 0}
+        doc["checks"]["orphan"] = {"value": 5}
+        failures = self_check(doc)
+        assert len(failures) == 4
+        joined = "\n".join(failures)
+        assert (
+            "check serial_parallel_identical: observed False, "
+            "expected True" in joined
+        )
+        assert "check diff: observed 2e-09, expected <= 1e-09" in joined
+        assert "check count: observed 1, expected exactly 0" in joined
+        assert "check orphan declares no criterion" in joined
+
 
 class TestCompare:
     def test_identical_runs_pass(self):

@@ -349,6 +349,55 @@ class TestSolveFixedPointBatch:
         assert sp["failed_lanes"] == 0
 
 
+class TestPerLaneRtol:
+    def test_scalar_rtol_array_equivalence(self):
+        a, b, c, x0 = TestSolveFixedPointBatch._coeffs(None, 16)
+        tight = solve_fixed_point_batch(
+            _contractive_map(a, b, c), x0.copy(), rtol=1e-12
+        )
+        lanes = solve_fixed_point_batch(
+            _contractive_map(a, b, c), x0.copy(),
+            rtol=np.full(16, 1e-12),
+        )
+        np.testing.assert_array_equal(lanes.values, tight.values)
+        np.testing.assert_array_equal(lanes.iterations, tight.iterations)
+
+    def test_loose_lanes_stop_earlier(self):
+        a, b, c, x0 = TestSolveFixedPointBatch._coeffs(None, 16)
+        rtols = np.full(16, 1e-12)
+        rtols[::2] = 1e-3
+        mixed = solve_fixed_point_batch(
+            _contractive_map(a, b, c), x0.copy(), rtol=rtols
+        )
+        tight = solve_fixed_point_batch(
+            _contractive_map(a, b, c), x0.copy(), rtol=1e-12
+        )
+        assert np.all(mixed.iterations[::2] <= tight.iterations[::2])
+        assert np.any(mixed.iterations[::2] < tight.iterations[::2])
+        # tight lanes are untouched by their loose neighbours
+        np.testing.assert_array_equal(
+            mixed.values[1::2], tight.values[1::2]
+        )
+        np.testing.assert_array_equal(
+            mixed.iterations[1::2], tight.iterations[1::2]
+        )
+
+    def test_per_lane_rtol_validation(self):
+        f = lambda x: 0.5 * x + 1.0
+        with pytest.raises(ValueError, match="shape"):
+            solve_fixed_point_batch(
+                f, np.ones(3), rtol=np.full(2, 1e-10)
+            )
+        with pytest.raises(ValueError, match="positive"):
+            solve_fixed_point_batch(
+                f, np.ones(2), rtol=np.array([1e-10, 0.0])
+            )
+        with pytest.raises(ValueError, match="positive"):
+            solve_fixed_point_batch(
+                f, np.ones(2), rtol=np.array([1e-10, np.inf])
+            )
+
+
 class TestBracketQuantile:
     def test_brackets_exponential_quantiles(self):
         cdf = lambda x: 1.0 - math.exp(-x)
