@@ -1,0 +1,645 @@
+"""Benchmark: array-backend dispatch — identity, overhead, agreement.
+
+The hot kernels (mixture pdf/cdf/ppf, the uniform→variate layer, the
+segmented reductions and the VB2 range solvers) dispatch through
+``repro.backend`` (see docs/METHOD.md §4.6 and docs/PERFORMANCE.md
+§6). Three properties make that dispatch safe to leave on by default,
+and this benchmark measures and gates all of them:
+
+* **NumPy identity** — routing through the dispatch layer on the
+  default NumPy backend must not change a single bit of any result:
+  every ``*_max_abs_diff`` check below is gated at *exactly* ``0.0``
+  on the paper datasets (NTDS failure times, System 17 grouped) and on
+  representative kernel grids;
+* **Dispatch overhead** — the namespace-resolution branch must cost
+  < 5% of kernel wall time on the quick-bench workloads;
+* **Per-kernel agreement** — the ``portable`` backend executes the
+  generic accelerator code shape (full-width masking, scatter segment
+  reductions, emulated ``gammaincinv``) on NumPy arrays, so its
+  max-diff bounds here are the tolerances a jax/cupy adapter is held
+  to. When jax is importable the same kernels run under CPU ``jit``
+  and the campaign-scale mixture CDF/PPF path must clear a ≥ 2x
+  speedup; without jax the block records a skip in ``info.backends``.
+
+Emits ``benchmarks/results/BENCH_backend.json`` (native schema-2
+ledger; ``repro bench check`` applies the gates).
+
+As a script:
+
+    PYTHONPATH=src python benchmarks/bench_backend.py          # full + quick
+    PYTHONPATH=src python benchmarks/bench_backend.py --quick  # CI mode
+    PYTHONPATH=src python benchmarks/bench_backend.py --quick \\
+        --out /tmp/BENCH_backend.json \\
+        --baseline benchmarks/results/BENCH_backend.json
+
+With ``--baseline`` the run fails (exit 1) if any speedup regresses
+below 80% of the committed baseline's (``repro bench check`` applies
+the same gate in CI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+# Script-mode bootstrap: pytest injects these roots via benchmarks/
+# conftest.py, a bare `python benchmarks/bench_backend.py` does not.
+_HERE = Path(__file__).resolve().parent
+for _root in (_HERE, _HERE.parent / "src"):
+    if str(_root) not in sys.path:
+        sys.path.insert(0, str(_root))
+
+from conftest import RESULTS_DIR
+from repro import backend as bk
+from repro.backend import special as sc
+from repro.backend.core import make_generic_gammaincinv
+from repro.bayes.priors import ModelPrior
+from repro.core.config import VBConfig
+from repro.core.vb2 import fit_vb2
+from repro.data.datasets import ntds_failure_times, system17_grouped
+from repro.stats.gamma_dist import GammaDistribution, gamma_from_uniform
+from repro.stats.mixtures import (
+    MixtureDistribution,
+    mixture_cdf_grid,
+    mixture_pdf_grid,
+    mixture_ppf_batch,
+)
+from repro.stats.special import log_sum_exp_stream
+from repro.stats.uniforms import segment_sums
+
+DISPATCH_OVERHEAD_CEILING = 0.05
+JAX_SPEEDUP_TARGET = 2.0
+REGRESSION_FRACTION = 0.8
+
+#: Portable-vs-NumPy agreement bounds, per ported kernel. These are
+#: the committed adapter tolerances: tests/backend/test_agreement.py
+#: asserts the same numbers, and docs/PERFORMANCE.md §6 documents them.
+TOLERANCES = {
+    "mixture_pdf_max_rel_diff": 1e-12,
+    "mixture_cdf_max_rel_diff": 1e-12,
+    "mixture_ppf_max_rel_diff": 1e-8,
+    "gamma_variate_max_rel_diff": 1e-9,
+    "log_sum_exp_stream_max_abs_diff": 1e-12,
+    "segment_sums_max_rel_diff": 1e-12,
+    "gammaincinv_max_rel_diff": 1e-12,
+    "fit_weights_max_abs_diff": 1e-12,
+    "fit_elbo_abs_diff": 1e-9,
+}
+
+_MODE_SETTINGS = {
+    # Campaign scale: the mixture sizes match a large-N VB2 posterior
+    # (hundreds of lanes) evaluated on interval-estimation grids.
+    "full": {"components": 200, "grid": 20_000, "levels": 2_000,
+             "variates": 200_000, "repeats": 5, "overhead_pairs": 9},
+    "quick": {"components": 80, "grid": 4_000, "levels": 400,
+              "variates": 40_000, "repeats": 3, "overhead_pairs": 7},
+}
+
+PRIOR = ModelPrior.informative(100.0, 50.0, 0.2, 0.1)
+
+
+# -- workloads ----------------------------------------------------------
+
+
+def _mixture(components: int, seed: int = 11) -> MixtureDistribution:
+    """A gamma mixture shaped like a VB2 marginal: shapes drift upward
+    lane by lane, weights decay geometrically from an interior mode."""
+    gen = np.random.default_rng(seed)
+    shapes = np.linspace(2.0, 2.0 + components, components) + gen.uniform(
+        0.0, 0.5, components
+    )
+    rates = np.full(components, 1.3) + gen.uniform(0.0, 0.1, components)
+    lanes = np.arange(components)
+    weights = np.exp(-0.5 * ((lanes - components / 3.0) / (components / 8.0)) ** 2)
+    comps = [GammaDistribution(shape=s, rate=r) for s, r in zip(shapes, rates)]
+    return MixtureDistribution(comps, weights)
+
+
+def _best_wall(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _max_rel(got: np.ndarray, want: np.ndarray) -> float:
+    want = np.asarray(want, dtype=float)
+    scale = np.where(np.abs(want) > 0.0, np.abs(want), 1.0)
+    return float(np.max(np.abs(np.asarray(got, dtype=float) - want) / scale))
+
+
+# -- NumPy-through-dispatch identity ------------------------------------
+
+
+def _identity_block(settings: dict) -> dict:
+    """Bit-exactness of the dispatch layer on the default backend.
+
+    The public methods route through ``get_namespace``; the private
+    ``_pdf_grid``/``_cdf_grid``/``_ppf_batch`` are the pre-dispatch
+    NumPy kernels. Every diff must be exactly 0.0, and the end-to-end
+    fits on the paper datasets must match weight-for-weight when the
+    backend is named explicitly."""
+    mixture = _mixture(settings["components"])
+    x = np.linspace(1e-3, float(mixture.mean * 2.5), settings["grid"])
+    levels = np.linspace(0.001, 0.999, settings["levels"])
+
+    pdf_diff = float(
+        np.max(np.abs(mixture.pdf(x) - mixture._pdf_grid(x.ravel())))
+    )
+    cdf_diff = float(
+        np.max(np.abs(mixture.cdf(x) - mixture._cdf_grid(x.ravel())))
+    )
+    ppf_diff = float(
+        np.max(np.abs(mixture.ppf(levels) - mixture._ppf_batch(levels)))
+    )
+
+    fit_diffs = {}
+    for label, data, alpha0 in (
+        ("ntds_times/a0=2", ntds_failure_times(), 2.0),
+        ("system17_grouped/a0=1", system17_grouped(), 1.0),
+    ):
+        default = fit_vb2(data, PRIOR, alpha0)
+        dispatched = fit_vb2(
+            data, PRIOR, alpha0, config=VBConfig(backend="numpy")
+        )
+        fit_diffs[label] = {
+            "weights_max_abs_diff": float(
+                np.max(np.abs(default.weights - dispatched.weights))
+            ),
+            "elbo_abs_diff": abs(default.elbo - dispatched.elbo),
+        }
+    return {
+        "mixture_pdf_max_abs_diff": pdf_diff,
+        "mixture_cdf_max_abs_diff": cdf_diff,
+        "mixture_ppf_max_abs_diff": ppf_diff,
+        "fits": fit_diffs,
+        "fit_weights_max_abs_diff": max(
+            d["weights_max_abs_diff"] for d in fit_diffs.values()
+        ),
+        "fit_elbo_max_abs_diff": max(
+            d["elbo_abs_diff"] for d in fit_diffs.values()
+        ),
+    }
+
+
+# -- dispatch overhead --------------------------------------------------
+
+
+def _overhead_block(settings: dict) -> dict:
+    """Wall cost of the ``get_namespace`` branch on the NumPy path:
+    public dispatching method vs the private kernel it forwards to.
+
+    The two timings are interleaved pair by pair and summarised as the
+    *median* per-pair wall ratio: container CPUs drift by ±10% over a
+    blocked back-to-back measurement, which would swamp a sub-5%
+    dispatch cost measured as best-of-N per side."""
+    mixture = _mixture(settings["components"])
+    x = np.linspace(1e-3, float(mixture.mean * 2.5), settings["grid"])
+    levels = np.linspace(0.001, 0.999, settings["levels"])
+    repeats = settings["overhead_pairs"]
+
+    kernels = {
+        "pdf": (lambda: mixture.pdf(x), lambda: mixture._pdf_grid(x)),
+        "cdf": (lambda: mixture.cdf(x), lambda: mixture._cdf_grid(x)),
+        "ppf": (
+            lambda: mixture.ppf(levels),
+            lambda: mixture._ppf_batch(levels),
+        ),
+    }
+    out = {}
+    for name, (dispatched, direct) in kernels.items():
+        dispatched()  # warm scipy/object caches before timing
+        direct()
+        ratios = []
+        t_dispatch = t_direct = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            dispatched()
+            a = time.perf_counter() - start
+            start = time.perf_counter()
+            direct()
+            b = time.perf_counter() - start
+            ratios.append(a / b)
+            t_dispatch = min(t_dispatch, a)
+            t_direct = min(t_direct, b)
+        out[name] = {
+            "dispatch_s": t_dispatch,
+            "direct_s": t_direct,
+            "overhead_fraction": max(0.0, float(np.median(ratios)) - 1.0),
+        }
+    out["max_overhead_fraction"] = max(
+        k["overhead_fraction"] for k in out.values()
+    )
+    return out
+
+
+# -- portable agreement + timing ----------------------------------------
+
+
+def _portable_block(settings: dict) -> dict:
+    """Generic-code-shape agreement and wall ratios vs NumPy."""
+    P = bk.get_backend("portable")
+    repeats = settings["repeats"]
+    rng = np.random.default_rng(20260809)
+
+    mixture = _mixture(settings["components"])
+    x = np.linspace(1e-3, float(mixture.mean * 2.5), settings["grid"])
+    levels = np.linspace(0.001, 0.999, settings["levels"])
+    a, b, w, log_w = mixture._backend_params(P)
+
+    diffs = {}
+    timings = {}
+
+    ref_pdf = mixture._pdf_grid(x)
+    ref_cdf = mixture._cdf_grid(x)
+    ref_ppf = mixture._ppf_batch(levels)
+    diffs["mixture_pdf_max_rel_diff"] = _max_rel(
+        mixture_pdf_grid(P, a, b, log_w, x), ref_pdf
+    )
+    diffs["mixture_cdf_max_rel_diff"] = _max_rel(
+        mixture_cdf_grid(P, a, b, w, x), ref_cdf
+    )
+    diffs["mixture_ppf_max_rel_diff"] = _max_rel(
+        mixture_ppf_batch(P, a, b, w, levels), ref_ppf
+    )
+    for name, np_fn, p_fn in (
+        ("mixture_cdf", lambda: mixture._cdf_grid(x),
+         lambda: mixture_cdf_grid(P, a, b, w, x)),
+        ("mixture_ppf", lambda: mixture._ppf_batch(levels),
+         lambda: mixture_ppf_batch(P, a, b, w, levels)),
+    ):
+        timings[name] = {
+            "numpy_s": _best_wall(np_fn, repeats),
+            "portable_s": _best_wall(p_fn, repeats),
+        }
+        timings[name]["wall_ratio"] = (
+            timings[name]["numpy_s"] / timings[name]["portable_s"]
+        )
+
+    # Uniform→variate layer (the SBC draw path).
+    shape = rng.uniform(0.5, 80.0, settings["variates"])
+    u = rng.random(settings["variates"])
+    ref_v = gamma_from_uniform(shape, u)
+    got_v = P.to_numpy(gamma_from_uniform(P.asarray(shape), P.asarray(u)))
+    diffs["gamma_variate_max_rel_diff"] = _max_rel(got_v, ref_v)
+    timings["gamma_variate"] = {
+        "numpy_s": _best_wall(lambda: gamma_from_uniform(shape, u), repeats),
+        "portable_s": _best_wall(
+            lambda: gamma_from_uniform(P.asarray(shape), P.asarray(u)),
+            repeats,
+        ),
+    }
+    timings["gamma_variate"]["wall_ratio"] = (
+        timings["gamma_variate"]["numpy_s"]
+        / timings["gamma_variate"]["portable_s"]
+    )
+
+    # Segmented reductions (VB2 normalisation / lane Gibbs layout).
+    values = rng.normal(scale=30.0, size=settings["grid"])
+    starts = np.unique(
+        rng.integers(0, settings["grid"], settings["grid"] // 16)
+    )
+    starts = np.concatenate([[0], starts[starts > 0]])
+    diffs["log_sum_exp_stream_max_abs_diff"] = float(
+        np.max(np.abs(
+            P.log_sum_exp_stream(values, starts)
+            - log_sum_exp_stream(values, starts)
+        ))
+    )
+    positive = np.abs(values) + 0.5
+    diffs["segment_sums_max_rel_diff"] = _max_rel(
+        P.segment_sums(positive, starts), segment_sums(positive, starts)
+    )
+
+    # Emulated inverse regularised incomplete gamma vs scipy.
+    inv = make_generic_gammaincinv(
+        np, sc.gammainc, sc.gammaln, sc.ndtri, gammaincc=sc.gammaincc
+    )
+    a_grid = np.geomspace(0.3, 5000.0, 4000)
+    q_grid = np.linspace(1e-12, 1.0 - 1e-12, 4000)
+    diffs["gammaincinv_max_rel_diff"] = _max_rel(
+        inv(a_grid, q_grid), sc.gammaincinv(a_grid, q_grid)
+    )
+
+    # End-to-end fits on the paper datasets.
+    fit_weights = 0.0
+    fit_elbo = 0.0
+    for data, alpha0 in (
+        (ntds_failure_times(), 2.0),
+        (system17_grouped(), 1.0),
+    ):
+        ref = fit_vb2(data, PRIOR, alpha0)
+        got = fit_vb2(
+            data, PRIOR, alpha0, config=VBConfig(backend="portable")
+        )
+        fit_weights = max(
+            fit_weights, float(np.max(np.abs(ref.weights - got.weights)))
+        )
+        fit_elbo = max(fit_elbo, abs(ref.elbo - got.elbo))
+    diffs["fit_weights_max_abs_diff"] = fit_weights
+    diffs["fit_elbo_abs_diff"] = fit_elbo
+    return {"diffs": diffs, "timings": timings}
+
+
+# -- optional jax campaign path -----------------------------------------
+
+
+def _jax_block(settings: dict) -> dict | None:
+    """CPU-``jit`` campaign kernels, only when jax is importable."""
+    if not bk.available_backends().get("jax"):
+        return None
+    J = bk.get_backend("jax")
+    repeats = settings["repeats"]
+
+    mixture = _mixture(settings["components"])
+    x = np.linspace(1e-3, float(mixture.mean * 2.5), settings["grid"])
+    levels = np.linspace(0.001, 0.999, settings["levels"])
+    a, b, w, _ = mixture._backend_params(J)
+    xj = J.asarray(x)
+    lj = J.asarray(levels)
+
+    cdf_jit = J.jit(lambda arr: mixture_cdf_grid(J, a, b, w, arr))
+    ppf_jit = J.jit(lambda lev: mixture_ppf_batch(J, a, b, w, lev))
+    ref_cdf = mixture._cdf_grid(x)
+    ref_ppf = mixture._ppf_batch(levels)
+    got_cdf = J.to_numpy(cdf_jit(xj))  # also compiles before timing
+    got_ppf = J.to_numpy(ppf_jit(lj))
+
+    t_np_cdf = _best_wall(lambda: mixture._cdf_grid(x), repeats)
+    t_jax_cdf = _best_wall(lambda: J.to_numpy(cdf_jit(xj)), repeats)
+    t_np_ppf = _best_wall(lambda: mixture._ppf_batch(levels), repeats)
+    t_jax_ppf = _best_wall(lambda: J.to_numpy(ppf_jit(lj)), repeats)
+
+    return {
+        "cdf_speedup": t_np_cdf / t_jax_cdf,
+        "ppf_speedup": t_np_ppf / t_jax_ppf,
+        "campaign_kernel_speedup": max(
+            t_np_cdf / t_jax_cdf, t_np_ppf / t_jax_ppf
+        ),
+        "cdf_max_rel_diff": _max_rel(got_cdf, ref_cdf),
+        "ppf_max_rel_diff": _max_rel(got_ppf, ref_ppf),
+        "timings": {
+            "numpy_cdf_s": t_np_cdf, "jax_cdf_s": t_jax_cdf,
+            "numpy_ppf_s": t_np_ppf, "jax_ppf_s": t_jax_ppf,
+        },
+    }
+
+
+# -- measurement --------------------------------------------------------
+
+
+def measure(modes: tuple[str, ...]) -> dict:
+    available = bk.available_backends()
+    info: dict = {
+        "backends": available,
+        "tolerances": TOLERANCES,
+        "modes": {},
+    }
+    speedups: dict[str, float] = {}
+
+    worst_identity: dict[str, float] = {}
+    worst_overhead = 0.0
+    worst_diffs: dict[str, float] = {}
+    jax_result = None
+    for mode in modes:
+        settings = _MODE_SETTINGS[mode]
+        identity = _identity_block(settings)
+        overhead = _overhead_block(settings)
+        portable = _portable_block(settings)
+        info["modes"][mode] = {
+            "identity": identity,
+            "overhead": overhead,
+            "portable": portable,
+        }
+        for key in (
+            "mixture_pdf_max_abs_diff",
+            "mixture_cdf_max_abs_diff",
+            "mixture_ppf_max_abs_diff",
+            "fit_weights_max_abs_diff",
+            "fit_elbo_max_abs_diff",
+        ):
+            worst_identity[key] = max(
+                worst_identity.get(key, 0.0), identity[key]
+            )
+        worst_overhead = max(
+            worst_overhead, overhead["max_overhead_fraction"]
+        )
+        for key, value in portable["diffs"].items():
+            worst_diffs[key] = max(worst_diffs.get(key, 0.0), value)
+        for kernel, timing in portable["timings"].items():
+            speedups[f"{mode}/{kernel}/portable_vs_numpy"] = timing[
+                "wall_ratio"
+            ]
+        jax_here = _jax_block(settings)
+        if jax_here is not None:
+            jax_result = jax_here
+            info["modes"][mode]["jax"] = jax_here
+            speedups[f"{mode}/mixture_cdf/jax_vs_numpy"] = jax_here[
+                "cdf_speedup"
+            ]
+            speedups[f"{mode}/mixture_ppf/jax_vs_numpy"] = jax_here[
+                "ppf_speedup"
+            ]
+
+    checks: dict[str, dict] = {
+        # NumPy through dispatch is the bit-exact reference: exactly 0.
+        "numpy_dispatch_pdf_max_abs_diff": {
+            "value": worst_identity["mixture_pdf_max_abs_diff"],
+            "exact": 0.0,
+        },
+        "numpy_dispatch_cdf_max_abs_diff": {
+            "value": worst_identity["mixture_cdf_max_abs_diff"],
+            "exact": 0.0,
+        },
+        "numpy_dispatch_ppf_max_abs_diff": {
+            "value": worst_identity["mixture_ppf_max_abs_diff"],
+            "exact": 0.0,
+        },
+        "numpy_dispatch_fit_weights_max_abs_diff": {
+            "value": worst_identity["fit_weights_max_abs_diff"],
+            "exact": 0.0,
+        },
+        "numpy_dispatch_fit_elbo_abs_diff": {
+            "value": worst_identity["fit_elbo_max_abs_diff"],
+            "exact": 0.0,
+        },
+        "dispatch_overhead_fraction": {
+            "value": worst_overhead,
+            "max": DISPATCH_OVERHEAD_CEILING,
+        },
+    }
+    for key, bound in TOLERANCES.items():
+        checks[f"portable_{key}"] = {
+            "value": worst_diffs[key], "max": bound,
+        }
+    if jax_result is not None:
+        checks["jax_campaign_kernel_speedup"] = {
+            "value": jax_result["campaign_kernel_speedup"],
+            "min": JAX_SPEEDUP_TARGET,
+        }
+        checks["jax_cdf_max_rel_diff"] = {
+            "value": jax_result["cdf_max_rel_diff"],
+            "max": TOLERANCES["mixture_cdf_max_rel_diff"],
+        }
+        checks["jax_ppf_max_rel_diff"] = {
+            "value": jax_result["ppf_max_rel_diff"],
+            "max": TOLERANCES["mixture_ppf_max_rel_diff"],
+        }
+    else:
+        info["jax"] = "skipped: jax not importable in this environment"
+
+    return {
+        "schema": 2,
+        "kind": "bench",
+        "suite": "backend",
+        "generated_by": "benchmarks/bench_backend.py",
+        "speedups": speedups,
+        "checks": checks,
+        "info": info,
+    }
+
+
+# -- reporting and regression gate --------------------------------------
+
+
+def render(result: dict) -> str:
+    lines = ["array-backend dispatch: identity, overhead, agreement"]
+    avail = result["info"]["backends"]
+    lines.append(
+        "  backends: "
+        + ", ".join(
+            f"{name}={'yes' if ok else 'no'}"
+            for name, ok in sorted(avail.items())
+        )
+    )
+    for mode, blocks in result["info"]["modes"].items():
+        lines.append(f"  [{mode}]")
+        overhead = blocks["overhead"]
+        for kernel in ("pdf", "cdf", "ppf"):
+            k = overhead[kernel]
+            lines.append(
+                f"    dispatch {kernel:<4} direct {k['direct_s'] * 1e3:8.2f} ms"
+                f"  via dispatch {k['dispatch_s'] * 1e3:8.2f} ms"
+                f"  overhead {k['overhead_fraction']:.2%}"
+            )
+        for kernel, timing in blocks["portable"]["timings"].items():
+            lines.append(
+                f"    portable {kernel:<13} numpy "
+                f"{timing['numpy_s'] * 1e3:8.2f} ms  portable "
+                f"{timing['portable_s'] * 1e3:8.2f} ms  "
+                f"ratio x{timing['wall_ratio']:.2f}"
+            )
+        if "jax" in blocks:
+            j = blocks["jax"]
+            lines.append(
+                f"    jax cdf x{j['cdf_speedup']:.2f}  "
+                f"ppf x{j['ppf_speedup']:.2f} (CPU jit, target >= "
+                f"{JAX_SPEEDUP_TARGET:.0f}x)"
+            )
+    checks = result["checks"]
+    lines.append(
+        "  identity (numpy through dispatch, max |diff|): "
+        + ", ".join(
+            f"{name.split('numpy_dispatch_')[1]}="
+            f"{checks[name]['value']:.1e}"
+            for name in checks if name.startswith("numpy_dispatch_")
+        )
+    )
+    lines.append(
+        "  portable agreement (max diff / gate): "
+        + ", ".join(
+            f"{key}={checks['portable_' + key]['value']:.1e}/"
+            f"{bound:.0e}"
+            for key, bound in TOLERANCES.items()
+        )
+    )
+    if "jax" in result["info"]:
+        lines.append(f"  jax: {result['info']['jax']}")
+    return "\n".join(lines)
+
+
+def check_regression(result: dict, baseline: dict) -> list[str]:
+    """Speedup-ratio gate against a committed baseline (machine-free);
+    same criterion as ``repro bench check``."""
+    failures = []
+    for key, measured in result["speedups"].items():
+        base = baseline.get("speedups", {}).get(key)
+        if base is None:
+            continue
+        floor = REGRESSION_FRACTION * base
+        if measured < floor:
+            failures.append(
+                f"{key}: speedup {measured:.2f}x fell below {floor:.2f}x "
+                f"(= {REGRESSION_FRACTION:.0%} of baseline {base:.2f}x)"
+            )
+    return failures
+
+
+def _check_failures(result: dict) -> list[str]:
+    from repro.obs import self_check_bench
+
+    return self_check_bench(result)
+
+
+# -- pytest entry point -------------------------------------------------
+
+
+def test_backend_quick(results_dir):
+    result = measure(modes=("quick",))
+    print("\n" + render(result))
+    assert _check_failures(result) == []
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="measure only the quick (smaller grids) mode, for CI",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=RESULTS_DIR / "BENCH_backend.json",
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="committed BENCH_backend.json to gate regressions against",
+    )
+    args = parser.parse_args(argv)
+    modes = ("quick",) if args.quick else ("full", "quick")
+    result = measure(modes=modes)
+    text = render(result)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(result, indent=2) + "\n")
+    print(text)
+    print(f"[written to {args.out}]")
+    status = 0
+    failures = _check_failures(result)
+    for message in failures:
+        print(f"FAIL: {message}", file=sys.stderr)
+        status = 1
+    if args.baseline is not None:
+        baseline = json.loads(args.baseline.read_text())
+        regressions = check_regression(result, baseline)
+        for message in regressions:
+            print(f"FAIL: {message}", file=sys.stderr)
+        if regressions:
+            status = 1
+        else:
+            print("speedups within the regression gate vs baseline")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

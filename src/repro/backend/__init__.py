@@ -1,0 +1,42 @@
+"""Pluggable array backends for the hot kernels.
+
+See :mod:`repro.backend.core` for the dispatch contract (``numpy`` is
+the bit-exact reference; ``portable`` runs the accelerator-shaped code
+on NumPy; ``jax``/``cupy`` are optional import-guarded adapters) and
+:mod:`repro.backend.special` for the package's single scipy.special
+import site.
+"""
+
+from __future__ import annotations
+
+from repro.backend import special
+from repro.backend.core import (
+    KNOWN_BACKENDS,
+    SPECIAL_NAMES,
+    ArrayBackend,
+    as_float,
+    available_backends,
+    default_namespace,
+    get_backend,
+    get_namespace,
+    require_numpy_backend,
+    resolve_backend,
+    set_default_backend,
+)
+from repro.exceptions import BackendUnavailableError
+
+__all__ = [
+    "KNOWN_BACKENDS",
+    "SPECIAL_NAMES",
+    "ArrayBackend",
+    "BackendUnavailableError",
+    "as_float",
+    "available_backends",
+    "default_namespace",
+    "get_backend",
+    "get_namespace",
+    "require_numpy_backend",
+    "resolve_backend",
+    "set_default_backend",
+    "special",
+]

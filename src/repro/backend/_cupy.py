@@ -1,0 +1,118 @@
+"""CuPy adapter: the generic kernels on a CUDA device.
+
+Import-guarded — only imported by
+``repro.backend.core.get_backend("cupy")``; a missing cupy package (or
+no CUDA runtime) surfaces as
+:class:`repro.exceptions.BackendUnavailableError`.
+
+CuPy ships ``gammainc``/``gammaincc``/``gammaln``/``ndtri`` in
+:mod:`cupyx.scipy.special` but no inverse incomplete gamma; the adapter
+reuses the shared emulation from
+:func:`repro.backend.core.make_generic_gammaincinv` (measured on NumPy
+by the ``portable`` backend).  Segmented reductions scatter with
+``cupyx.scatter_add`` / ``cupyx.scatter_max``, mirroring the portable
+implementation's shape.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.backend.core import ArrayBackend, make_generic_gammaincinv
+from repro.exceptions import BackendUnavailableError
+
+
+def make_backend() -> ArrayBackend:
+    try:
+        import cupy
+        import cupyx
+        from cupyx.scipy import special as csp
+
+        cupy.zeros(1)  # fail here, not on first kernel, if no device
+    except Exception as exc:  # pragma: no cover - depends on environment
+        raise BackendUnavailableError(
+            "backend 'cupy' requested but cupy is not importable or no "
+            f"CUDA device is available ({type(exc).__name__}: {exc}); "
+            "install a cupy wheel matching your CUDA toolkit or select "
+            "backend='numpy'",
+            backend="cupy",
+        ) from exc
+
+    gammaincinv = make_generic_gammaincinv(
+        cupy, csp.gammainc, csp.gammaln, csp.ndtri,
+        gammaincc=csp.gammaincc,
+    )
+
+    def gammainccinv(a: Any, q: Any) -> Any:
+        return gammaincinv(a, 1.0 - cupy.asarray(q))
+
+    def pdtr(k: Any, m: Any) -> Any:
+        return csp.gammaincc(cupy.asarray(k, dtype=cupy.float64) + 1.0, m)
+
+    def logsumexp(values: Any, axis: Any = None, b: Any = None) -> Any:
+        values = cupy.asarray(values, dtype=cupy.float64)
+        maxima = cupy.max(values, axis=axis, keepdims=True)
+        maxima = cupy.where(cupy.isfinite(maxima), maxima, 0.0)
+        shifted = cupy.exp(values - maxima)
+        if b is not None:
+            shifted = shifted * b
+        out = cupy.log(cupy.sum(shifted, axis=axis, keepdims=True)) + maxima
+        if axis is None:
+            return out.reshape(())
+        return cupy.squeeze(out, axis=axis)
+
+    def _segment_ids(starts: Any, total: int) -> Any:
+        return (
+            cupy.searchsorted(starts, cupy.arange(total), side="right") - 1
+        )
+
+    def log_sum_exp_stream(values: Any, starts: Any) -> Any:
+        values = cupy.asarray(values, dtype=cupy.float64)
+        starts = cupy.asarray(starts, dtype=cupy.intp)
+        n_seg = int(starts.shape[0])
+        if n_seg == 0:
+            return cupy.zeros((0,), dtype=cupy.float64)
+        ids = _segment_ids(starts, int(values.shape[0]))
+        maxima = cupy.full(n_seg, -cupy.inf)
+        cupyx.scatter_max(maxima, ids, values)
+        shifted = cupy.exp(values - maxima[ids])
+        sums = cupy.zeros(n_seg)
+        cupyx.scatter_add(sums, ids, shifted)
+        out = maxima + cupy.log(sums)
+        return cupy.where(cupy.isfinite(maxima), out, maxima)
+
+    def segment_sums(values: Any, offsets: Any) -> Any:
+        values = cupy.asarray(values, dtype=cupy.float64)
+        offsets = cupy.asarray(offsets, dtype=cupy.intp)
+        n_seg = int(offsets.shape[0])
+        if n_seg == 0:
+            return cupy.zeros((0,), dtype=cupy.float64)
+        ids = _segment_ids(offsets, int(values.shape[0]))
+        out = cupy.zeros(n_seg, dtype=values.dtype)
+        cupyx.scatter_add(out, ids, values)
+        return out
+
+    special = {
+        "digamma": csp.digamma,
+        "erf": csp.erf,
+        "erfc": csp.erfc,
+        "gammainc": csp.gammainc,
+        "gammaincc": csp.gammaincc,
+        "gammainccinv": gammainccinv,
+        "gammaincinv": gammaincinv,
+        "gammaln": csp.gammaln,
+        "logsumexp": logsumexp,
+        "ndtri": csp.ndtri,
+        "pdtr": pdtr,
+    }
+
+    return ArrayBackend(
+        name="cupy",
+        xp=cupy,
+        is_numpy=False,
+        special=special,
+        log_sum_exp_stream=log_sum_exp_stream,
+        segment_sums=segment_sums,
+        owns=lambda array: isinstance(array, cupy.ndarray),
+        to_numpy=lambda array: cupy.asnumpy(array),
+    )

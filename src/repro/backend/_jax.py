@@ -1,0 +1,114 @@
+"""JAX adapter: the generic kernels under CPU/GPU ``jit``.
+
+Import-guarded — this module is only imported by
+``repro.backend.core.get_backend("jax")``, and a missing jax package
+surfaces as :class:`repro.exceptions.BackendUnavailableError` with an
+install hint, never as a raw ImportError traceback.
+
+Notes on fidelity:
+
+* x64 mode is enabled at construction (``jax_enable_x64``) so the
+  agreement tolerances recorded in ``BENCH_backend.json`` are measured
+  in float64, like every other backend.
+* ``jax.scipy.special`` has no ``gammaincinv``; the adapter uses the
+  shared Wilson–Hilferty + safeguarded-Halley emulation from
+  :func:`repro.backend.core.make_generic_gammaincinv` (the same code
+  the ``portable`` backend runs on NumPy, so its accuracy is measured
+  even on machines without jax).
+* ``pdtr(k, m)`` is the Poisson CDF identity ``gammaincc(k + 1, m)``.
+* Segmented reductions use ``jax.ops.segment_max`` / ``segment_sum``
+  with static segment counts, mirroring the scatter-based portable
+  implementation (empty segments reduce to ``-inf`` / ``0``).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.backend.core import ArrayBackend, make_generic_gammaincinv
+from repro.exceptions import BackendUnavailableError
+
+
+def make_backend() -> ArrayBackend:
+    try:
+        import jax
+        import jax.numpy as jnp
+        from jax.scipy import special as jsp
+    except Exception as exc:  # pragma: no cover - depends on environment
+        raise BackendUnavailableError(
+            "backend 'jax' requested but the jax package is not importable "
+            f"({type(exc).__name__}: {exc}); install CPU jax with "
+            "`pip install jax` or select backend='numpy'",
+            backend="jax",
+        ) from exc
+
+    # Float64 throughout: the agreement contract vs the NumPy reference
+    # is stated in double precision.
+    jax.config.update("jax_enable_x64", True)
+
+    gammaincinv = make_generic_gammaincinv(
+        jnp, jsp.gammainc, jsp.gammaln, jsp.ndtri,
+        gammaincc=jsp.gammaincc,
+    )
+
+    def gammainccinv(a: Any, q: Any) -> Any:
+        return gammaincinv(a, 1.0 - jnp.asarray(q))
+
+    def pdtr(k: Any, m: Any) -> Any:
+        return jsp.gammaincc(jnp.asarray(k, dtype=jnp.float64) + 1.0, m)
+
+    def log_sum_exp_stream(values: Any, starts: Any) -> Any:
+        values = jnp.asarray(values, dtype=jnp.float64)
+        starts = jnp.asarray(starts, dtype=jnp.int32)
+        n_seg = int(starts.shape[0])
+        if n_seg == 0:
+            return jnp.zeros((0,), dtype=jnp.float64)
+        ids = (
+            jnp.searchsorted(starts, jnp.arange(values.shape[0]), side="right")
+            - 1
+        )
+        maxima = jax.ops.segment_max(values, ids, num_segments=n_seg)
+        shifted = jnp.exp(values - maxima[ids])
+        sums = jax.ops.segment_sum(shifted, ids, num_segments=n_seg)
+        out = maxima + jnp.log(sums)
+        return jnp.where(jnp.isfinite(maxima), out, maxima)
+
+    def segment_sums(values: Any, offsets: Any) -> Any:
+        values = jnp.asarray(values, dtype=jnp.float64)
+        offsets = jnp.asarray(offsets, dtype=jnp.int32)
+        n_seg = int(offsets.shape[0])
+        if n_seg == 0:
+            return jnp.zeros((0,), dtype=jnp.float64)
+        ids = (
+            jnp.searchsorted(offsets, jnp.arange(values.shape[0]), side="right")
+            - 1
+        )
+        return jax.ops.segment_sum(values, ids, num_segments=n_seg)
+
+    special = {
+        "digamma": jsp.digamma,
+        "erf": jsp.erf,
+        "erfc": jsp.erfc,
+        "gammainc": jsp.gammainc,
+        "gammaincc": jsp.gammaincc,
+        "gammainccinv": gammainccinv,
+        "gammaincinv": gammaincinv,
+        "gammaln": jsp.gammaln,
+        "logsumexp": jsp.logsumexp,
+        "ndtri": jsp.ndtri,
+        "pdtr": pdtr,
+    }
+
+    return ArrayBackend(
+        name="jax",
+        xp=jnp,
+        is_numpy=False,
+        special=special,
+        log_sum_exp_stream=log_sum_exp_stream,
+        segment_sums=segment_sums,
+        owns=lambda array: isinstance(array, jax.Array),
+        to_numpy=lambda array: np.asarray(array),
+        jit=jax.jit,
+    )

@@ -1,0 +1,540 @@
+"""Array-API style namespace dispatch for the hot kernels.
+
+The reproduction's hot paths — interval batch quantiles, lane-parallel
+fits, fleet sweeps, the SBC variate layer — are pure array programs
+over ``gammainc``/``logsumexp`` broadcasts and inverse-CDF draws.  This
+module gives them one thin seam to run on different array libraries:
+
+``get_namespace(*arrays)``
+    Array-API style dispatch: returns the :class:`ArrayBackend` owning
+    the given arrays (a JAX or CuPy array wins), else the process
+    default.  NumPy arrays carry no backend preference — they follow
+    :func:`default_namespace`, which is how the ``portable`` mode runs
+    the generic kernels on NumPy.
+
+``default_namespace()``
+    The process-wide default, from ``set_default_backend(...)`` if set,
+    else the ``REPRO_BACKEND`` environment variable, else ``numpy``.
+
+``get_backend(name)`` / ``resolve_backend(spec)``
+    Explicit lookup, e.g. from ``VBConfig(backend=...)``.  Requesting
+    an adapter whose package is missing raises
+    :class:`repro.exceptions.BackendUnavailableError` with an
+    actionable message, never a bare ImportError traceback.
+
+Backends
+--------
+``numpy``
+    The bit-exact reference.  Kernels branch on ``B.is_numpy`` and run
+    their original in-place NumPy code verbatim — dispatching through
+    this layer does not change a single bit of any tier-1 result.
+``portable``
+    The generic (accelerator-shaped) code path *executed by NumPy*:
+    functional ``where``-style updates, no boolean compression, no
+    in-place mutation, scatter-based segment reductions, and the
+    emulated ``gammaincinv`` that JAX/CuPy need.  It exists so the
+    accelerator path is testable and benchmarkable on machines without
+    jax/cupy, and so BENCH_backend.json records real agreement numbers.
+``jax`` / ``cupy``
+    Optional import-guarded adapters (``repro/backend/_jax.py``,
+    ``repro/backend/_cupy.py``).  JAX runs the same generic path under
+    ``jit`` (XLA fuses the gammainc/log/exp chains); CuPy executes it
+    on the GPU.
+
+Each backend bundles its array module (``B.xp``), the special-function
+set of :mod:`repro.backend.special`, segmented reductions
+(``B.log_sum_exp_stream`` / ``B.segment_sums``), and a ``B.jit`` hook
+(identity everywhere except JAX).
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable
+from typing import Any
+
+import numpy as np
+
+from repro.backend import special as _ref
+from repro.exceptions import BackendUnavailableError
+
+__all__ = [
+    "KNOWN_BACKENDS",
+    "SPECIAL_NAMES",
+    "ArrayBackend",
+    "as_float",
+    "available_backends",
+    "default_namespace",
+    "get_backend",
+    "get_namespace",
+    "resolve_backend",
+    "set_default_backend",
+]
+
+#: Names `get_backend` understands. Validated by ``VBConfig`` without
+#: importing any adapter package.
+KNOWN_BACKENDS = ("numpy", "portable", "jax", "cupy")
+
+#: The special-function surface every backend must provide — exactly the
+#: re-export list of :mod:`repro.backend.special`.
+SPECIAL_NAMES = (
+    "digamma",
+    "erf",
+    "erfc",
+    "gammainc",
+    "gammaincc",
+    "gammainccinv",
+    "gammaincinv",
+    "gammaln",
+    "logsumexp",
+    "ndtri",
+    "pdtr",
+)
+
+
+def as_float(values: Any, xp: Any = np) -> Any:
+    """Coerce to a floating array *following the input's dtype*.
+
+    Floating inputs keep their precision (float32 stays float32);
+    integer/bool inputs promote to float64.  This replaces the
+    hard-coded ``asarray(..., dtype=float)`` casts in the hot kernels,
+    which silently forced float64 on every input — a blocker for
+    float32-preferring backends.
+    """
+    arr = xp.asarray(values)
+    if getattr(arr.dtype, "kind", "f") != "f":
+        arr = xp.asarray(arr, dtype=xp.float64)
+    return arr
+
+
+class ArrayBackend:
+    """One array namespace: module, special functions, segment reductions.
+
+    Attributes
+    ----------
+    name:
+        Registry name (``numpy``, ``portable``, ``jax``, ``cupy``).
+    xp:
+        The array module (numpy, jax.numpy, cupy).
+    is_numpy:
+        True only for the bit-exact reference backend.  Kernels branch
+        on this to run their original NumPy code verbatim.
+    gammainc, gammaincc, gammaln, gammaincinv, ... :
+        The special-function set (see :data:`SPECIAL_NAMES`).
+    log_sum_exp_stream, segment_sums:
+        Segmented reductions in the ``reduceat`` starts/offsets
+        convention of :mod:`repro.stats.special` /
+        :mod:`repro.stats.uniforms`.
+    jit:
+        Function transformer; identity except on JAX, where it is
+        ``jax.jit``.
+    """
+
+    def __init__(
+        self,
+        *,
+        name: str,
+        xp: Any,
+        is_numpy: bool,
+        special: dict[str, Callable[..., Any]],
+        log_sum_exp_stream: Callable[..., Any],
+        segment_sums: Callable[..., Any],
+        owns: Callable[[Any], bool],
+        to_numpy: Callable[[Any], np.ndarray],
+        jit: Callable[[Callable[..., Any]], Callable[..., Any]] | None = None,
+    ) -> None:
+        missing = [n for n in SPECIAL_NAMES if n not in special]
+        if missing:
+            raise ValueError(f"backend {name!r} missing special functions: {missing}")
+        self.name = name
+        self.xp = xp
+        self.is_numpy = is_numpy
+        for fname in SPECIAL_NAMES:
+            setattr(self, fname, special[fname])
+        self.log_sum_exp_stream = log_sum_exp_stream
+        self.segment_sums = segment_sums
+        self._owns = owns
+        self.to_numpy = to_numpy
+        self.jit = jit if jit is not None else (lambda fn: fn)
+
+    def owns(self, array: Any) -> bool:
+        """Whether ``array`` is this backend's native device array type."""
+        return self._owns(array)
+
+    def asarray(self, values: Any, dtype: Any = None) -> Any:
+        if dtype is None:
+            return self.xp.asarray(values)
+        return self.xp.asarray(values, dtype=dtype)
+
+    def as_float(self, values: Any) -> Any:
+        return as_float(values, self.xp)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArrayBackend({self.name!r})"
+
+
+# ----------------------------------------------------------------------
+# NumPy reference implementations (bit-exact with the pre-dispatch code).
+# ----------------------------------------------------------------------
+
+def _numpy_log_sum_exp_stream(values: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    """Per-segment ``log(sum(exp(v)))`` via ``np.{maximum,add}.reduceat``.
+
+    This is the canonical reference implementation behind
+    :func:`repro.stats.special.log_sum_exp_stream`; when every segment
+    is non-empty it is op-for-op the historical code, so batched
+    normalisation stays bit-identical to the scalar loop.  Segments of
+    size zero (``starts[k] == starts[k+1]``, or a trailing start at
+    ``len(values)``) are the empty sum and reduce to ``-inf`` — raw
+    ``reduceat`` would instead misread them as one-element segments (or
+    raise at the boundary), which is why they get an explicit branch.
+    """
+    values = np.asarray(values, dtype=float)
+    starts = np.asarray(starts, dtype=np.intp)
+    if starts.size == 0:
+        return np.empty(0)
+    sizes = np.diff(np.append(starts, values.size))
+    if starts[0] < 0 or np.any(sizes < 0):
+        raise ValueError(
+            "starts must be non-decreasing and within [0, len(values)]"
+        )
+    empty = sizes == 0
+    if np.any(empty):
+        out = np.full(starts.shape, -np.inf)
+        nonempty = ~empty
+        if np.any(nonempty):
+            # Zero-width segments drop out without moving any boundary,
+            # so reducing the surviving starts reduces the same slices —
+            # bit-identical to reducing them in the full call.
+            out[nonempty] = _numpy_log_sum_exp_stream(values, starts[nonempty])
+        return out
+    maxima = np.maximum.reduceat(values, starts)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        shifted = np.exp(values - np.repeat(maxima, sizes))
+        out = maxima + np.log(np.add.reduceat(shifted, starts))
+    # A segment whose max is not finite (all -inf, or a +inf entry)
+    # reduces to nan above; the limit value is the max itself.
+    return np.where(np.isfinite(maxima), out, maxima)
+
+
+def _numpy_segment_sums(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Reference ``segment_sums``: one ``np.add.reduceat`` call."""
+    values = as_float(values)
+    offsets = np.asarray(offsets, dtype=np.intp)
+    if offsets.size == 0:
+        return np.empty(0)
+    return np.add.reduceat(values, offsets)
+
+
+# ----------------------------------------------------------------------
+# Generic (accelerator-shaped) implementations, parameterised on xp.
+# These avoid reduceat, boolean compression and in-place mutation so the
+# same code shape runs under numpy (portable), jax.jit, and cupy.
+# ----------------------------------------------------------------------
+
+def _segment_ids(xp: Any, starts: Any, total: int) -> Any:
+    """Map element index -> segment index for reduceat-style ``starts``.
+
+    Assumes the package convention ``starts[0] == 0`` (elements before
+    ``starts[0]`` would not belong to any segment).
+    """
+    return xp.searchsorted(starts, xp.arange(total), side="right") - 1
+
+
+def _portable_log_sum_exp_stream(values: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    """Scatter-based segmented logsumexp (the segment_max/segment_sum
+    shape the JAX and CuPy adapters use), executed by NumPy."""
+    values = as_float(values)
+    starts = np.asarray(starts, dtype=np.intp)
+    n_seg = starts.shape[0]
+    if n_seg == 0:
+        return np.empty(0)
+    sizes = np.diff(np.append(starts, values.shape[0]))
+    if starts[0] < 0 or np.any(sizes < 0):
+        raise ValueError(
+            "starts must be non-decreasing and within [0, len(values)]"
+        )
+    ids = _segment_ids(np, starts, values.shape[0])
+    maxima = np.full(n_seg, -np.inf)
+    np.maximum.at(maxima, ids, values)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        shifted = np.exp(values - maxima[ids])
+        sums = np.zeros(n_seg)
+        np.add.at(sums, ids, shifted)
+        out = maxima + np.log(sums)
+    # Empty segments keep the scatter identities (-inf max, 0 sum) and
+    # land here as non-finite maxima -> -inf, matching the reference.
+    return np.where(np.isfinite(maxima), out, maxima)
+
+
+def _portable_segment_sums(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    values = as_float(values)
+    offsets = np.asarray(offsets, dtype=np.intp)
+    if offsets.size == 0:
+        return np.empty(0)
+    ids = _segment_ids(np, offsets, values.shape[0])
+    out = np.zeros(offsets.shape[0], dtype=values.dtype)
+    np.add.at(out, ids, values)
+    return out
+
+
+_TINY_P = 1e-300
+
+
+def make_generic_gammaincinv(
+    xp: Any,
+    gammainc: Callable[..., Any],
+    gammaln: Callable[..., Any],
+    ndtri: Callable[..., Any],
+    *,
+    gammaincc: Callable[..., Any] | None = None,
+    steps: int = 12,
+) -> Callable[..., Any]:
+    """Build an inverse regularised lower incomplete gamma for backends
+    that lack one (JAX and CuPy ship ``gammainc`` but not its inverse).
+
+    Strategy: a Wilson–Hilferty normal-approximation start for moderate
+    shapes, the small-shape/deep-lower-tail start
+    ``x ≈ (p Γ(a+1))^(1/a)`` otherwise, then ``steps`` safeguarded
+    Halley iterations on the CDF residual with per-step bracketing
+    (each step may move ``x`` by at most a factor of 4).  When
+    ``gammaincc`` is supplied, upper-tail levels (``p > 0.5``) evaluate
+    the residual through the survival function — ``(1-p) - Q(a, x)``
+    with ``1-p`` exact by Sterbenz — which keeps full relative accuracy
+    where ``P(a, x) - p`` would cancel to roundoff.  Agreement with
+    ``scipy.special.gammaincinv`` is measured, not assumed: the
+    ``portable`` backend runs exactly this code on NumPy and
+    ``benchmarks/bench_backend.py`` records the observed max-abs-diff
+    per kernel in ``BENCH_backend.json``.
+    """
+
+    def generic_gammaincinv(shape: Any, p: Any) -> Any:
+        a = as_float(shape, xp)
+        q = as_float(p, xp)
+        a, q = xp.broadcast_arrays(a, q)
+        qc = xp.clip(q, _TINY_P, 1.0 - 1e-16)
+        upper = qc > 0.5
+        # Wilson–Hilferty: (x/a)^(1/3) is approximately normal.
+        z = ndtri(qc)
+        t = 1.0 - 1.0 / (9.0 * a) + z / (3.0 * xp.sqrt(a))
+        wh = a * xp.clip(t, 1e-3, None) ** 3
+        small = xp.exp((xp.log(qc) + gammaln(a + 1.0)) / a)
+        x = xp.where((a >= 1.0) & (t > 0.25), wh, small)
+        x = xp.clip(x, _TINY_P, None)
+        for _ in range(steps):
+            f = gammainc(a, x) - qc
+            if gammaincc is not None:
+                f = xp.where(upper, (1.0 - qc) - gammaincc(a, x), f)
+            log_pdf = (a - 1.0) * xp.log(x) - x - gammaln(a)
+            pdf = xp.exp(log_pdf)
+            newton = f / xp.where(pdf > 0.0, pdf, 1.0)
+            # Halley correction: 1 - (f''/2f') * step, clipped away from 0.
+            halley = 1.0 - 0.5 * newton * ((a - 1.0) / x - 1.0)
+            step = newton / xp.where(halley > 0.5, halley, 1.0)
+            step = xp.where(pdf > 0.0, step, 0.0)
+            x = xp.clip(x - step, 0.25 * x, 4.0 * x)
+        return xp.where(q <= 0.0, 0.0, xp.where(q >= 1.0, xp.inf, x))
+
+    return generic_gammaincinv
+
+
+# ----------------------------------------------------------------------
+# Backend construction + registry.
+# ----------------------------------------------------------------------
+
+def _reference_special() -> dict[str, Callable[..., Any]]:
+    return {name: getattr(_ref, name) for name in SPECIAL_NAMES}
+
+
+def _make_numpy_backend() -> ArrayBackend:
+    return ArrayBackend(
+        name="numpy",
+        xp=np,
+        is_numpy=True,
+        special=_reference_special(),
+        log_sum_exp_stream=_numpy_log_sum_exp_stream,
+        segment_sums=_numpy_segment_sums,
+        owns=lambda array: False,  # numpy arrays follow default_namespace()
+        to_numpy=np.asarray,
+    )
+
+
+def _make_portable_backend() -> ArrayBackend:
+    special = _reference_special()
+    # The portable mode exists to exercise the accelerator code shapes
+    # on NumPy — including the emulated inverses JAX/CuPy rely on.
+    generic_inv = make_generic_gammaincinv(
+        np, _ref.gammainc, _ref.gammaln, _ref.ndtri,
+        gammaincc=_ref.gammaincc,
+    )
+    special["gammaincinv"] = generic_inv
+    special["gammainccinv"] = lambda a, q: generic_inv(
+        a, 1.0 - as_float(q)
+    )
+    special["pdtr"] = lambda k, m: _ref.gammaincc(as_float(k) + 1.0, m)
+    return ArrayBackend(
+        name="portable",
+        xp=np,
+        is_numpy=False,
+        special=special,
+        log_sum_exp_stream=_portable_log_sum_exp_stream,
+        segment_sums=_portable_segment_sums,
+        owns=lambda array: False,
+        to_numpy=np.asarray,
+    )
+
+
+_FACTORIES: dict[str, Callable[[], ArrayBackend]] = {
+    "numpy": _make_numpy_backend,
+    "portable": _make_portable_backend,
+}
+
+
+def _make_jax_backend() -> ArrayBackend:
+    from repro.backend import _jax
+
+    return _jax.make_backend()
+
+
+def _make_cupy_backend() -> ArrayBackend:
+    from repro.backend import _cupy
+
+    return _cupy.make_backend()
+
+
+_FACTORIES["jax"] = _make_jax_backend
+_FACTORIES["cupy"] = _make_cupy_backend
+
+_REGISTRY: dict[str, ArrayBackend] = {}
+
+
+def get_backend(name: str) -> ArrayBackend:
+    """Look up (and lazily construct) a backend by registry name.
+
+    Raises :class:`BackendUnavailableError` for unknown names and for
+    adapters whose package is not importable.
+    """
+    key = str(name).lower()
+    cached = _REGISTRY.get(key)
+    if cached is not None:
+        return cached
+    factory = _FACTORIES.get(key)
+    if factory is None:
+        raise BackendUnavailableError(
+            f"unknown array backend {name!r}; known backends: "
+            f"{', '.join(KNOWN_BACKENDS)}",
+            backend=key,
+        )
+    backend = factory()
+    _REGISTRY[key] = backend
+    return backend
+
+
+def available_backends() -> dict[str, bool]:
+    """Importability of every known backend (without raising)."""
+    out: dict[str, bool] = {}
+    for name in KNOWN_BACKENDS:
+        try:
+            get_backend(name)
+        except BackendUnavailableError:
+            out[name] = False
+        else:
+            out[name] = True
+    return out
+
+
+_DEFAULT_OVERRIDE: str | None = None
+
+
+def set_default_backend(name: str | None) -> str | None:
+    """Set (or with ``None`` reset) the process default backend.
+
+    Returns the previous override so tests can restore it.  The name is
+    validated eagerly — an unavailable backend fails here, not at the
+    first kernel call.
+    """
+    global _DEFAULT_OVERRIDE
+    previous = _DEFAULT_OVERRIDE
+    if name is not None:
+        get_backend(name)
+        _DEFAULT_OVERRIDE = str(name).lower()
+    else:
+        _DEFAULT_OVERRIDE = None
+    return previous
+
+
+def default_namespace() -> ArrayBackend:
+    """The process default backend: ``set_default_backend`` override,
+    else the ``REPRO_BACKEND`` environment variable, else ``numpy``."""
+    name = _DEFAULT_OVERRIDE or os.environ.get("REPRO_BACKEND", "numpy")
+    return get_backend(name)
+
+
+def _loaded_device_backends() -> list[ArrayBackend]:
+    return [
+        backend
+        for key, backend in _REGISTRY.items()
+        if key in ("jax", "cupy")
+    ]
+
+
+def get_namespace(*arrays: Any) -> ArrayBackend:
+    """Array-API style dispatch: the backend the given arrays live on.
+
+    A JAX or CuPy device array selects its adapter (mixing the two is an
+    error); scalars and NumPy arrays carry no preference and fall
+    through to :func:`default_namespace`.  Only adapters that have
+    already been constructed are probed — if jax was never loaded, no
+    jax array can exist in the process.
+    """
+    chosen: ArrayBackend | None = None
+    device = _loaded_device_backends()
+    if device:
+        for array in arrays:
+            for backend in device:
+                if backend.owns(array):
+                    if chosen is None:
+                        chosen = backend
+                    elif chosen is not backend:
+                        raise ValueError(
+                            "mixed array backends in one call: "
+                            f"{chosen.name} and {backend.name}"
+                        )
+                    break
+    if chosen is not None:
+        return chosen
+    return default_namespace()
+
+
+def resolve_backend(spec: str | ArrayBackend | None) -> ArrayBackend:
+    """Resolve an explicit backend request (e.g. ``VBConfig.backend``).
+
+    ``None`` means "no preference" and resolves to the process default.
+    """
+    if spec is None:
+        return default_namespace()
+    if isinstance(spec, ArrayBackend):
+        return spec
+    return get_backend(spec)
+
+
+def require_numpy_backend(
+    spec: str | ArrayBackend | None, *, feature: str
+) -> None:
+    """Reject a non-NumPy backend request for a NumPy-only code path.
+
+    Fitters that have no generic-backend port (VB1, Weibull VB, the
+    fleet drivers) call this up front so a ``VBConfig(backend="jax")``
+    fails with a clear :class:`ValueError` naming the feature instead
+    of crashing mid-fit. Requests that merely *name* an uninstalled
+    adapter fail here the same way — availability is irrelevant when
+    the path could not use the adapter anyway.
+    """
+    name = spec.name if isinstance(spec, ArrayBackend) else spec
+    if name is None:
+        name = _DEFAULT_OVERRIDE or os.environ.get("REPRO_BACKEND", "numpy")
+    if name != "numpy":
+        raise ValueError(
+            f"{feature} supports only the NumPy backend, "
+            f"got backend={name!r}"
+        )

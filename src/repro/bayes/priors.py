@@ -17,7 +17,7 @@ import math
 from dataclasses import dataclass
 
 import numpy as np
-from scipy import special as sc
+from repro.backend import special as sc
 
 from repro.exceptions import PriorSpecificationError
 

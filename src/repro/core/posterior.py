@@ -18,7 +18,7 @@ import math
 from collections.abc import Callable, Sequence
 
 import numpy as np
-from scipy import special as sc
+from repro.backend import special as sc
 
 from repro.bayes.joint import JointPosterior
 from repro.stats.gamma_dist import GammaDistribution

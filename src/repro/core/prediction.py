@@ -21,7 +21,7 @@ import math
 from dataclasses import dataclass
 
 import numpy as np
-from scipy import special as sc
+from repro.backend import special as sc
 
 from repro.bayes.joint import JointPosterior
 from repro.bayes.normal_posterior import NormalPosterior

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-from scipy import special as sc
+from repro.backend import special as sc
 
 from repro.bayes.joint import JointPosterior
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import backend as _backend
 from repro import obs
 from repro.bayes.priors import ModelPrior
 from repro.bayes.sandwich import apply_sandwich
@@ -129,6 +130,27 @@ def _fit_vb2(
             f"fit uses alpha0={alpha0:g}; warm seeds only transfer within "
             f"one gamma shape"
         )
+    # Resolve the hot-kernel array backend. config.backend=None follows
+    # the process default (normally NumPy, override via REPRO_BACKEND);
+    # a named adapter raises BackendUnavailableError here — at fit time,
+    # with an install hint — when its package is missing.
+    B = (
+        _backend.resolve_backend(config.backend)
+        if config.backend is not None
+        else _backend.default_namespace()
+    )
+    kernel_backend = None if B.is_numpy else B
+    if kernel_backend is not None:
+        if warm is not None:
+            raise ValueError(
+                f"warm_start is not supported on the {B.name!r} backend; "
+                "warm seeding is a NumPy-path feature"
+            )
+        if not config.batched_solver:
+            raise ValueError(
+                f"backend={B.name!r} requires batched_solver=True (the "
+                "scalar per-N escape hatch is NumPy-only)"
+            )
 
     def warm_seeds(lo: int, hi: int) -> np.ndarray | None:
         # Per-lane fixed-point seeds from the previous posterior: rows
@@ -175,6 +197,7 @@ def _fit_vb2(
                 lo, hi, alpha0, prior, stats, config,
                 xi_warm=warm_seeds(lo, hi),
                 rtol_lanes=warm_rtols(lo, hi),
+                backend=kernel_backend,
             )
 
     elif isinstance(data, GroupedData):
@@ -192,6 +215,7 @@ def _fit_vb2(
                 lo, hi, alpha0, prior, stats, config,
                 xi_warm=warm_seeds(lo, hi),
                 rtol_lanes=warm_rtols(lo, hi),
+                backend=kernel_backend,
             )
 
     else:
@@ -297,6 +321,7 @@ def _fit_vb2(
         "alpha0": alpha0,
         "data_kind": type(data).__name__,
         "warm_started": warm is not None,
+        "backend": B.name,
     }
     if obs.enabled():
         obs.counter_add("vb2.solves", len(solutions))

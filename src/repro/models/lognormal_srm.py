@@ -16,7 +16,7 @@ from collections.abc import Mapping
 from types import MappingProxyType
 
 import numpy as np
-from scipy import special as sc
+from repro.backend import special as sc
 
 from repro.exceptions import ModelSpecificationError
 from repro.models.base import NHPPModel

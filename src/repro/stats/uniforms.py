@@ -31,6 +31,8 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro import backend as _backend
+
 __all__ = ["DEFAULT_CHUNK", "UniformLaneStream", "segment_sums"]
 
 #: Uniforms buffered per lane between generator refills. Large enough
@@ -48,12 +50,13 @@ def segment_sums(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
     reducing the lane's draws alone — the property the lane-vs-scalar
     identity contract relies on. Offsets must be strictly increasing
     (no empty segments) and start at 0.
+
+    Dtypes follow the input (float32 stays float32; ints promote to
+    float64), and non-numpy arrays dispatch to their backend's
+    segment-scatter implementation.
     """
-    values = np.asarray(values, dtype=float)
-    offsets = np.asarray(offsets, dtype=np.intp)
-    if offsets.size == 0:
-        return np.empty(0)
-    return np.add.reduceat(values, offsets)
+    B = _backend.get_namespace(values)
+    return B.segment_sums(values, offsets)
 
 
 class UniformLaneStream:

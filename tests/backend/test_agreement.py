@@ -1,0 +1,220 @@
+"""Portable-vs-NumPy agreement for every ported kernel.
+
+The ``portable`` backend executes the generic accelerator code shape
+(full-width ``where`` masking, scatter segment reductions, emulated
+``gammaincinv``) on NumPy arrays, so these tests exercise the exact
+code path a jax/cupy adapter runs — without needing either installed.
+Tolerances here mirror the committed ``BENCH_backend.json`` bounds."""
+
+import numpy as np
+import pytest
+
+from repro import backend as bk
+from repro.backend.core import make_generic_gammaincinv
+from repro.bayes.priors import GammaPrior, ModelPrior
+from repro.core.config import VBConfig
+from repro.core.vb2 import fit_vb2
+from repro.data.failure_data import FailureTimeData, GroupedData
+from repro.exceptions import BackendUnavailableError
+from repro.stats.gamma_dist import GammaDistribution, gamma_from_uniform
+from repro.stats.mixtures import (
+    MixtureDistribution,
+    mixture_cdf_grid,
+    mixture_pdf_grid,
+    mixture_ppf_batch,
+)
+from repro.stats.special import log_sum_exp_stream
+from repro.stats.uniforms import segment_sums
+
+
+@pytest.fixture(scope="module")
+def P():
+    return bk.get_backend("portable")
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(20260809)
+
+
+class TestGammaincinvEmulation:
+    def test_matches_scipy_across_shapes(self, P):
+        from repro.backend import special as sc
+
+        inv = make_generic_gammaincinv(
+            np, sc.gammainc, sc.gammaln, sc.ndtri, gammaincc=sc.gammaincc
+        )
+        a = np.concatenate([
+            np.geomspace(0.3, 5000.0, 200),
+            np.full(7, 1.0),
+        ])
+        q = np.linspace(1e-12, 1.0 - 1e-12, a.size)
+        got = inv(a, q)
+        want = sc.gammaincinv(a, q)
+        rel = np.abs(got - want) / np.where(want > 0, want, 1.0)
+        assert float(np.max(rel)) < 1e-12
+
+    def test_boundaries(self, P):
+        assert float(P.gammaincinv(2.0, np.array([0.0]))[0]) == 0.0
+        assert np.isinf(float(P.gammaincinv(2.0, np.array([1.0]))[0]))
+
+
+class TestSegmentReductions:
+    def test_log_sum_exp_stream_identical(self, P, rng):
+        values = rng.normal(scale=40.0, size=500)
+        starts = np.array([0, 3, 3, 100, 101, 499])
+        ref = log_sum_exp_stream(values, starts)
+        got = P.log_sum_exp_stream(values, starts)
+        np.testing.assert_allclose(got, ref, rtol=0, atol=1e-12)
+        # Empty segment semantics match: -inf, not a misread slice.
+        assert got[1] == ref[1] == -np.inf
+
+    def test_segment_sums_close(self, P, rng):
+        # reduceat convention: offsets mark segment starts only (no
+        # trailing end), strictly increasing.
+        values = rng.normal(size=300)
+        offsets = np.array([0, 10, 150, 290])
+        ref = segment_sums(values, offsets)
+        got = P.segment_sums(values, offsets)
+        np.testing.assert_allclose(got, ref, rtol=1e-13, atol=1e-13)
+
+
+class TestVariateLayer:
+    def test_gamma_from_uniform_agrees(self, P, rng):
+        shape = rng.uniform(0.5, 80.0, 4000)
+        u = rng.random(4000)
+        ref = gamma_from_uniform(shape, u)
+        got = P.to_numpy(
+            gamma_from_uniform(P.asarray(shape), P.asarray(u))
+        )
+        rel = np.abs(got - ref) / np.where(ref > 0, ref, 1.0)
+        assert float(np.max(rel)) < 1e-9
+
+
+class TestMixtureKernels:
+    @pytest.fixture(scope="class")
+    def mixture(self):
+        gen = np.random.default_rng(7)
+        comps = [
+            GammaDistribution(shape=s, rate=r)
+            for s, r in zip(gen.uniform(1, 60, 50), gen.uniform(0.5, 3, 50))
+        ]
+        return MixtureDistribution(comps, gen.uniform(0.1, 1.0, 50))
+
+    def test_pdf_cdf_bit_close(self, P, mixture):
+        x = np.linspace(0.01, 80.0, 400)
+        a, b, w, log_w = mixture._backend_params(P)
+        pdf = mixture_pdf_grid(P, a, b, log_w, x)
+        cdf = mixture_cdf_grid(P, a, b, w, x)
+        np.testing.assert_allclose(pdf, mixture.pdf(x), rtol=1e-12)
+        np.testing.assert_allclose(cdf, mixture.cdf(x), rtol=1e-12)
+
+    def test_ppf_agrees(self, P, mixture):
+        q = np.linspace(0.005, 0.995, 199)
+        a, b, w, _ = mixture._backend_params(P)
+        got = mixture_ppf_batch(P, a, b, w, q)
+        ref = mixture.ppf(q)
+        rel = np.abs(got - ref) / ref
+        assert float(np.max(rel)) < 1e-8
+
+    def test_dispatch_via_default_override(self, mixture):
+        x = np.linspace(0.5, 40.0, 50)
+        ref_pdf = mixture.pdf(x)
+        ref_ppf = mixture.ppf(np.array([0.1, 0.5, 0.9]))
+        prev = bk.set_default_backend("portable")
+        try:
+            got_pdf = mixture.pdf(x)
+            got_ppf = mixture.ppf(np.array([0.1, 0.5, 0.9]))
+        finally:
+            bk.set_default_backend(prev)
+        np.testing.assert_allclose(got_pdf, ref_pdf, rtol=1e-12)
+        np.testing.assert_allclose(got_ppf, ref_ppf, rtol=1e-8)
+
+
+class TestEndToEndFit:
+    @pytest.fixture(scope="class")
+    def prior(self):
+        return ModelPrior(
+            omega=GammaPrior(2.0, 0.1), beta=GammaPrior(2.0, 10.0)
+        )
+
+    @pytest.fixture(scope="class")
+    def times_data(self):
+        gen = np.random.default_rng(42)
+        return FailureTimeData(
+            times=np.sort(gen.uniform(0, 100, 25)), horizon=110.0
+        )
+
+    @pytest.fixture(scope="class")
+    def grouped_data(self):
+        return GroupedData(
+            counts=[3, 5, 7, 4, 2, 1],
+            boundaries=[10, 20, 30, 40, 50, 60],
+        )
+
+    @pytest.mark.parametrize("alpha0", [2.0])
+    def test_times_fit_agrees(self, prior, times_data, alpha0):
+        ref = fit_vb2(times_data, prior, alpha0=alpha0)
+        got = fit_vb2(
+            times_data, prior, alpha0=alpha0,
+            config=VBConfig(backend="portable"),
+        )
+        assert got.diagnostics["backend"] == "portable"
+        assert ref.diagnostics["backend"] == "numpy"
+        assert got.diagnostics["nmax"] == ref.diagnostics["nmax"]
+        np.testing.assert_allclose(
+            got.weights, ref.weights, rtol=0, atol=1e-12
+        )
+        assert abs(got.elbo - ref.elbo) < 1e-9
+
+    @pytest.mark.parametrize("alpha0", [1.0, 2.0])
+    def test_grouped_fit_agrees(self, prior, grouped_data, alpha0):
+        ref = fit_vb2(grouped_data, prior, alpha0=alpha0)
+        got = fit_vb2(
+            grouped_data, prior, alpha0=alpha0,
+            config=VBConfig(backend="portable"),
+        )
+        assert got.diagnostics["nmax"] == ref.diagnostics["nmax"]
+        np.testing.assert_allclose(
+            got.weights, ref.weights, rtol=0, atol=1e-12
+        )
+        assert abs(got.elbo - ref.elbo) < 1e-9
+
+    def test_missing_adapter_is_backend_unavailable(self, prior, times_data):
+        if bk.available_backends()["jax"]:
+            pytest.skip("jax installed in this environment")
+        with pytest.raises(BackendUnavailableError):
+            fit_vb2(
+                times_data, prior, alpha0=2.0,
+                config=VBConfig(backend="jax"),
+            )
+
+    def test_warm_start_rejected_off_numpy(self, prior, times_data):
+        from repro.core.warmstart import warm_start_from
+
+        ref = fit_vb2(times_data, prior, alpha0=2.0)
+        warm = warm_start_from(ref)
+        with pytest.raises(ValueError, match="warm_start"):
+            fit_vb2(
+                times_data, prior, alpha0=2.0,
+                config=VBConfig(backend="portable", warm_start=warm),
+            )
+
+    def test_scalar_solver_rejected_off_numpy(self, prior, times_data):
+        with pytest.raises(ValueError, match="batched_solver"):
+            fit_vb2(
+                times_data, prior, alpha0=2.0,
+                config=VBConfig(backend="portable", batched_solver=False),
+            )
+
+    def test_numpy_only_fitters_reject_backend(self, prior, times_data):
+        from repro.core.fleet import fit_vb1_fleet, fit_vb2_fleet
+        from repro.core.vb1 import fit_vb1
+
+        cfg = VBConfig(backend="portable")
+        with pytest.raises(ValueError, match="NumPy"):
+            fit_vb1(times_data, prior, alpha0=2.0, config=cfg)
+        with pytest.raises(ValueError, match="NumPy"):
+            fit_vb2_fleet([times_data], prior, alpha0=2.0, config=cfg)
+        with pytest.raises(ValueError, match="NumPy"):
+            fit_vb1_fleet([times_data], prior, alpha0=2.0, config=cfg)

@@ -1,0 +1,128 @@
+"""Tests for the array-backend dispatch layer (registry, namespace
+resolution, availability gating, and VBConfig integration)."""
+
+import numpy as np
+import pytest
+
+from repro import backend as bk
+from repro.backend import BackendUnavailableError
+from repro.backend.core import KNOWN_BACKENDS, SPECIAL_NAMES, ArrayBackend
+from repro.core.config import VBConfig
+
+
+class TestRegistry:
+    def test_numpy_and_portable_always_available(self):
+        avail = bk.available_backends()
+        assert avail["numpy"] is True
+        assert avail["portable"] is True
+
+    def test_known_backends_are_the_registry_keys(self):
+        assert set(bk.available_backends()) == set(KNOWN_BACKENDS)
+
+    def test_get_backend_returns_singletons(self):
+        assert bk.get_backend("numpy") is bk.get_backend("numpy")
+        assert bk.get_backend("portable") is bk.get_backend("portable")
+
+    def test_unknown_name_raises_backend_unavailable(self):
+        with pytest.raises(BackendUnavailableError) as exc:
+            bk.get_backend("tensorflow")
+        assert "tensorflow" in str(exc.value)
+
+    def test_missing_adapter_raises_informative_error(self):
+        # The container has neither jax nor cupy; the error must name
+        # the backend and hint at installation, not traceback through
+        # an ImportError.
+        for name in ("jax", "cupy"):
+            if bk.available_backends()[name]:
+                pytest.skip(f"{name} installed in this environment")
+            with pytest.raises(BackendUnavailableError) as exc:
+                bk.get_backend(name)
+            assert name in str(exc.value)
+            assert exc.value.backend == name
+            assert "install" in str(exc.value)
+
+    def test_backend_exposes_all_special_names(self):
+        for name in ("numpy", "portable"):
+            B = bk.get_backend(name)
+            for fn in SPECIAL_NAMES:
+                assert callable(getattr(B, fn)), (name, fn)
+
+
+class TestNamespaceResolution:
+    def test_numpy_arrays_resolve_to_default(self):
+        B = bk.get_namespace(np.arange(3.0))
+        assert B.is_numpy
+        assert B.name == "numpy"
+
+    def test_scalars_resolve_to_default(self):
+        assert bk.get_namespace(1.0, 2).name == "numpy"
+
+    def test_default_override_roundtrip(self):
+        prev = bk.set_default_backend("portable")
+        try:
+            assert bk.default_namespace().name == "portable"
+            assert bk.get_namespace(np.arange(3.0)).name == "portable"
+        finally:
+            bk.set_default_backend(prev)
+        assert bk.default_namespace().name == "numpy"
+
+    def test_env_var_selects_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "portable")
+        assert bk.default_namespace().name == "portable"
+
+    def test_env_var_unknown_name_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "not-a-backend")
+        with pytest.raises(BackendUnavailableError):
+            bk.default_namespace()
+
+    def test_set_default_backend_validates_eagerly(self):
+        with pytest.raises(BackendUnavailableError):
+            bk.set_default_backend("not-a-backend")
+
+    def test_resolve_backend_passthrough_and_none(self):
+        B = bk.get_backend("portable")
+        assert bk.resolve_backend(B) is B
+        assert bk.resolve_backend(None).name == bk.default_namespace().name
+        assert bk.resolve_backend("numpy").is_numpy
+
+    def test_require_numpy_backend(self):
+        bk.require_numpy_backend(None, feature="f")
+        bk.require_numpy_backend("numpy", feature="f")
+        with pytest.raises(ValueError, match="fit_vb1.*portable"):
+            bk.require_numpy_backend("portable", feature="fit_vb1")
+        # Naming an uninstalled adapter is a ValueError too (the path
+        # could not use it regardless of availability).
+        with pytest.raises(ValueError, match="jax"):
+            bk.require_numpy_backend("jax", feature="fit_vb1")
+
+
+class TestPortableBackend:
+    def test_portable_runs_on_numpy_but_is_not_numpy(self):
+        P = bk.get_backend("portable")
+        assert isinstance(P, ArrayBackend)
+        assert P.xp is np
+        assert not P.is_numpy
+
+    def test_as_float_promotes_ints_keeps_floats(self):
+        P = bk.get_backend("portable")
+        assert P.as_float(np.arange(3)).dtype == np.float64
+        assert P.as_float(np.arange(3, dtype=np.float32)).dtype == np.float32
+
+
+class TestVBConfigBackend:
+    def test_default_is_none(self):
+        assert VBConfig().backend is None
+
+    def test_valid_names_accepted_without_importing_adapters(self):
+        # Constructing the config must not require jax/cupy: the
+        # adapter import is deferred to fit time.
+        for name in KNOWN_BACKENDS:
+            assert VBConfig(backend=name).backend == name
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            VBConfig(backend="tensorflow")
+
+    def test_backend_in_canonical(self):
+        assert VBConfig().canonical()["backend"] is None
+        assert VBConfig(backend="numpy").canonical()["backend"] == "numpy"
